@@ -1,0 +1,69 @@
+"""E1 — unrepeatable reads (paper Section 1).
+
+Claim: read committed lets a transaction observe two different values for the
+same entity within one transaction; snapshot isolation does not.
+
+Workload: writer threads repeatedly bump a property on a small hot set of
+nodes while reader transactions read the same node twice with a small pause in
+between.  The reported series is the number of unrepeatable reads observed per
+100 reader transactions under each isolation level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.anomaly import check_unrepeatable_read
+from repro.workload.generators import build_social_graph
+from repro.workload.operations import update_node_property
+from repro.workload.runner import ConcurrentWorkloadRunner, WorkerOutcome
+
+from bench_helpers import open_db, print_row
+
+WORKERS = 6
+OPS_PER_WORKER = 40
+HOT_NODES = 4
+
+
+def _run_experiment(isolation):
+    db = open_db(isolation)
+    graph = build_social_graph(db, people=60, avg_friends=3, seed=11)
+    hot = graph.group("people")[:HOT_NODES]
+
+    def work(db, rng, worker_id, _iteration):
+        outcome = WorkerOutcome()
+        if worker_id % 2 == 0:
+            with db.transaction() as tx:
+                update_node_property(tx, rng.choice(hot), "score", rng)
+        else:
+            with db.transaction(read_only=True) as tx:
+                outcome.anomalies.checks += 1
+                if check_unrepeatable_read(tx, rng.choice(hot), "score", delay_seconds=0.002):
+                    outcome.anomalies.unrepeatable_reads += 1
+        return outcome
+
+    runner = ConcurrentWorkloadRunner(
+        db, workers=WORKERS, operations_per_worker=OPS_PER_WORKER, seed=5
+    )
+    result = runner.run(work)
+    db.close()
+    return result
+
+
+@pytest.mark.benchmark(group="e1-unrepeatable-reads")
+def test_e1_unrepeatable_reads(benchmark, isolation):
+    result = benchmark.pedantic(_run_experiment, args=(isolation,), rounds=1, iterations=1)
+    checks = max(1, result.anomalies.checks)
+    row = {
+        "isolation": isolation.value,
+        "reader_txns": result.anomalies.checks,
+        "unrepeatable_reads": result.anomalies.unrepeatable_reads,
+        "per_100_readers": round(100.0 * result.anomalies.unrepeatable_reads / checks, 2),
+        "committed": result.committed,
+        "aborted": result.aborted,
+    }
+    benchmark.extra_info.update(row)
+    print_row("E1", row)
+    # The qualitative claim must hold: SI never observes the anomaly.
+    if isolation.value == "snapshot":
+        assert result.anomalies.unrepeatable_reads == 0

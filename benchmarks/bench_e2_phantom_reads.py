@@ -1,0 +1,69 @@
+"""E2 — phantom reads on predicate scans (paper Section 1).
+
+Claim: read committed lets a repeated predicate selection (label scan) return
+different result sets within one transaction; snapshot isolation — thanks to
+the multi-versioned label/property indexes — returns the same set both times.
+
+Workload: writer threads insert and delete ``Person`` nodes while readers run
+the same label scan twice per transaction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.anomaly import check_phantom_read
+from repro.workload.generators import build_social_graph
+from repro.workload.operations import delete_random_node, insert_labelled_node
+from repro.workload.runner import ConcurrentWorkloadRunner, WorkerOutcome
+
+from bench_helpers import open_db, print_row
+
+WORKERS = 6
+OPS_PER_WORKER = 30
+
+
+def _run_experiment(isolation):
+    db = open_db(isolation)
+    graph = build_social_graph(db, people=40, avg_friends=2, seed=13)
+    victims = list(graph.group("people"))
+
+    def work(db, rng, worker_id, _iteration):
+        outcome = WorkerOutcome()
+        if worker_id % 2 == 0:
+            with db.transaction() as tx:
+                if rng.random() < 0.6:
+                    insert_labelled_node(tx, "Person", rng)
+                else:
+                    delete_random_node(tx, victims, rng)
+        else:
+            with db.transaction(read_only=True) as tx:
+                outcome.anomalies.checks += 1
+                if check_phantom_read(tx, label="Person", delay_seconds=0.002):
+                    outcome.anomalies.phantom_reads += 1
+        return outcome
+
+    runner = ConcurrentWorkloadRunner(
+        db, workers=WORKERS, operations_per_worker=OPS_PER_WORKER, seed=17
+    )
+    result = runner.run(work)
+    db.close()
+    return result
+
+
+@pytest.mark.benchmark(group="e2-phantom-reads")
+def test_e2_phantom_reads(benchmark, isolation):
+    result = benchmark.pedantic(_run_experiment, args=(isolation,), rounds=1, iterations=1)
+    checks = max(1, result.anomalies.checks)
+    row = {
+        "isolation": isolation.value,
+        "scan_txns": result.anomalies.checks,
+        "phantom_reads": result.anomalies.phantom_reads,
+        "per_100_scans": round(100.0 * result.anomalies.phantom_reads / checks, 2),
+        "committed": result.committed,
+        "aborted": result.aborted,
+    }
+    benchmark.extra_info.update(row)
+    print_row("E2", row)
+    if isolation.value == "snapshot":
+        assert result.anomalies.phantom_reads == 0

@@ -1,0 +1,18 @@
+"""Shared helpers for the experiment benchmarks (imported by every bench module)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import GraphDatabase, IsolationLevel
+
+
+def open_db(isolation: IsolationLevel, **options) -> GraphDatabase:
+    """An in-memory database for benchmarking (WAL on, fsync off)."""
+    return GraphDatabase.in_memory(isolation=isolation, wal_sync=False, **options)
+
+
+def print_row(experiment: str, row: Dict[str, object]) -> None:
+    """Print one result row in a stable, grep-friendly format."""
+    columns = "  ".join(f"{key}={value}" for key, value in row.items())
+    print(f"\n[{experiment}] {columns}")

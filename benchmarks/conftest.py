@@ -1,0 +1,14 @@
+"""Pytest fixtures shared by the experiment benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IsolationLevel
+
+
+@pytest.fixture(params=[IsolationLevel.READ_COMMITTED, IsolationLevel.SNAPSHOT],
+                ids=["read_committed", "snapshot"])
+def isolation(request) -> IsolationLevel:
+    """Parametrises an experiment over both isolation levels."""
+    return request.param

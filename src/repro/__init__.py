@@ -1,0 +1,65 @@
+"""Snapshot isolation for a Neo4j-like graph database.
+
+Reproduction of *"Snapshot Isolation for Neo4j"* (Patiño-Martínez et al.,
+EDBT 2016): a Python graph database with Neo4j's storage architecture (record
+stores, page cache, object cache, label/property indexes, lock manager) and
+two interchangeable transaction engines — Neo4j's stock read-committed
+locking and the paper's multi-version snapshot isolation.
+
+Quickstart::
+
+    from repro import GraphDatabase, IsolationLevel
+
+    db = GraphDatabase.in_memory(isolation=IsolationLevel.SNAPSHOT)
+    with db.transaction() as tx:
+        alice = tx.create_node(labels=["Person"], properties={"name": "Alice"})
+        bob = tx.create_node(labels=["Person"], properties={"name": "Bob"})
+        tx.create_relationship(alice, bob, "KNOWS", {"since": 2016})
+
+    with db.transaction(read_only=True) as tx:
+        for node in tx.find_nodes(label="Person"):
+            print(node["name"])
+"""
+
+from repro.api.database import GraphDatabase
+from repro.api.transaction import Node, Relationship, Transaction
+from repro.api.traversal import Path, TraversalDescription, shortest_path
+from repro.core.conflict import ConflictPolicy
+from repro.engine import IsolationLevel
+from repro.errors import (
+    ConstraintViolationError,
+    DeadlockError,
+    EntityNotFoundError,
+    LockTimeoutError,
+    NodeNotFoundError,
+    RelationshipNotFoundError,
+    ReproError,
+    TransactionAbortedError,
+    WriteWriteConflictError,
+)
+from repro.graph.entity import Direction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConflictPolicy",
+    "ConstraintViolationError",
+    "DeadlockError",
+    "Direction",
+    "EntityNotFoundError",
+    "GraphDatabase",
+    "IsolationLevel",
+    "LockTimeoutError",
+    "Node",
+    "NodeNotFoundError",
+    "Path",
+    "Relationship",
+    "RelationshipNotFoundError",
+    "ReproError",
+    "Transaction",
+    "TransactionAbortedError",
+    "TraversalDescription",
+    "WriteWriteConflictError",
+    "shortest_path",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Public API of the graph database.
+
+* :class:`repro.api.database.GraphDatabase` — open a database (in memory or
+  on disk) under either isolation level.
+* :class:`repro.api.transaction.Transaction` — the user-facing transaction:
+  create/read/update/delete nodes and relationships, predicate lookups, and
+  traversal entry points.
+* :mod:`repro.api.traversal` — a small traversal framework (breadth/depth
+  first, uniqueness, shortest path) that runs whole multi-step algorithms
+  inside one transaction, which is the query-side capability the paper's
+  introduction motivates.
+"""
+
+from repro.api.database import GraphDatabase
+from repro.api.transaction import Node, Relationship, Transaction
+from repro.api.traversal import Path, TraversalDescription
+
+__all__ = [
+    "GraphDatabase",
+    "Node",
+    "Path",
+    "Relationship",
+    "Transaction",
+    "TraversalDescription",
+]

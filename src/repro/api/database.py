@@ -1,0 +1,217 @@
+"""The database facade.
+
+:class:`GraphDatabase` wires the storage substrate to one of the two
+concurrency-control engines and hands out user-facing transactions.  The
+isolation level is chosen at open time:
+
+>>> from repro import GraphDatabase, IsolationLevel
+>>> db = GraphDatabase.in_memory(isolation=IsolationLevel.SNAPSHOT)
+>>> with db.transaction() as tx:
+...     alice = tx.create_node(labels=["Person"], properties={"name": "Alice"})
+
+The experiment harness opens two databases over identical workloads — one per
+isolation level — which is how the anomaly and throughput comparisons in
+EXPERIMENTS.md are produced.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Union
+
+from repro.api.transaction import Transaction
+from repro.core.conflict import ConflictPolicy
+from repro.core.gc import GcStats
+from repro.core.si_manager import SnapshotIsolationEngine
+from repro.core.vacuum import VacuumCollector
+from repro.engine import GraphEngine, IsolationLevel
+from repro.errors import ReproError
+from repro.graph.store_manager import StoreManager
+from repro.locking.lock_manager import LockManager
+from repro.locking.rc_manager import ReadCommittedEngine
+
+
+def _coerce_isolation(isolation: Union[IsolationLevel, str]) -> IsolationLevel:
+    if isinstance(isolation, IsolationLevel):
+        return isolation
+    try:
+        return IsolationLevel(isolation)
+    except ValueError as exc:
+        valid = ", ".join(level.value for level in IsolationLevel)
+        raise ValueError(
+            f"unknown isolation level {isolation!r}; expected one of: {valid}"
+        ) from exc
+
+
+def _coerce_policy(policy: Union[ConflictPolicy, str]) -> ConflictPolicy:
+    if isinstance(policy, ConflictPolicy):
+        return policy
+    try:
+        return ConflictPolicy(policy)
+    except ValueError as exc:
+        valid = ", ".join(choice.value for choice in ConflictPolicy)
+        raise ValueError(
+            f"unknown conflict policy {policy!r}; expected one of: {valid}"
+        ) from exc
+
+
+class GraphDatabase:
+    """A graph database instance: storage substrate plus one transaction engine."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        isolation: Union[IsolationLevel, str] = IsolationLevel.SNAPSHOT,
+        conflict_policy: Union[ConflictPolicy, str] = ConflictPolicy.FIRST_UPDATER_WINS,
+        page_cache_pages: int = 4096,
+        wal_enabled: bool = True,
+        wal_sync: bool = False,
+        lock_timeout: float = 10.0,
+        version_cache_capacity: int = 200_000,
+        gc_every_n_commits: int = 0,
+    ) -> None:
+        """Open (or create) a database.
+
+        ``path`` is a directory for the store files; ``None`` keeps the whole
+        database in memory.  See :class:`~repro.core.si_manager.SnapshotIsolationEngine`
+        and :class:`~repro.locking.rc_manager.ReadCommittedEngine` for the
+        meaning of the engine-specific options.
+        """
+        self._isolation = _coerce_isolation(isolation)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self.store = StoreManager(
+            path,
+            page_cache_pages=page_cache_pages,
+            wal_enabled=wal_enabled,
+            wal_sync=wal_sync,
+            # Never recycle entity ids under MVCC: old versions of a deleted
+            # entity may still be readable by open snapshots.
+            reuse_entity_ids=(self._isolation is IsolationLevel.READ_COMMITTED),
+        )
+        locks = LockManager(default_timeout=lock_timeout)
+        if self._isolation is IsolationLevel.SNAPSHOT:
+            self.engine: GraphEngine = SnapshotIsolationEngine(
+                self.store,
+                lock_manager=locks,
+                conflict_policy=_coerce_policy(conflict_policy),
+                version_cache_capacity=version_cache_capacity,
+                gc_every_n_commits=gc_every_n_commits,
+            )
+        else:
+            self.engine = ReadCommittedEngine(self.store, lock_manager=locks)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def in_memory(cls, **options) -> "GraphDatabase":
+        """Open a database that never touches disk (tests, benchmarks, examples)."""
+        return cls(path=None, **options)
+
+    @classmethod
+    def open(cls, path: str, **options) -> "GraphDatabase":
+        """Open (or create) an on-disk database at ``path``."""
+        return cls(path=path, **options)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+
+    @property
+    def isolation_level(self) -> IsolationLevel:
+        """The isolation level this database was opened with."""
+        return self._isolation
+
+    @property
+    def is_snapshot_isolation(self) -> bool:
+        """Whether this database runs the paper's MVCC engine."""
+        return self._isolation is IsolationLevel.SNAPSHOT
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def begin(self, *, read_only: bool = False) -> Transaction:
+        """Start a transaction (the caller commits or rolls back explicitly)."""
+        self._ensure_open()
+        return Transaction(self.engine, self.engine.begin(read_only=read_only))
+
+    def transaction(self, *, read_only: bool = False) -> Transaction:
+        """Alias of :meth:`begin`, reads naturally in ``with`` statements."""
+        return self.begin(read_only=read_only)
+
+    # ------------------------------------------------------------------
+    # convenience reads
+    # ------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        """Number of nodes visible to a fresh read-only transaction."""
+        with self.begin(read_only=True) as tx:
+            return tx.node_count()
+
+    def relationship_count(self) -> int:
+        """Number of relationships visible to a fresh read-only transaction."""
+        with self.begin(read_only=True) as tx:
+            return tx.relationship_count()
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def run_gc(self) -> Optional[GcStats]:
+        """Run one pass of version garbage collection (SI engines only)."""
+        if isinstance(self.engine, SnapshotIsolationEngine):
+            return self.engine.run_gc()
+        return None
+
+    def create_vacuum_collector(self) -> VacuumCollector:
+        """A PostgreSQL-style vacuum bound to this database (SI engines only)."""
+        if not isinstance(self.engine, SnapshotIsolationEngine):
+            raise ReproError("vacuum collection only applies to snapshot isolation")
+        return self.engine.create_vacuum_collector()
+
+    def checkpoint(self) -> None:
+        """Flush dirty pages and truncate the write-ahead log."""
+        self._ensure_open()
+        self.store.checkpoint()
+
+    def statistics(self) -> Dict[str, object]:
+        """Aggregated statistics from the engine, stores and caches."""
+        stats: Dict[str, object] = {
+            "isolation": self._isolation.value,
+            "store": self.store.stats.as_dict(),
+            "page_cache": self.store.page_cache.stats.as_dict(),
+        }
+        if isinstance(self.engine, SnapshotIsolationEngine):
+            stats["engine"] = self.engine.statistics()
+            stats["object_cache"] = self.engine.versions.cache.stats.as_dict()
+        else:
+            stats["engine"] = {"transactions": self.engine.stats.as_dict()}
+            stats["locks"] = self.engine.locks.stats.as_dict()
+        return stats
+
+    def close(self) -> None:
+        """Close the engine and the store files (idempotent)."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self.engine.close()
+            self.store.close()
+            self._closed = True
+
+    def __enter__(self) -> "GraphDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internal
+    # ------------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ReproError("the database has been closed")

@@ -1,0 +1,572 @@
+"""User-facing transactions and entity handles.
+
+:class:`Transaction` wraps an engine transaction (read-committed or snapshot
+isolation — the API is identical) and adds the graph-model rules Neo4j
+enforces at its API boundary: property and label validation, endpoint
+existence checks, and the "cannot delete a node that still has relationships
+unless detach-deleting" constraint.
+
+:class:`Node` and :class:`Relationship` are lightweight handles: immutable
+snapshots of an entity's state as read by this transaction, with convenience
+methods that delegate mutations back to the transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.engine import EngineTransaction, TransactionState
+from repro.errors import (
+    ConstraintViolationError,
+    NodeNotFoundError,
+    RelationshipNotFoundError,
+    ReservedNameError,
+)
+from repro.graph.entity import Direction, NodeData, RelationshipData
+from repro.graph.properties import (
+    RESERVED_PROPERTY_PREFIX,
+    PropertyValue,
+    validate_properties,
+    validate_property_key,
+    validate_property_value,
+)
+
+#: Anything accepted where a node is expected: a handle or a raw id.
+NodeLike = Union["Node", int]
+
+#: Anything accepted where a relationship is expected: a handle or a raw id.
+RelationshipLike = Union["Relationship", int]
+
+
+def _validate_label(label: str) -> str:
+    if not isinstance(label, str) or not label:
+        raise ValueError("labels must be non-empty strings")
+    if label.startswith(RESERVED_PROPERTY_PREFIX):
+        raise ReservedNameError(
+            f"label {label!r} uses the reserved prefix {RESERVED_PROPERTY_PREFIX!r}"
+        )
+    return label
+
+
+class Node:
+    """A read handle on one node, as seen by one transaction."""
+
+    __slots__ = ("_tx", "_data")
+
+    def __init__(self, tx: "Transaction", data: NodeData) -> None:
+        self._tx = tx
+        self._data = data
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def id(self) -> int:
+        """The node id."""
+        return self._data.node_id
+
+    @property
+    def labels(self) -> Set[str]:
+        """The node's labels (a copy)."""
+        return set(self._data.labels)
+
+    @property
+    def properties(self) -> Dict[str, PropertyValue]:
+        """The node's properties (a copy)."""
+        return dict(self._data.properties)
+
+    @property
+    def data(self) -> NodeData:
+        """The underlying immutable state."""
+        return self._data
+
+    def __getitem__(self, key: str) -> PropertyValue:
+        return self._data.properties[key]
+
+    def get(self, key: str, default: Optional[PropertyValue] = None) -> Optional[PropertyValue]:
+        """Property value, or ``default`` if the property is absent."""
+        return self._data.properties.get(key, default)
+
+    def has_label(self, label: str) -> bool:
+        """Whether the node carries ``label``."""
+        return label in self._data.labels
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Node) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(("node", self.id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        labels = ":".join(sorted(self._data.labels))
+        return f"Node(id={self.id}, labels=[{labels}])"
+
+    # -- delegated mutations ---------------------------------------------------------
+
+    def set_property(self, key: str, value: PropertyValue) -> "Node":
+        """Set one property; returns a refreshed handle."""
+        return self._tx.set_node_property(self, key, value)
+
+    def remove_property(self, key: str) -> "Node":
+        """Remove one property; returns a refreshed handle."""
+        return self._tx.remove_node_property(self, key)
+
+    def add_label(self, label: str) -> "Node":
+        """Add a label; returns a refreshed handle."""
+        return self._tx.add_label(self, label)
+
+    def remove_label(self, label: str) -> "Node":
+        """Remove a label; returns a refreshed handle."""
+        return self._tx.remove_label(self, label)
+
+    def delete(self, *, detach: bool = False) -> None:
+        """Delete this node (see :meth:`Transaction.delete_node`)."""
+        self._tx.delete_node(self, detach=detach)
+
+    def relationships(
+        self,
+        direction: Direction = Direction.BOTH,
+        rel_types: Optional[Sequence[str]] = None,
+    ) -> List["Relationship"]:
+        """Relationships attached to this node."""
+        return self._tx.relationships_of(self, direction, rel_types)
+
+    def degree(self, direction: Direction = Direction.BOTH) -> int:
+        """Number of attached relationships."""
+        return len(self._tx.relationships_of(self, direction))
+
+
+class Relationship:
+    """A read handle on one relationship, as seen by one transaction."""
+
+    __slots__ = ("_tx", "_data")
+
+    def __init__(self, tx: "Transaction", data: RelationshipData) -> None:
+        self._tx = tx
+        self._data = data
+
+    @property
+    def id(self) -> int:
+        """The relationship id."""
+        return self._data.rel_id
+
+    @property
+    def type(self) -> str:
+        """The relationship type name."""
+        return self._data.rel_type
+
+    @property
+    def start_node_id(self) -> int:
+        """Id of the start (source) node."""
+        return self._data.start_node
+
+    @property
+    def end_node_id(self) -> int:
+        """Id of the end (destination) node."""
+        return self._data.end_node
+
+    @property
+    def properties(self) -> Dict[str, PropertyValue]:
+        """The relationship's properties (a copy)."""
+        return dict(self._data.properties)
+
+    @property
+    def data(self) -> RelationshipData:
+        """The underlying immutable state."""
+        return self._data
+
+    def __getitem__(self, key: str) -> PropertyValue:
+        return self._data.properties[key]
+
+    def get(self, key: str, default: Optional[PropertyValue] = None) -> Optional[PropertyValue]:
+        """Property value, or ``default`` if the property is absent."""
+        return self._data.properties.get(key, default)
+
+    def other_node_id(self, node: NodeLike) -> int:
+        """Id of the endpoint that is not ``node``."""
+        return self._data.other_node(_node_id(node))
+
+    def start_node(self) -> Node:
+        """Handle on the start node."""
+        return self._tx.get_node(self._data.start_node)
+
+    def end_node(self) -> Node:
+        """Handle on the end node."""
+        return self._tx.get_node(self._data.end_node)
+
+    def other_node(self, node: NodeLike) -> Node:
+        """Handle on the endpoint that is not ``node``."""
+        return self._tx.get_node(self.other_node_id(node))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Relationship) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(("relationship", self.id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Relationship(id={self.id}, type={self.type}, "
+            f"{self.start_node_id}->{self.end_node_id})"
+        )
+
+    # -- delegated mutations ---------------------------------------------------------
+
+    def set_property(self, key: str, value: PropertyValue) -> "Relationship":
+        """Set one property; returns a refreshed handle."""
+        return self._tx.set_relationship_property(self, key, value)
+
+    def remove_property(self, key: str) -> "Relationship":
+        """Remove one property; returns a refreshed handle."""
+        return self._tx.remove_relationship_property(self, key)
+
+    def delete(self) -> None:
+        """Delete this relationship."""
+        self._tx.delete_relationship(self)
+
+
+def _node_id(node: NodeLike) -> int:
+    return node.id if isinstance(node, Node) else int(node)
+
+
+def _rel_id(relationship: RelationshipLike) -> int:
+    return relationship.id if isinstance(relationship, Relationship) else int(relationship)
+
+
+class Transaction:
+    """The user-facing transaction (context manager: commit on success)."""
+
+    def __init__(self, engine, engine_txn: EngineTransaction) -> None:
+        self._engine = engine
+        self._txn = engine_txn
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def id(self) -> int:
+        """Engine transaction id."""
+        return self._txn.txn_id
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the transaction is still active."""
+        return self._txn.is_open
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the transaction was opened read-only."""
+        return self._txn.read_only
+
+    @property
+    def engine_transaction(self) -> EngineTransaction:
+        """The wrapped engine transaction (exposed for experiments)."""
+        return self._txn
+
+    def commit(self) -> None:
+        """Commit the transaction."""
+        self._txn.commit()
+
+    def rollback(self) -> None:
+        """Roll the transaction back (safe to call on a closed transaction)."""
+        self._txn.rollback()
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is not None:
+            self.rollback()
+            return
+        if self._txn.state is TransactionState.ACTIVE:
+            self.commit()
+
+    # ------------------------------------------------------------------
+    # node operations
+    # ------------------------------------------------------------------
+
+    def create_node(
+        self,
+        labels: Iterable[str] = (),
+        properties: Optional[Mapping[str, PropertyValue]] = None,
+    ) -> Node:
+        """Create a node with the given labels and properties."""
+        clean_labels = frozenset(_validate_label(label) for label in labels)
+        clean_properties = validate_properties(properties)
+        node_id = self._engine.allocate_node_id()
+        data = NodeData(node_id=node_id, labels=clean_labels, properties=clean_properties)
+        self._txn.put_node(data, create=True)
+        return Node(self, data)
+
+    def get_node(self, node: NodeLike) -> Node:
+        """Node handle for ``node``; raises if it is not visible."""
+        node_id = _node_id(node)
+        data = self._txn.read_node(node_id)
+        if data is None:
+            raise NodeNotFoundError(node_id)
+        return Node(self, data)
+
+    def try_get_node(self, node: NodeLike) -> Optional[Node]:
+        """Node handle for ``node``, or ``None`` if it is not visible."""
+        data = self._txn.read_node(_node_id(node))
+        return Node(self, data) if data is not None else None
+
+    def node_exists(self, node: NodeLike) -> bool:
+        """Whether ``node`` is visible to this transaction."""
+        return self._txn.read_node(_node_id(node)) is not None
+
+    def nodes(self) -> Iterator[Node]:
+        """Every node visible to this transaction."""
+        for data in self._txn.iter_nodes():
+            yield Node(self, data)
+
+    def find_nodes(
+        self,
+        label: Optional[str] = None,
+        key: Optional[str] = None,
+        value: Optional[PropertyValue] = None,
+    ) -> List[Node]:
+        """Nodes matching a label and/or a property equality predicate.
+
+        With no arguments every visible node is returned.  Results are sorted
+        by node id so repeated scans are comparable (the phantom experiment
+        relies on that).
+        """
+        if label is None and key is None:
+            return sorted(self.nodes(), key=lambda node: node.id)
+        if key is not None and value is None:
+            raise ValueError("find_nodes with a property key requires a value")
+        if label is not None and key is not None:
+            ids = self._txn.find_nodes_by_label(label) & self._txn.find_nodes_by_property(
+                key, value
+            )
+        elif label is not None:
+            ids = self._txn.find_nodes_by_label(label)
+        else:
+            assert key is not None
+            ids = self._txn.find_nodes_by_property(key, value)
+        result = []
+        for node_id in sorted(ids):
+            data = self._txn.read_node(node_id)
+            if data is not None:
+                result.append(Node(self, data))
+        return result
+
+    def set_node_property(self, node: NodeLike, key: str, value: PropertyValue) -> Node:
+        """Set one property on a node (read-modify-write under the engine's rules)."""
+        validate_property_key(key)
+        clean_value = validate_property_value(value)
+        data = self._require_node_data(node)
+        updated = data.with_property(key, clean_value)
+        self._txn.put_node(updated)
+        return Node(self, updated)
+
+    def remove_node_property(self, node: NodeLike, key: str) -> Node:
+        """Remove one property from a node (no-op if absent)."""
+        data = self._require_node_data(node)
+        updated = data.without_property(key)
+        self._txn.put_node(updated)
+        return Node(self, updated)
+
+    def update_node_properties(
+        self, node: NodeLike, properties: Mapping[str, PropertyValue]
+    ) -> Node:
+        """Merge a property map into a node's existing properties."""
+        clean = validate_properties(properties)
+        data = self._require_node_data(node)
+        merged = dict(data.properties)
+        merged.update(clean)
+        updated = data.with_properties(merged)
+        self._txn.put_node(updated)
+        return Node(self, updated)
+
+    def add_label(self, node: NodeLike, label: str) -> Node:
+        """Add a label to a node."""
+        _validate_label(label)
+        data = self._require_node_data(node)
+        updated = data.with_label(label)
+        self._txn.put_node(updated)
+        return Node(self, updated)
+
+    def remove_label(self, node: NodeLike, label: str) -> Node:
+        """Remove a label from a node (no-op if absent)."""
+        data = self._require_node_data(node)
+        updated = data.without_label(label)
+        self._txn.put_node(updated)
+        return Node(self, updated)
+
+    def delete_node(self, node: NodeLike, *, detach: bool = False) -> None:
+        """Delete a node.
+
+        A node that still has visible relationships cannot be deleted unless
+        ``detach=True``, in which case the relationships are deleted first
+        (Neo4j's ``DETACH DELETE``).
+        """
+        node_id = _node_id(node)
+        self._require_node_data(node_id)
+        attached = self._txn.relationships_of(node_id)
+        if attached:
+            if not detach:
+                raise ConstraintViolationError(
+                    f"node {node_id} still has {len(attached)} relationship(s); "
+                    "use detach=True to delete them too"
+                )
+            for relationship in attached:
+                self._txn.delete_relationship(relationship.rel_id)
+        self._txn.delete_node(node_id)
+
+    # ------------------------------------------------------------------
+    # relationship operations
+    # ------------------------------------------------------------------
+
+    def create_relationship(
+        self,
+        start: NodeLike,
+        end: NodeLike,
+        rel_type: str,
+        properties: Optional[Mapping[str, PropertyValue]] = None,
+    ) -> Relationship:
+        """Create a relationship of ``rel_type`` from ``start`` to ``end``."""
+        if not isinstance(rel_type, str) or not rel_type:
+            raise ValueError("relationship types must be non-empty strings")
+        start_id = _node_id(start)
+        end_id = _node_id(end)
+        self._require_node_data(start_id)
+        self._require_node_data(end_id)
+        clean_properties = validate_properties(properties)
+        rel_id = self._engine.allocate_relationship_id()
+        data = RelationshipData(
+            rel_id=rel_id,
+            rel_type=rel_type,
+            start_node=start_id,
+            end_node=end_id,
+            properties=clean_properties,
+        )
+        self._txn.put_relationship(data, create=True)
+        return Relationship(self, data)
+
+    def get_relationship(self, relationship: RelationshipLike) -> Relationship:
+        """Relationship handle; raises if it is not visible."""
+        rel_id = _rel_id(relationship)
+        data = self._txn.read_relationship(rel_id)
+        if data is None:
+            raise RelationshipNotFoundError(rel_id)
+        return Relationship(self, data)
+
+    def try_get_relationship(self, relationship: RelationshipLike) -> Optional[Relationship]:
+        """Relationship handle, or ``None`` if it is not visible."""
+        data = self._txn.read_relationship(_rel_id(relationship))
+        return Relationship(self, data) if data is not None else None
+
+    def relationships(self) -> Iterator[Relationship]:
+        """Every relationship visible to this transaction."""
+        for data in self._txn.iter_relationships():
+            yield Relationship(self, data)
+
+    def find_relationships(self, key: str, value: PropertyValue) -> List[Relationship]:
+        """Relationships with property ``key`` = ``value`` (sorted by id)."""
+        ids = self._txn.find_relationships_by_property(key, value)
+        result = []
+        for rel_id in sorted(ids):
+            data = self._txn.read_relationship(rel_id)
+            if data is not None:
+                result.append(Relationship(self, data))
+        return result
+
+    def relationships_of(
+        self,
+        node: NodeLike,
+        direction: Direction = Direction.BOTH,
+        rel_types: Optional[Sequence[str]] = None,
+    ) -> List[Relationship]:
+        """Visible relationships attached to ``node``."""
+        data_list = self._txn.relationships_of(_node_id(node), direction, rel_types)
+        return [Relationship(self, data) for data in data_list]
+
+    def expand(
+        self,
+        node: NodeLike,
+        direction: Direction = Direction.BOTH,
+        rel_types: Optional[Sequence[str]] = None,
+    ) -> Iterator[Tuple[Relationship, Node]]:
+        """Yield ``(relationship, neighbour)`` pairs around ``node``."""
+        node_id = _node_id(node)
+        for relationship in self.relationships_of(node_id, direction, rel_types):
+            neighbour = self.try_get_node(relationship.other_node_id(node_id))
+            if neighbour is not None:
+                yield relationship, neighbour
+
+    def neighbours(
+        self,
+        node: NodeLike,
+        direction: Direction = Direction.BOTH,
+        rel_types: Optional[Sequence[str]] = None,
+    ) -> List[Node]:
+        """Distinct neighbouring nodes of ``node``."""
+        seen: Set[int] = set()
+        result: List[Node] = []
+        for _relationship, neighbour in self.expand(node, direction, rel_types):
+            if neighbour.id not in seen:
+                seen.add(neighbour.id)
+                result.append(neighbour)
+        return result
+
+    def degree(self, node: NodeLike, direction: Direction = Direction.BOTH) -> int:
+        """Number of visible relationships attached to ``node``."""
+        return len(self.relationships_of(node, direction))
+
+    def set_relationship_property(
+        self, relationship: RelationshipLike, key: str, value: PropertyValue
+    ) -> Relationship:
+        """Set one property on a relationship."""
+        validate_property_key(key)
+        clean_value = validate_property_value(value)
+        data = self._require_relationship_data(relationship)
+        updated = data.with_property(key, clean_value)
+        self._txn.put_relationship(updated)
+        return Relationship(self, updated)
+
+    def remove_relationship_property(
+        self, relationship: RelationshipLike, key: str
+    ) -> Relationship:
+        """Remove one property from a relationship (no-op if absent)."""
+        data = self._require_relationship_data(relationship)
+        updated = data.without_property(key)
+        self._txn.put_relationship(updated)
+        return Relationship(self, updated)
+
+    def delete_relationship(self, relationship: RelationshipLike) -> None:
+        """Delete a relationship."""
+        rel_id = _rel_id(relationship)
+        self._require_relationship_data(rel_id)
+        self._txn.delete_relationship(rel_id)
+
+    # ------------------------------------------------------------------
+    # counting helpers
+    # ------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        """Number of nodes visible to this transaction."""
+        return sum(1 for _node in self._txn.iter_nodes())
+
+    def relationship_count(self) -> int:
+        """Number of relationships visible to this transaction."""
+        return sum(1 for _rel in self._txn.iter_relationships())
+
+    # ------------------------------------------------------------------
+    # internal
+    # ------------------------------------------------------------------
+
+    def _require_node_data(self, node: NodeLike) -> NodeData:
+        node_id = _node_id(node)
+        data = self._txn.read_node(node_id)
+        if data is None:
+            raise NodeNotFoundError(node_id)
+        return data
+
+    def _require_relationship_data(self, relationship: RelationshipLike) -> RelationshipData:
+        rel_id = _rel_id(relationship)
+        data = self._txn.read_relationship(rel_id)
+        if data is None:
+            raise RelationshipNotFoundError(rel_id)
+        return data

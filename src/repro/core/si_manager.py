@@ -1,0 +1,411 @@
+"""The snapshot-isolation engine.
+
+This is where the pieces of Section 4 of the paper meet:
+
+* transactions get their snapshot from the :class:`~repro.core.timestamps.TimestampOracle`,
+* reads resolve through version chains kept in the object cache
+  (:class:`~repro.core.version_store.VersionStore`),
+* the write rule is enforced by the :class:`~repro.core.conflict.ConflictDetector`
+  reusing the long write locks (first-updater-wins),
+* commit installs new versions, tags the multi-versioned indexes with the
+  commit timestamp, threads superseded versions onto the garbage-collection
+  list, and writes **only the newest committed version** of each entity to the
+  persistent store, and
+* garbage collection reclaims exactly the versions no active snapshot can
+  still read.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.conflict import ConflictDetector, ConflictPolicy
+from repro.core.gc import GarbageCollector, GcStats, ThreadedVersionList
+from repro.core.si_transaction import SnapshotTransaction
+from repro.core.snapshot import Snapshot
+from repro.core.timestamps import TimestampOracle
+from repro.core.vacuum import VacuumCollector
+from repro.core.version import Version, VersionChain
+from repro.core.version_store import VersionStore
+from repro.core.versioned_index import VersionedIndexSet
+from repro.engine import GraphEngine, IsolationLevel
+from repro.errors import WriteWriteConflictError
+from repro.graph.entity import (
+    EntityKey,
+    EntityKind,
+    NodeData,
+    RelationshipData,
+)
+from repro.graph.operations import (
+    DeleteNodeOp,
+    DeleteRelationshipOp,
+    StoreOperation,
+    WriteNodeOp,
+    WriteRelationshipOp,
+)
+from repro.graph.properties import RESERVED_PROPERTY_PREFIX
+from repro.graph.store_manager import StoreManager
+from repro.locking.lock_manager import LockManager
+from repro.locking.rc_manager import EngineStats
+
+#: Reserved property carrying the commit timestamp of the persisted version
+#: (the extra property the paper adds to nodes and relationships).
+COMMIT_TS_PROPERTY = RESERVED_PROPERTY_PREFIX + "commit_ts"
+
+
+class SnapshotIsolationEngine(GraphEngine):
+    """Multi-version engine providing snapshot isolation (the paper's system)."""
+
+    isolation_level = IsolationLevel.SNAPSHOT
+
+    def __init__(
+        self,
+        store: StoreManager,
+        *,
+        lock_manager: Optional[LockManager] = None,
+        conflict_policy: ConflictPolicy = ConflictPolicy.FIRST_UPDATER_WINS,
+        version_cache_capacity: int = 200_000,
+        gc_every_n_commits: int = 0,
+    ) -> None:
+        """Create an engine over an open store.
+
+        ``gc_every_n_commits`` > 0 runs a garbage-collection pass automatically
+        after every N commits; 0 leaves collection entirely to explicit
+        :meth:`run_gc` calls (what the benchmarks do, so they can measure it).
+        """
+        self.store = store
+        self.locks = lock_manager or LockManager()
+        self.oracle = TimestampOracle()
+        self.versions = VersionStore(cache_capacity=version_cache_capacity)
+        self.indexes = VersionedIndexSet()
+        self.conflicts = ConflictDetector(self.locks, conflict_policy)
+        self.gc = GarbageCollector(
+            self.versions, self.oracle, self.indexes, ThreadedVersionList()
+        )
+        self.stats = EngineStats()
+        self._gc_every_n_commits = gc_every_n_commits
+        self._commit_mutex = threading.Lock()
+        self._bootstrap_indexes()
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, *, read_only: bool = False) -> SnapshotTransaction:
+        """Start a transaction with a fresh snapshot of the committed state."""
+        txn_id, start_ts = self.oracle.begin_transaction()
+        self.stats.begun += 1
+        return SnapshotTransaction(
+            self, Snapshot(txn_id=txn_id, start_ts=start_ts), read_only=read_only
+        )
+
+    def commit_transaction(self, txn: SnapshotTransaction) -> None:
+        """Commit: validate the write rule, install versions, persist, publish."""
+        if not txn.has_writes():
+            self.oracle.retire_transaction(txn.txn_id)
+            self.conflicts.release_locks(txn.txn_id)
+            self.stats.committed += 1
+            return
+        writes = self._effective_writes(txn)
+        try:
+            with self._commit_mutex:
+                self._validate(txn, writes)
+                commit_ts = self.oracle.issue_commit_timestamp()
+                old_states = self._install_versions(txn, writes, commit_ts)
+                self._update_indexes(writes, old_states, commit_ts)
+                operations = self._build_store_operations(writes, commit_ts)
+                self.store.apply_batch(txn.txn_id, operations)
+                self.oracle.publish_commit(txn.txn_id, commit_ts)
+        finally:
+            self.conflicts.release_locks(txn.txn_id)
+        self.stats.committed += 1
+        if self._gc_every_n_commits and self.stats.committed % self._gc_every_n_commits == 0:
+            self.gc.collect()
+
+    def abort_transaction(self, txn: SnapshotTransaction) -> None:
+        """Abort: discard the private write set and release write locks."""
+        self.conflicts.release_locks(txn.txn_id)
+        self.oracle.retire_transaction(txn.txn_id)
+        self.stats.aborted += 1
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def read_committed_version(self, key: EntityKey, start_ts: int) -> Optional[object]:
+        """The committed state of ``key`` visible at ``start_ts`` (read rule)."""
+        chain = self.versions.get_or_load(key, lambda: self._load_persisted(key))
+        if chain is None:
+            return None
+        version = chain.visible_to(start_ts)
+        if version is None or version.is_tombstone:
+            return None
+        return version.payload
+
+    def newest_committed_ts(self, key: EntityKey) -> Optional[int]:
+        """Commit timestamp of the newest committed version of ``key``."""
+        chain = self.versions.get_or_load(key, lambda: self._load_persisted(key))
+        if chain is None:
+            return None
+        newest = chain.newest()
+        return newest.commit_ts if newest is not None else None
+
+    def check_write_conflict(self, txn: SnapshotTransaction, key: EntityKey) -> None:
+        """First-updater-wins check, delegated to the conflict detector."""
+        self.conflicts.on_write(
+            txn.txn_id, txn.start_ts, key, self.newest_committed_ts(key)
+        )
+
+    # ------------------------------------------------------------------
+    # ids / lifecycle
+    # ------------------------------------------------------------------
+
+    def allocate_node_id(self) -> int:
+        return self.store.allocate_node_id()
+
+    def allocate_relationship_id(self) -> int:
+        return self.store.allocate_relationship_id()
+
+    def close(self) -> None:
+        """Run a final garbage-collection pass (the store is closed by the database)."""
+        self.gc.collect()
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+
+    def run_gc(self) -> GcStats:
+        """Run one pass of the threaded-list garbage collector."""
+        return self.gc.collect()
+
+    def create_vacuum_collector(self) -> VacuumCollector:
+        """A PostgreSQL-style full-scan collector bound to this engine (for E5)."""
+        return VacuumCollector(
+            self.versions,
+            self.oracle,
+            self.indexes,
+            self.store,
+            pause_commits=self.pause_commits,
+        )
+
+    @contextlib.contextmanager
+    def pause_commits(self) -> Iterator[None]:
+        """Block the commit path while held (used by the stop-the-world vacuum)."""
+        with self._commit_mutex:
+            yield
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, object]:
+        """Aggregate statistics used by experiments and the database stats API."""
+        return {
+            "transactions": self.stats.as_dict(),
+            "conflicts": {
+                "write_time": self.conflicts.stats.write_time_conflicts,
+                "commit_time": self.conflicts.stats.commit_time_conflicts,
+            },
+            "versions": {
+                "chains": self.versions.chain_count(),
+                "total_versions": self.versions.total_versions(),
+                "multi_version_chains": self.versions.multi_version_chains(),
+                "gc_pending": self.gc.pending_versions(),
+            },
+            "gc": self.gc.total_stats.as_dict(),
+            "oracle": {
+                "latest_commit_ts": self.oracle.latest_commit_ts,
+                "active_transactions": self.oracle.active_count(),
+                "watermark": self.oracle.watermark(),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # commit internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _effective_writes(txn: SnapshotTransaction) -> Dict[EntityKey, Optional[object]]:
+        """The write set minus entities created and deleted by the same transaction."""
+        created = txn.created_keys()
+        return {
+            key: payload
+            for key, payload in txn.pending_writes().items()
+            if not (payload is None and key in created)
+        }
+
+    def _validate(
+        self, txn: SnapshotTransaction, writes: Dict[EntityKey, Optional[object]]
+    ) -> None:
+        """Commit-time checks run under the commit mutex.
+
+        First-committer-wins validation (when that policy is selected) plus
+        structural checks that keep the persistent store consistent even when
+        snapshot isolation alone would allow the interleaving: a relationship
+        cannot be created against a node whose deletion has already committed,
+        and a node cannot be deleted while a concurrently committed
+        relationship still attaches to it.
+        """
+        created = txn.created_keys()
+        for key, payload in writes.items():
+            if key not in created:
+                self.conflicts.validate_at_commit(
+                    txn.txn_id, txn.start_ts, key, self.newest_committed_ts(key)
+                )
+            if isinstance(payload, RelationshipData) and key in created:
+                for node_id in (payload.start_node, payload.end_node):
+                    node_key = EntityKey.node(node_id)
+                    if node_key in writes and writes[node_key] is not None:
+                        continue
+                    if node_key in created:
+                        continue
+                    if not self._alive_in_latest(node_key):
+                        raise WriteWriteConflictError(
+                            f"transaction {txn.txn_id} creates relationship "
+                            f"{payload.rel_id} against node {node_id}, which a "
+                            "concurrent transaction has deleted"
+                        )
+            if payload is None and key.kind is EntityKind.NODE:
+                self._validate_node_delete(txn, key, writes)
+
+    def _validate_node_delete(
+        self,
+        txn: SnapshotTransaction,
+        node_key: EntityKey,
+        writes: Dict[EntityKey, Optional[object]],
+    ) -> None:
+        for rel_id in self.indexes.adjacency.candidate_rel_ids(node_key.entity_id):
+            rel_key = EntityKey.relationship(rel_id)
+            if rel_key in writes and writes[rel_key] is None:
+                continue
+            if self._alive_in_latest(rel_key):
+                raise WriteWriteConflictError(
+                    f"transaction {txn.txn_id} deletes node {node_key.entity_id} "
+                    f"but relationship {rel_id} still attaches to it in the "
+                    "latest committed state"
+                )
+
+    def _alive_in_latest(self, key: EntityKey) -> bool:
+        """Whether the newest committed version of ``key`` is live (not deleted)."""
+        chain = self.versions.get_or_load(key, lambda: self._load_persisted(key))
+        if chain is None:
+            return False
+        newest = chain.newest()
+        return newest is not None and not newest.is_tombstone
+
+    def _install_versions(
+        self,
+        txn: SnapshotTransaction,
+        writes: Dict[EntityKey, Optional[object]],
+        commit_ts: int,
+    ) -> Dict[EntityKey, Optional[object]]:
+        """Install committed versions into the chains; returns superseded payloads."""
+        old_states: Dict[EntityKey, Optional[object]] = {}
+        for key, payload in writes.items():
+            chain = self.versions.get_or_load(key, lambda k=key: self._load_persisted(k))
+            if chain is None:
+                chain = self.versions.ensure_chain(key)
+            version = Version(key, payload, commit_ts)
+            superseded = chain.add_committed(version)
+            old_states[key] = (
+                superseded.payload
+                if superseded is not None and not superseded.is_tombstone
+                else None
+            )
+            if superseded is not None:
+                self.gc.version_superseded(superseded, commit_ts)
+            if version.is_tombstone:
+                self.gc.tombstone_installed(version)
+        return old_states
+
+    def _update_indexes(
+        self,
+        writes: Dict[EntityKey, Optional[object]],
+        old_states: Dict[EntityKey, Optional[object]],
+        commit_ts: int,
+    ) -> None:
+        for key, payload in writes.items():
+            old_state = old_states.get(key)
+            if key.kind is EntityKind.NODE:
+                self.indexes.apply_node_change(old_state, payload, commit_ts)
+            else:
+                self.indexes.apply_relationship_change(old_state, payload, commit_ts)
+
+    def _build_store_operations(
+        self, writes: Dict[EntityKey, Optional[object]], commit_ts: int
+    ) -> List[StoreOperation]:
+        """Persist only the newest committed version of each written entity."""
+        node_writes: List[StoreOperation] = []
+        rel_writes: List[StoreOperation] = []
+        rel_deletes: List[StoreOperation] = []
+        node_deletes: List[StoreOperation] = []
+        for key, payload in writes.items():
+            if key.kind is EntityKind.NODE:
+                if payload is None:
+                    node_deletes.append(DeleteNodeOp(key.entity_id))
+                else:
+                    node_writes.append(
+                        WriteNodeOp(payload.with_property(COMMIT_TS_PROPERTY, commit_ts))
+                    )
+            else:
+                if payload is None:
+                    rel_deletes.append(DeleteRelationshipOp(key.entity_id))
+                else:
+                    rel_writes.append(
+                        WriteRelationshipOp(
+                            payload.with_property(COMMIT_TS_PROPERTY, commit_ts)
+                        )
+                    )
+        return node_writes + rel_writes + rel_deletes + node_deletes
+
+    # ------------------------------------------------------------------
+    # persistence helpers
+    # ------------------------------------------------------------------
+
+    def _load_persisted(self, key: EntityKey) -> Optional[Tuple[object, int]]:
+        """Load an entity from the store, stripping the reserved SI properties."""
+        if key.kind is EntityKind.NODE:
+            data = self.store.read_node(key.entity_id)
+        else:
+            data = self.store.read_relationship(key.entity_id)
+        if data is None:
+            return None
+        commit_ts = data.properties.get(COMMIT_TS_PROPERTY, 0)
+        clean_props = {
+            prop_key: value
+            for prop_key, value in data.properties.items()
+            if not prop_key.startswith(RESERVED_PROPERTY_PREFIX)
+        }
+        return data.with_properties(clean_props), int(commit_ts)
+
+    # ------------------------------------------------------------------
+    # startup
+    # ------------------------------------------------------------------
+
+    def _bootstrap_indexes(self) -> None:
+        """Build the multi-versioned indexes from the persistent store.
+
+        Pre-existing entities are indexed with the commit timestamp persisted
+        in their reserved property (zero for data loaded outside the SI
+        engine), and the oracle is fast-forwarded past the largest persisted
+        timestamp so that new snapshots cover everything already on disk.
+        """
+        max_persisted_ts = 0
+        for node in self.store.iter_nodes():
+            loaded = self._load_persisted(EntityKey.node(node.node_id))
+            if loaded is None:
+                continue
+            clean, commit_ts = loaded
+            max_persisted_ts = max(max_persisted_ts, commit_ts)
+            self.indexes.apply_node_change(None, clean, commit_ts)
+        for relationship in self.store.iter_relationships():
+            loaded = self._load_persisted(EntityKey.relationship(relationship.rel_id))
+            if loaded is None:
+                continue
+            clean, commit_ts = loaded
+            max_persisted_ts = max(max_persisted_ts, commit_ts)
+            self.indexes.apply_relationship_change(None, clean, commit_ts)
+        if max_persisted_ts:
+            self.oracle.advance_to(max_persisted_ts)

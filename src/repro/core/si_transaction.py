@@ -1,0 +1,254 @@
+"""Snapshot-isolation transactions.
+
+A :class:`SnapshotTransaction` reads from the snapshot taken at its start
+timestamp (the read rule), keeps its uncommitted writes in a private write
+set (read-your-own-writes without exposing uncommitted data to others), and
+checks the write rule on every first update of an entity (first-updater-wins,
+via the engine's conflict detector).
+
+Unlike the read-committed transaction it never takes read locks: the paper
+removes Neo4j's short read locks entirely because the version chains make
+them unnecessary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.core.snapshot import Snapshot
+from repro.core.versioned_iterator import SnapshotIterator
+from repro.engine import EngineTransaction, TransactionState
+from repro.errors import ReadOnlyTransactionError
+from repro.graph.entity import (
+    Direction,
+    EntityKey,
+    EntityKind,
+    NodeData,
+    RelationshipData,
+)
+from repro.graph.properties import PropertyValue
+
+
+class SnapshotTransaction(EngineTransaction):
+    """One transaction running under the snapshot-isolation engine."""
+
+    def __init__(self, engine, snapshot: Snapshot, *, read_only: bool = False) -> None:
+        super().__init__(snapshot.txn_id, read_only=read_only)
+        self._engine = engine
+        self.snapshot = snapshot
+        #: Private uncommitted versions: entity key -> new state (None = delete).
+        self._writes: Dict[EntityKey, Optional[object]] = {}
+        #: Keys created by this transaction (no committed predecessor).
+        self._created: Set[EntityKey] = set()
+        #: Number of reads served (used by experiments).
+        self.reads_performed = 0
+
+    @property
+    def start_ts(self) -> int:
+        """Start timestamp of this transaction's snapshot."""
+        return self.snapshot.start_ts
+
+    # ------------------------------------------------------------------
+    # reads (read rule + read-your-own-writes)
+    # ------------------------------------------------------------------
+
+    def _resolve(self, key: EntityKey) -> Optional[object]:
+        """Read path shared by point reads, scans and index lookups."""
+        self.reads_performed += 1
+        if key in self._writes:
+            return self._writes[key]
+        return self._engine.read_committed_version(key, self.snapshot.start_ts)
+
+    def read_node(self, node_id: int) -> Optional[NodeData]:
+        self.ensure_open()
+        resolved = self._resolve(EntityKey.node(node_id))
+        return resolved if isinstance(resolved, NodeData) else None
+
+    def read_relationship(self, rel_id: int) -> Optional[RelationshipData]:
+        self.ensure_open()
+        resolved = self._resolve(EntityKey.relationship(rel_id))
+        return resolved if isinstance(resolved, RelationshipData) else None
+
+    def iter_nodes(self) -> Iterator[NodeData]:
+        self.ensure_open()
+        return self._iterator().nodes()
+
+    def iter_relationships(self) -> Iterator[RelationshipData]:
+        self.ensure_open()
+        return self._iterator().relationships()
+
+    def _iterator(self) -> SnapshotIterator:
+        return SnapshotIterator(
+            self._engine.store,
+            self._engine.versions,
+            resolver=self._resolve,
+            own_writes=self._writes,
+        )
+
+    # -- index-backed predicate reads ---------------------------------------------
+
+    def find_nodes_by_label(self, label: str) -> Set[int]:
+        self.ensure_open()
+        result = self._engine.indexes.node_labels.visible(label, self.snapshot.start_ts)
+        return self._overlay_nodes(result, lambda node: label in node.labels)
+
+    def find_nodes_by_property(self, key: str, value: PropertyValue) -> Set[int]:
+        self.ensure_open()
+        result = self._engine.indexes.node_properties.visible(
+            key, value, self.snapshot.start_ts
+        )
+        return self._overlay_nodes(result, lambda node: node.properties.get(key) == value)
+
+    def find_relationships_by_property(self, key: str, value: PropertyValue) -> Set[int]:
+        self.ensure_open()
+        result = self._engine.indexes.relationship_properties.visible(
+            key, value, self.snapshot.start_ts
+        )
+        return self._overlay_relationships(
+            result, lambda rel: rel.properties.get(key) == value
+        )
+
+    def find_relationships_by_type(self, rel_type: str) -> Set[int]:
+        """Ids of visible relationships of ``rel_type`` (snapshot-consistent)."""
+        self.ensure_open()
+        result = self._engine.indexes.relationship_types.visible(
+            rel_type, self.snapshot.start_ts
+        )
+        return self._overlay_relationships(result, lambda rel: rel.rel_type == rel_type)
+
+    def _overlay_nodes(self, result: Set[int], predicate) -> Set[int]:
+        """Overlay the private write set onto an index lookup result."""
+        for key, data in self._writes.items():
+            if key.kind is not EntityKind.NODE:
+                continue
+            if data is None:
+                result.discard(key.entity_id)
+            elif predicate(data):
+                result.add(key.entity_id)
+            else:
+                result.discard(key.entity_id)
+        return result
+
+    def _overlay_relationships(self, result: Set[int], predicate) -> Set[int]:
+        for key, data in self._writes.items():
+            if key.kind is not EntityKind.RELATIONSHIP:
+                continue
+            if data is None:
+                result.discard(key.entity_id)
+            elif predicate(data):
+                result.add(key.entity_id)
+            else:
+                result.discard(key.entity_id)
+        return result
+
+    # -- traversal reads -------------------------------------------------------------
+
+    def relationships_of(
+        self,
+        node_id: int,
+        direction: Direction = Direction.BOTH,
+        rel_types: Optional[Sequence[str]] = None,
+    ) -> List[RelationshipData]:
+        self.ensure_open()
+        candidates = self._engine.indexes.adjacency.candidate_rel_ids(node_id)
+        for key, data in self._writes.items():
+            if key.kind is EntityKind.RELATIONSHIP and data is not None:
+                if data.touches(node_id):
+                    candidates.add(key.entity_id)
+        wanted_types = set(rel_types) if rel_types else None
+        result: List[RelationshipData] = []
+        for rel_id in sorted(candidates):
+            relationship = self.read_relationship(rel_id)
+            if relationship is None:
+                continue
+            if not direction.matches(node_id, relationship.start_node, relationship.end_node):
+                continue
+            if wanted_types is not None and relationship.rel_type not in wanted_types:
+                continue
+            result.append(relationship)
+        return result
+
+    # ------------------------------------------------------------------
+    # writes (write rule, first-updater-wins)
+    # ------------------------------------------------------------------
+
+    def put_node(self, node: NodeData, *, create: bool = False) -> None:
+        self.ensure_open()
+        self._check_writable()
+        key = node.key
+        self._register_write(key, create=create)
+        self._writes[key] = node
+
+    def put_relationship(self, relationship: RelationshipData, *, create: bool = False) -> None:
+        self.ensure_open()
+        self._check_writable()
+        key = relationship.key
+        self._register_write(key, create=create)
+        self._writes[key] = relationship
+
+    def delete_node(self, node_id: int) -> None:
+        self.ensure_open()
+        self._check_writable()
+        key = EntityKey.node(node_id)
+        self._register_write(key, create=False)
+        self._writes[key] = None
+
+    def delete_relationship(self, rel_id: int) -> None:
+        self.ensure_open()
+        self._check_writable()
+        key = EntityKey.relationship(rel_id)
+        self._register_write(key, create=False)
+        self._writes[key] = None
+
+    def _register_write(self, key: EntityKey, *, create: bool) -> None:
+        """First-updater-wins check on the first write of each entity."""
+        if key in self._writes:
+            return
+        if create:
+            self._created.add(key)
+            # A brand-new entity cannot conflict: its id has never been
+            # visible to any other transaction.
+            return
+        self._engine.check_write_conflict(self, key)
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyTransactionError(
+                f"transaction {self.txn_id} was opened read-only"
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def commit(self) -> None:
+        self.ensure_open()
+        try:
+            self._engine.commit_transaction(self)
+            self.state = TransactionState.COMMITTED
+        except BaseException:
+            self._engine.abort_transaction(self)
+            self.state = TransactionState.ABORTED
+            raise
+
+    def rollback(self) -> None:
+        if self.state is not TransactionState.ACTIVE:
+            return
+        self._engine.abort_transaction(self)
+        self.state = TransactionState.ABORTED
+
+    # ------------------------------------------------------------------
+    # commit support (used by the engine)
+    # ------------------------------------------------------------------
+
+    def pending_writes(self) -> Dict[EntityKey, Optional[object]]:
+        """The private write set (key -> new state, ``None`` for deletes)."""
+        return dict(self._writes)
+
+    def created_keys(self) -> Set[EntityKey]:
+        """Keys of entities created by this transaction."""
+        return set(self._created)
+
+    def has_writes(self) -> bool:
+        """Whether the transaction buffered any write."""
+        return bool(self._writes)

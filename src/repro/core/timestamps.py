@@ -1,0 +1,131 @@
+"""Timestamp oracle.
+
+Section 3 of the paper: "The most common way to enforce the read rule of
+snapshot isolation is to associate a commit timestamp to versions. ... This
+mechanism given a start timestamp should enable to observe the most recent
+committed state that has a commit timestamp equal or lower than the start
+timestamp."
+
+The oracle issues start timestamps to beginning transactions (equal to the
+newest commit timestamp whose writes are fully installed), issues commit
+timestamps to committing transactions, and tracks the set of active
+transactions so garbage collection can compute the *watermark*: the oldest
+start timestamp any active transaction is still reading at.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, Optional, Tuple
+
+
+class TimestampOracle:
+    """Monotonic source of transaction ids, start and commit timestamps."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._txn_ids = itertools.count(1)
+        #: Newest commit timestamp whose versions are fully installed.
+        self._latest_visible_ts = 0
+        #: Newest commit timestamp handed out (may not be installed yet).
+        self._newest_issued_ts = 0
+        #: Active transactions: txn id -> start timestamp.
+        self._active: Dict[int, int] = {}
+        #: Lifetime counters for statistics.
+        self.transactions_started = 0
+        self.commits_issued = 0
+
+    # -- transaction lifecycle ------------------------------------------------
+
+    def begin_transaction(self) -> Tuple[int, int]:
+        """Start a transaction; returns ``(txn_id, start_ts)``.
+
+        The start timestamp is the newest commit timestamp whose writes are
+        already installed, so the new transaction observes exactly the
+        committed state as of this moment (the paper's "snapshot of the
+        committed state").
+        """
+        with self._lock:
+            txn_id = next(self._txn_ids)
+            start_ts = self._latest_visible_ts
+            self._active[txn_id] = start_ts
+            self.transactions_started += 1
+            return txn_id, start_ts
+
+    def issue_commit_timestamp(self) -> int:
+        """Reserve the next commit timestamp for a committing transaction."""
+        with self._lock:
+            self._newest_issued_ts += 1
+            self.commits_issued += 1
+            return self._newest_issued_ts
+
+    def publish_commit(self, txn_id: int, commit_ts: int) -> None:
+        """Mark a commit's versions as installed and retire the transaction.
+
+        Only after this call will new transactions receive a start timestamp
+        that covers ``commit_ts``, which is what makes "assign commit
+        timestamp, then install versions" safe.
+        """
+        with self._lock:
+            if commit_ts > self._latest_visible_ts:
+                self._latest_visible_ts = commit_ts
+            self._active.pop(txn_id, None)
+
+    def advance_to(self, commit_ts: int) -> None:
+        """Fast-forward the oracle to at least ``commit_ts``.
+
+        Used when an engine opens an existing store: persisted versions carry
+        commit timestamps from earlier sessions, and new snapshots must cover
+        them.
+        """
+        with self._lock:
+            if commit_ts > self._latest_visible_ts:
+                self._latest_visible_ts = commit_ts
+            if commit_ts > self._newest_issued_ts:
+                self._newest_issued_ts = commit_ts
+
+    def retire_transaction(self, txn_id: int) -> None:
+        """Remove a transaction from the active set (abort / read-only finish)."""
+        with self._lock:
+            self._active.pop(txn_id, None)
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def latest_commit_ts(self) -> int:
+        """Newest fully installed commit timestamp."""
+        with self._lock:
+            return self._latest_visible_ts
+
+    def active_count(self) -> int:
+        """Number of transactions currently registered as active."""
+        with self._lock:
+            return len(self._active)
+
+    def active_start_timestamps(self) -> Dict[int, int]:
+        """Snapshot of the active transactions (txn id -> start timestamp)."""
+        with self._lock:
+            return dict(self._active)
+
+    def watermark(self) -> int:
+        """Oldest start timestamp still readable by an active transaction.
+
+        With no active transactions the watermark equals the newest installed
+        commit timestamp: everything older than the latest version of each
+        entity is reclaimable (the paper's garbage-collection criterion).
+        """
+        with self._lock:
+            if self._active:
+                return min(self._active.values())
+            return self._latest_visible_ts
+
+    def is_active(self, txn_id: int) -> bool:
+        """Whether ``txn_id`` is still registered as active."""
+        with self._lock:
+            return txn_id in self._active
+
+    def start_ts_of(self, txn_id: int) -> Optional[int]:
+        """Start timestamp of an active transaction, or ``None``."""
+        with self._lock:
+            return self._active.get(txn_id)

@@ -1,0 +1,41 @@
+"""Tombstone helpers.
+
+Section 4 of the paper: "Another property has been added to indicate if a
+data item has been deleted.  A deleted data item has to be kept till no
+previous version can be read by an active transaction.  This mechanism is
+also called tombstone versions."
+
+In this implementation a tombstone is simply a :class:`~repro.core.version.Version`
+whose payload is ``None``; these helpers exist to keep that convention in one
+place and to answer the retention question GC asks about deleted entities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.version import Version, VersionChain
+from repro.graph.entity import EntityKey
+
+
+def make_tombstone(key: EntityKey, commit_ts: int) -> Version:
+    """Create a tombstone version for ``key`` committed at ``commit_ts``."""
+    return Version(key=key, payload=None, commit_ts=commit_ts)
+
+
+def is_tombstone(version: Optional[Version]) -> bool:
+    """Whether ``version`` marks a deletion (``None`` counts as "no version")."""
+    return version is not None and version.is_tombstone
+
+
+def chain_fully_deleted(chain: VersionChain, watermark: int) -> bool:
+    """Whether the entity is deleted and no active snapshot can still see it.
+
+    True when the newest version is a tombstone whose commit timestamp is at
+    or below the watermark — at that point the tombstone and any remaining
+    older versions can all be purged and the entity forgotten entirely.
+    """
+    newest = chain.newest()
+    if newest is None or not newest.is_tombstone:
+        return False
+    return newest.commit_ts <= watermark

@@ -1,0 +1,141 @@
+"""Vacuum-style garbage collection (the comparison baseline).
+
+Section 4 of the paper motivates the threaded GC list by contrast with
+PostgreSQL: "in PostgreSQL this process, called vacuum process, stops the
+processing for a few seconds periodically.  This happens because it traverses
+all the pages in the persistent storage and rewrites them after removing the
+obsolete versions."
+
+:class:`VacuumCollector` reproduces that cost model: a collection pass scans
+*every* version chain in the cache **and** every record in the persistent
+node and relationship stores (touching all pages through the page cache),
+deciding for each version whether it is obsolete — instead of visiting only
+the versions already known to be reclaimable.  When given the engine's commit
+pause hook it also performs the scan stop-the-world, so experiment E5 can
+measure both the CPU cost and the induced commit stall.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, ContextManager, Dict, Optional
+
+from repro.core.timestamps import TimestampOracle
+from repro.core.version import Version, VersionChain
+from repro.core.version_store import VersionStore
+from repro.core.versioned_index import VersionedIndexSet
+from repro.graph.entity import NodeData, RelationshipData
+from repro.graph.store_manager import StoreManager
+
+
+@dataclass
+class VacuumStats:
+    """Outcome of one vacuum pass."""
+
+    watermark: int = 0
+    chains_scanned: int = 0
+    versions_examined: int = 0
+    versions_collected: int = 0
+    store_records_scanned: int = 0
+    entities_purged: int = 0
+    duration_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view of the counters."""
+        return {
+            "watermark": self.watermark,
+            "chains_scanned": self.chains_scanned,
+            "versions_examined": self.versions_examined,
+            "versions_collected": self.versions_collected,
+            "store_records_scanned": self.store_records_scanned,
+            "entities_purged": self.entities_purged,
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+class VacuumCollector:
+    """Full-scan, stop-the-world garbage collector (PostgreSQL-style baseline)."""
+
+    def __init__(
+        self,
+        version_store: VersionStore,
+        oracle: TimestampOracle,
+        indexes: VersionedIndexSet,
+        store: StoreManager,
+        *,
+        pause_commits: Optional[Callable[[], ContextManager[None]]] = None,
+    ) -> None:
+        """``pause_commits`` is a callable returning a context manager that
+        blocks the engine's commit path while held (the stop-the-world part).
+        """
+        self.version_store = version_store
+        self.oracle = oracle
+        self.indexes = indexes
+        self.store = store
+        self._pause_commits = pause_commits
+        self._lock = threading.Lock()
+        self.collections_run = 0
+
+    def collect(self) -> VacuumStats:
+        """Run one full-scan vacuum pass and return its statistics."""
+        with self._lock:
+            pause = self._pause_commits() if self._pause_commits is not None else contextlib.nullcontext()
+            started = time.perf_counter()
+            stats = VacuumStats(watermark=self.oracle.watermark())
+            with pause:
+                self._scan_chains(stats)
+                self._scan_store(stats)
+                self.indexes.purge(stats.watermark)
+            stats.duration_seconds = time.perf_counter() - started
+            self.collections_run += 1
+            return stats
+
+    # -- internal -----------------------------------------------------------------
+
+    def _scan_chains(self, stats: VacuumStats) -> None:
+        """Examine every version of every chain (the expensive part)."""
+        for key, chain in self.version_store.chains():
+            stats.chains_scanned += 1
+            versions = chain.versions()
+            stats.versions_examined += len(versions)
+            # Examine oldest-first so that superseded versions are judged while
+            # the newer version (or tombstone) that obsoletes them is still in
+            # the chain.
+            for version in reversed(versions):
+                if self._is_obsolete(chain, version, stats.watermark):
+                    if chain.remove(version):
+                        stats.versions_collected += 1
+                        self._maybe_purge(chain, version, stats)
+            if chain.is_empty():
+                self.version_store.remove_chain(key)
+
+    def _scan_store(self, stats: VacuumStats) -> None:
+        """Touch every persistent record, as a vacuum scan of all pages would."""
+        for _node_id in self.store.iter_node_ids():
+            stats.store_records_scanned += 1
+        for _rel_id in self.store.iter_relationship_ids():
+            stats.store_records_scanned += 1
+
+    @staticmethod
+    def _is_obsolete(chain: VersionChain, version: Version, watermark: int) -> bool:
+        """Obsolescence test evaluated from scratch for every version."""
+        versions = chain.versions()  # newest first
+        if version.is_tombstone:
+            newest = versions[0] if versions else None
+            return newest is version and version.commit_ts <= watermark
+        newer = [v for v in versions if v.commit_ts > version.commit_ts]
+        return any(v.commit_ts <= watermark for v in newer)
+
+    def _maybe_purge(self, chain: VersionChain, version: Version, stats: VacuumStats) -> None:
+        newest = chain.newest()
+        payload = version.payload
+        if newest is not None and newest.is_tombstone and payload is not None:
+            if isinstance(payload, NodeData):
+                self.indexes.purge_node(payload)
+                stats.entities_purged += 1
+            elif isinstance(payload, RelationshipData):
+                self.indexes.purge_relationship(payload)
+                stats.entities_purged += 1

@@ -1,0 +1,147 @@
+"""Versions and per-entity version chains.
+
+Section 4 of the paper: "each object representing a node or relationship
+stores a list of versions.  In that way, when a transaction reads a node, the
+right version for the reading transaction can be obtained by traversing the
+list of versions."
+
+A :class:`Version` is one committed state of one entity: its full logical
+payload (``NodeData`` / ``RelationshipData``), the commit timestamp of the
+transaction that produced it, and — for deletes — a tombstone marker (payload
+``None``).  A :class:`VersionChain` is the per-entity list, newest first,
+living in the object cache.  Versions also carry the intrusive ``gc_prev`` /
+``gc_next`` pointers used by the global garbage-collection list
+(:class:`repro.core.gc.ThreadedVersionList`), which is the paper's "double
+linked list sorted by timestamp".
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Union
+
+from repro.graph.entity import EntityKey, NodeData, RelationshipData
+
+#: Payload type of a version (``None`` marks a tombstone).
+VersionPayload = Optional[Union[NodeData, RelationshipData]]
+
+
+class Version:
+    """One committed version of one entity."""
+
+    __slots__ = (
+        "key",
+        "payload",
+        "commit_ts",
+        "reclaim_ts",
+        "gc_prev",
+        "gc_next",
+        "in_gc_list",
+    )
+
+    def __init__(self, key: EntityKey, payload: VersionPayload, commit_ts: int) -> None:
+        self.key = key
+        self.payload = payload
+        self.commit_ts = commit_ts
+        #: Commit timestamp at which this version becomes reclaimable (set
+        #: when the version is threaded onto the garbage-collection list).
+        self.reclaim_ts: Optional[int] = None
+        self.gc_prev: Optional["Version"] = None
+        self.gc_next: Optional["Version"] = None
+        self.in_gc_list = False
+
+    @property
+    def is_tombstone(self) -> bool:
+        """Whether this version records a deletion."""
+        return self.payload is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "tombstone" if self.is_tombstone else "data"
+        return f"Version({self.key}, commit_ts={self.commit_ts}, {kind})"
+
+
+class VersionChain:
+    """The list of versions of one entity, newest first.
+
+    The chain always contains *committed* versions only; a transaction's
+    uncommitted writes live in its private write set (the paper: versions of
+    uncommitted data items are kept private).
+    """
+
+    def __init__(self, key: EntityKey) -> None:
+        self.key = key
+        self._lock = threading.RLock()
+        self._versions: List[Version] = []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._versions)
+
+    def is_empty(self) -> bool:
+        """Whether every version of this entity has been garbage collected."""
+        with self._lock:
+            return not self._versions
+
+    def versions(self) -> List[Version]:
+        """Copy of the chain, newest first (used by GC and tests)."""
+        with self._lock:
+            return list(self._versions)
+
+    def newest(self) -> Optional[Version]:
+        """The most recently committed version (tombstone included), if any."""
+        with self._lock:
+            return self._versions[0] if self._versions else None
+
+    def oldest(self) -> Optional[Version]:
+        """The oldest version still kept in memory, if any."""
+        with self._lock:
+            return self._versions[-1] if self._versions else None
+
+    def add_committed(self, version: Version) -> Optional[Version]:
+        """Install a newly committed version at the head of the chain.
+
+        Returns the version it supersedes (the previous newest), which the
+        commit path threads onto the garbage-collection list.  Commit
+        timestamps are monotonic, so the chain stays sorted by construction;
+        an out-of-order insert indicates a logic error and is rejected.
+        """
+        with self._lock:
+            if self._versions and version.commit_ts < self._versions[0].commit_ts:
+                raise ValueError(
+                    f"version for {self.key} committed at {version.commit_ts} is older "
+                    f"than the chain head ({self._versions[0].commit_ts})"
+                )
+            superseded = self._versions[0] if self._versions else None
+            self._versions.insert(0, version)
+            return superseded
+
+    def visible_to(self, start_ts: int) -> Optional[Version]:
+        """The newest version with ``commit_ts <= start_ts`` (the read rule).
+
+        Returns ``None`` when the entity did not exist yet at ``start_ts``
+        (every version is newer).  The caller is responsible for interpreting
+        a returned tombstone as "deleted".
+        """
+        with self._lock:
+            for version in self._versions:
+                if version.commit_ts <= start_ts:
+                    return version
+            return None
+
+    def remove(self, version: Version) -> bool:
+        """Remove one version from the chain (garbage collection path)."""
+        with self._lock:
+            try:
+                self._versions.remove(version)
+                return True
+            except ValueError:
+                return False
+
+    def version_count(self) -> int:
+        """Number of versions currently retained."""
+        return len(self)
+
+    def memory_footprint(self) -> int:
+        """Rough number of retained payload objects (tombstones count as one)."""
+        with self._lock:
+            return len(self._versions)

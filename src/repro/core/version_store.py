@@ -1,0 +1,108 @@
+"""Version store: the object cache's view of version chains.
+
+The paper keeps versions "in the Object Cache of Neo4j"; accordingly this
+module is a thin layer over :class:`repro.graph.object_cache.ObjectCache`
+mapping entity keys to :class:`~repro.core.version.VersionChain` objects.
+
+Eviction policy: a chain is only evictable when it holds exactly one
+non-tombstone version, because that single version is guaranteed to be the
+one persisted in the store (the store keeps only the newest committed
+version) and can therefore be reloaded on demand.  Chains with history — the
+versions the persistent store does *not* have — are pinned in memory until
+garbage collection shrinks them back to one version.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.core.version import Version, VersionChain, VersionPayload
+from repro.graph.entity import EntityKey
+from repro.graph.object_cache import ObjectCache
+
+#: A loader returns the persisted state and its commit timestamp, or ``None``.
+ChainLoader = Callable[[], Optional[Tuple[VersionPayload, int]]]
+
+
+def _chain_evictable(_key: EntityKey, chain: VersionChain) -> bool:
+    """Eviction predicate handed to the object cache (see module docstring)."""
+    newest = chain.newest()
+    return len(chain) == 1 and newest is not None and not newest.is_tombstone
+
+
+class VersionStore:
+    """All in-memory version chains, keyed by entity."""
+
+    def __init__(self, *, cache_capacity: int = 100_000) -> None:
+        self._cache = ObjectCache(cache_capacity, evictable=_chain_evictable)
+        self._lock = threading.RLock()
+
+    @property
+    def cache(self) -> ObjectCache:
+        """The underlying object cache (exposed for statistics)."""
+        return self._cache
+
+    # -- lookup ------------------------------------------------------------------
+
+    def get_chain(self, key: EntityKey) -> Optional[VersionChain]:
+        """The chain for ``key`` if it is currently cached, else ``None``."""
+        return self._cache.get(key)
+
+    def get_or_load(self, key: EntityKey, loader: ChainLoader) -> Optional[VersionChain]:
+        """The chain for ``key``, loading the persisted version on a miss.
+
+        ``loader`` reads the persistent store; when it returns ``None`` the
+        entity does not exist anywhere and no chain is created.
+        """
+        with self._lock:
+            chain = self._cache.get(key)
+            if chain is not None:
+                return chain
+            loaded = loader()
+            if loaded is None:
+                return None
+            payload, commit_ts = loaded
+            chain = VersionChain(key)
+            chain.add_committed(Version(key, payload, commit_ts))
+            self._cache.put(key, chain)
+            return chain
+
+    def ensure_chain(self, key: EntityKey) -> VersionChain:
+        """The chain for ``key``, creating an empty one if none is cached."""
+        with self._lock:
+            chain = self._cache.get(key)
+            if chain is None:
+                chain = VersionChain(key)
+                self._cache.put(key, chain)
+            return chain
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def remove_chain(self, key: EntityKey) -> None:
+        """Forget the chain for ``key`` entirely (full purge of a deleted entity)."""
+        self._cache.invalidate(key)
+
+    def chains(self) -> Iterator[Tuple[EntityKey, VersionChain]]:
+        """Snapshot of every cached ``(key, chain)`` pair."""
+        return self._cache.items()
+
+    def keys(self) -> List[EntityKey]:
+        """Keys of every cached chain."""
+        return list(self._cache.keys())
+
+    def chain_count(self) -> int:
+        """Number of cached chains."""
+        return len(self._cache)
+
+    def total_versions(self) -> int:
+        """Total number of retained versions across all chains."""
+        return sum(len(chain) for _key, chain in self._cache.items())
+
+    def multi_version_chains(self) -> int:
+        """Number of chains holding more than one version (history in memory)."""
+        return sum(1 for _key, chain in self._cache.items() if len(chain) > 1)
+
+    def clear(self) -> None:
+        """Drop every chain (only used by tests)."""
+        self._cache.clear()

@@ -1,0 +1,371 @@
+"""Multi-versioned indexes.
+
+Section 4 of the paper: "Multi-versioning has also been applied to indexes.
+Properties and labels are never deleted in Neo4j even if no node/relationship
+is using them.  We version them to know whether they should be considered or
+not. ... The nodes/relationships are tagged with the commit timestamp of the
+transaction that associated the label/property to the node/relationship.  In
+this way, it is possible to discard those nodes/relationships that do not
+correspond to the snapshot to be observed by the transaction."
+
+Implementation: every index entry (label membership, property value, type
+membership) is a set of *intervals* ``[created_ts, removed_ts)`` per entity.
+A lookup at start timestamp ``s`` returns the entities with an interval
+containing ``s``.  Each index key (the label or property itself) additionally
+records its creation timestamp so a whole key created after the reader's
+snapshot can be discarded without touching its entry list — exactly the
+shortcut the paper describes.
+
+Garbage collection calls :meth:`purge` with the watermark to drop intervals
+that no active snapshot can select any more.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.graph.entity import NodeData, RelationshipData
+from repro.graph.properties import PropertyValue
+from repro.index.property_index import hashable_value
+
+#: Sentinel meaning "the entry has not been removed".
+_OPEN = None
+
+
+class VersionedEntrySet:
+    """Per-index-key membership with ``[created_ts, removed_ts)`` intervals."""
+
+    def __init__(self) -> None:
+        self._intervals: Dict[int, List[List[Optional[int]]]] = {}
+
+    def add(self, entity_id: int, commit_ts: int) -> None:
+        """Record that the entity acquired this index key at ``commit_ts``.
+
+        Adding an entity that is already a member (its latest interval is
+        still open) is a no-op, so membership semantics hold even if a caller
+        reports the same association twice.
+        """
+        intervals = self._intervals.setdefault(entity_id, [])
+        if intervals and intervals[-1][1] is _OPEN:
+            return
+        intervals.append([commit_ts, _OPEN])
+
+    def mark_removed(self, entity_id: int, commit_ts: int) -> None:
+        """Record that the entity lost this index key at ``commit_ts``."""
+        intervals = self._intervals.get(entity_id)
+        if not intervals:
+            return
+        for interval in reversed(intervals):
+            if interval[1] is _OPEN:
+                interval[1] = commit_ts
+                return
+
+    def visible(self, start_ts: int) -> Set[int]:
+        """Entities whose membership interval contains ``start_ts``."""
+        members: Set[int] = set()
+        for entity_id, intervals in self._intervals.items():
+            for created_ts, removed_ts in intervals:
+                if created_ts <= start_ts and (removed_ts is _OPEN or removed_ts > start_ts):
+                    members.add(entity_id)
+                    break
+        return members
+
+    def current(self) -> Set[int]:
+        """Entities whose newest interval is still open (the latest state)."""
+        members: Set[int] = set()
+        for entity_id, intervals in self._intervals.items():
+            if any(removed_ts is _OPEN for _created, removed_ts in intervals):
+                members.add(entity_id)
+        return members
+
+    def purge(self, watermark: int) -> int:
+        """Drop closed intervals no snapshot at or above ``watermark`` can see."""
+        removed = 0
+        for entity_id in list(self._intervals):
+            kept = [
+                interval
+                for interval in self._intervals[entity_id]
+                if interval[1] is _OPEN or interval[1] > watermark
+            ]
+            removed += len(self._intervals[entity_id]) - len(kept)
+            if kept:
+                self._intervals[entity_id] = kept
+            else:
+                del self._intervals[entity_id]
+        return removed
+
+    def drop_entity(self, entity_id: int) -> None:
+        """Remove every interval of one entity (full purge of a deleted entity)."""
+        self._intervals.pop(entity_id, None)
+
+    def is_empty(self) -> bool:
+        """Whether no entity has any interval left."""
+        return not self._intervals
+
+    def interval_count(self) -> int:
+        """Total number of stored intervals (memory metric for experiments)."""
+        return sum(len(intervals) for intervals in self._intervals.values())
+
+
+class _VersionedKeyedIndex:
+    """Shared machinery: a map from index key to a versioned entry set."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._entries: Dict[Hashable, VersionedEntrySet] = {}
+        #: Commit timestamp at which each index key first appeared.
+        self._key_created_ts: Dict[Hashable, int] = {}
+
+    def _add(self, index_key: Hashable, entity_id: int, commit_ts: int) -> None:
+        with self._lock:
+            if index_key not in self._key_created_ts:
+                self._key_created_ts[index_key] = commit_ts
+            self._entries.setdefault(index_key, VersionedEntrySet()).add(
+                entity_id, commit_ts
+            )
+
+    def _remove(self, index_key: Hashable, entity_id: int, commit_ts: int) -> None:
+        with self._lock:
+            entry = self._entries.get(index_key)
+            if entry is not None:
+                entry.mark_removed(entity_id, commit_ts)
+
+    def _visible(self, index_key: Hashable, start_ts: int) -> Set[int]:
+        with self._lock:
+            created_ts = self._key_created_ts.get(index_key)
+            if created_ts is None or created_ts > start_ts:
+                # The label/property itself appeared after the snapshot: the
+                # whole entry list can be discarded without traversal.
+                return set()
+            entry = self._entries.get(index_key)
+            return entry.visible(start_ts) if entry is not None else set()
+
+    def _drop_entity(self, entity_id: int) -> None:
+        with self._lock:
+            for entry in self._entries.values():
+                entry.drop_entity(entity_id)
+
+    def purge(self, watermark: int) -> int:
+        """Drop intervals invisible to every snapshot at or above ``watermark``."""
+        with self._lock:
+            return sum(entry.purge(watermark) for entry in self._entries.values())
+
+    def key_creation_ts(self, index_key: Hashable) -> Optional[int]:
+        """When ``index_key`` was first used (``None`` if never)."""
+        with self._lock:
+            return self._key_created_ts.get(index_key)
+
+    def interval_count(self) -> int:
+        """Total intervals across all keys (memory metric)."""
+        with self._lock:
+            return sum(entry.interval_count() for entry in self._entries.values())
+
+
+class VersionedLabelIndex(_VersionedKeyedIndex):
+    """label -> versioned set of node ids."""
+
+    def apply_node_change(
+        self, old: Optional[NodeData], new: Optional[NodeData], commit_ts: int
+    ) -> None:
+        """Record label additions/removals implied by one committed node change."""
+        node_id = (old or new).node_id  # type: ignore[union-attr]
+        old_labels = old.labels if old is not None else frozenset()
+        new_labels = new.labels if new is not None else frozenset()
+        for label in new_labels - old_labels:
+            self._add(label, node_id, commit_ts)
+        for label in old_labels - new_labels:
+            self._remove(label, node_id, commit_ts)
+
+    def visible(self, label: str, start_ts: int) -> Set[int]:
+        """Node ids carrying ``label`` in the snapshot at ``start_ts``."""
+        return self._visible(label, start_ts)
+
+    def drop_node(self, node_id: int) -> None:
+        """Forget a fully purged node."""
+        self._drop_entity(node_id)
+
+
+class VersionedPropertyIndex(_VersionedKeyedIndex):
+    """(property key, value) -> versioned set of entity ids.
+
+    Used twice: once for nodes and once for relationships.
+    """
+
+    def apply_change(
+        self,
+        entity_id: int,
+        old_properties: Mapping[str, PropertyValue],
+        new_properties: Mapping[str, PropertyValue],
+        commit_ts: int,
+    ) -> None:
+        """Record property additions/changes/removals for one committed change."""
+        for key, value in new_properties.items():
+            if key not in old_properties or old_properties[key] != value:
+                self._add((key, hashable_value(value)), entity_id, commit_ts)
+        for key, value in old_properties.items():
+            if key not in new_properties or new_properties[key] != value:
+                self._remove((key, hashable_value(value)), entity_id, commit_ts)
+
+    def visible(self, key: str, value: PropertyValue, start_ts: int) -> Set[int]:
+        """Entity ids with ``key`` = ``value`` in the snapshot at ``start_ts``."""
+        return self._visible((key, hashable_value(value)), start_ts)
+
+    def drop_entity(self, entity_id: int) -> None:
+        """Forget a fully purged entity."""
+        self._drop_entity(entity_id)
+
+
+class VersionedRelationshipTypeIndex(_VersionedKeyedIndex):
+    """relationship type -> versioned set of relationship ids."""
+
+    def apply_relationship_change(
+        self,
+        old: Optional[RelationshipData],
+        new: Optional[RelationshipData],
+        commit_ts: int,
+    ) -> None:
+        """Record type membership for a committed relationship create/delete."""
+        if old is None and new is not None:
+            self._add(new.rel_type, new.rel_id, commit_ts)
+        elif old is not None and new is None:
+            self._remove(old.rel_type, old.rel_id, commit_ts)
+
+    def visible(self, rel_type: str, start_ts: int) -> Set[int]:
+        """Relationship ids of ``rel_type`` in the snapshot at ``start_ts``."""
+        return self._visible(rel_type, start_ts)
+
+    def drop_relationship(self, rel_id: int) -> None:
+        """Forget a fully purged relationship."""
+        self._drop_entity(rel_id)
+
+
+class AdjacencyIndex:
+    """node id -> relationship ids that have (or recently had) that endpoint.
+
+    Visibility is *not* encoded here: a lookup returns candidate relationship
+    ids and the caller resolves each against its snapshot.  Entries are only
+    removed when a relationship is fully purged by garbage collection, so a
+    snapshot older than a relationship delete still finds the candidate and
+    resolves it to the pre-delete version.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._rels_by_node: Dict[int, Set[int]] = {}
+
+    def add(self, relationship: RelationshipData) -> None:
+        """Register a committed relationship under both endpoints."""
+        with self._lock:
+            self._rels_by_node.setdefault(relationship.start_node, set()).add(
+                relationship.rel_id
+            )
+            self._rels_by_node.setdefault(relationship.end_node, set()).add(
+                relationship.rel_id
+            )
+
+    def discard(self, relationship: RelationshipData) -> None:
+        """Remove a fully purged relationship from both endpoints."""
+        with self._lock:
+            for node_id in {relationship.start_node, relationship.end_node}:
+                members = self._rels_by_node.get(node_id)
+                if members is not None:
+                    members.discard(relationship.rel_id)
+                    if not members:
+                        del self._rels_by_node[node_id]
+
+    def drop_node(self, node_id: int) -> None:
+        """Forget a fully purged node."""
+        with self._lock:
+            self._rels_by_node.pop(node_id, None)
+
+    def candidate_rel_ids(self, node_id: int) -> Set[int]:
+        """Candidate relationship ids touching ``node_id`` (copy)."""
+        with self._lock:
+            return set(self._rels_by_node.get(node_id, ()))
+
+    def node_count(self) -> int:
+        """Number of nodes with at least one candidate relationship."""
+        with self._lock:
+            return len(self._rels_by_node)
+
+    def entry_count(self) -> int:
+        """Total number of (node, relationship) entries."""
+        with self._lock:
+            return sum(len(members) for members in self._rels_by_node.values())
+
+
+class VersionedIndexSet:
+    """All multi-versioned indexes bundled together (what the engine owns)."""
+
+    def __init__(self) -> None:
+        self.node_labels = VersionedLabelIndex()
+        self.node_properties = VersionedPropertyIndex()
+        self.relationship_properties = VersionedPropertyIndex()
+        self.relationship_types = VersionedRelationshipTypeIndex()
+        self.adjacency = AdjacencyIndex()
+
+    def apply_node_change(
+        self, old: Optional[NodeData], new: Optional[NodeData], commit_ts: int
+    ) -> None:
+        """Index maintenance for one committed node create/update/delete."""
+        if old is None and new is None:
+            return
+        node_id = (old or new).node_id  # type: ignore[union-attr]
+        self.node_labels.apply_node_change(old, new, commit_ts)
+        self.node_properties.apply_change(
+            node_id,
+            old.properties if old is not None else {},
+            new.properties if new is not None else {},
+            commit_ts,
+        )
+
+    def apply_relationship_change(
+        self,
+        old: Optional[RelationshipData],
+        new: Optional[RelationshipData],
+        commit_ts: int,
+    ) -> None:
+        """Index maintenance for one committed relationship create/update/delete."""
+        if old is None and new is None:
+            return
+        rel_id = (old or new).rel_id  # type: ignore[union-attr]
+        self.relationship_properties.apply_change(
+            rel_id,
+            old.properties if old is not None else {},
+            new.properties if new is not None else {},
+            commit_ts,
+        )
+        self.relationship_types.apply_relationship_change(old, new, commit_ts)
+        if old is None and new is not None:
+            self.adjacency.add(new)
+
+    def purge(self, watermark: int) -> int:
+        """Purge every index; returns the number of intervals dropped."""
+        return (
+            self.node_labels.purge(watermark)
+            + self.node_properties.purge(watermark)
+            + self.relationship_properties.purge(watermark)
+            + self.relationship_types.purge(watermark)
+        )
+
+    def purge_node(self, node: NodeData) -> None:
+        """Remove every trace of a fully garbage-collected node."""
+        self.node_labels.drop_node(node.node_id)
+        self.node_properties.drop_entity(node.node_id)
+        self.adjacency.drop_node(node.node_id)
+
+    def purge_relationship(self, relationship: RelationshipData) -> None:
+        """Remove every trace of a fully garbage-collected relationship."""
+        self.relationship_properties.drop_entity(relationship.rel_id)
+        self.relationship_types.drop_relationship(relationship.rel_id)
+        self.adjacency.discard(relationship)
+
+    def interval_count(self) -> int:
+        """Total intervals across all indexes (memory metric for E6)."""
+        return (
+            self.node_labels.interval_count()
+            + self.node_properties.interval_count()
+            + self.relationship_properties.interval_count()
+            + self.relationship_types.interval_count()
+        )

@@ -1,0 +1,159 @@
+"""Common engine interface implemented by both concurrency-control engines.
+
+The repository ships two transaction engines over the same storage substrate:
+
+* :class:`repro.locking.rc_manager.ReadCommittedEngine` — Neo4j's stock
+  behaviour (short read locks, long write locks), which exhibits unrepeatable
+  and phantom reads, and
+* :class:`repro.core.si_manager.SnapshotIsolationEngine` — the paper's
+  multi-version concurrency control providing snapshot isolation.
+
+The public API (:mod:`repro.api`) is written against the abstract classes in
+this module so the two engines are interchangeable, which is what makes the
+experiment harness able to run identical workloads under both isolation
+levels.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.errors import TransactionClosedError
+from repro.graph.entity import Direction, NodeData, RelationshipData
+from repro.graph.properties import PropertyValue
+
+
+class IsolationLevel(enum.Enum):
+    """Isolation levels selectable when opening a database."""
+
+    READ_COMMITTED = "read_committed"
+    SNAPSHOT = "snapshot"
+
+
+class TransactionState(enum.Enum):
+    """Lifecycle states of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class EngineTransaction(abc.ABC):
+    """Engine-level transaction: logical reads and buffered logical writes.
+
+    The user-facing :class:`repro.api.transaction.Transaction` wraps one of
+    these and adds graph-model validation (endpoint checks, detach-delete,
+    property validation).  Engine transactions therefore only deal in whole
+    :class:`~repro.graph.entity.NodeData` / ``RelationshipData`` states.
+    """
+
+    def __init__(self, txn_id: int, *, read_only: bool = False) -> None:
+        self.txn_id = txn_id
+        self.read_only = read_only
+        self.state = TransactionState.ACTIVE
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the transaction can still be used."""
+        return self.state is TransactionState.ACTIVE
+
+    def ensure_open(self) -> None:
+        """Raise :class:`TransactionClosedError` unless the transaction is active."""
+        if self.state is not TransactionState.ACTIVE:
+            raise TransactionClosedError(
+                f"transaction {self.txn_id} is {self.state.value}"
+            )
+
+    @abc.abstractmethod
+    def commit(self) -> None:
+        """Make the transaction's writes visible to others (or raise and abort)."""
+
+    @abc.abstractmethod
+    def rollback(self) -> None:
+        """Discard the transaction's writes."""
+
+    # -- reads ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def read_node(self, node_id: int) -> Optional[NodeData]:
+        """The node state visible to this transaction, or ``None``."""
+
+    @abc.abstractmethod
+    def read_relationship(self, rel_id: int) -> Optional[RelationshipData]:
+        """The relationship state visible to this transaction, or ``None``."""
+
+    @abc.abstractmethod
+    def iter_nodes(self) -> Iterator[NodeData]:
+        """Every node visible to this transaction (including its own writes)."""
+
+    @abc.abstractmethod
+    def iter_relationships(self) -> Iterator[RelationshipData]:
+        """Every relationship visible to this transaction."""
+
+    @abc.abstractmethod
+    def find_nodes_by_label(self, label: str) -> Set[int]:
+        """Ids of visible nodes carrying ``label``."""
+
+    @abc.abstractmethod
+    def find_nodes_by_property(self, key: str, value: PropertyValue) -> Set[int]:
+        """Ids of visible nodes with property ``key`` = ``value``."""
+
+    @abc.abstractmethod
+    def find_relationships_by_property(self, key: str, value: PropertyValue) -> Set[int]:
+        """Ids of visible relationships with property ``key`` = ``value``."""
+
+    @abc.abstractmethod
+    def relationships_of(
+        self,
+        node_id: int,
+        direction: Direction = Direction.BOTH,
+        rel_types: Optional[Sequence[str]] = None,
+    ) -> List[RelationshipData]:
+        """Visible relationships attached to ``node_id``."""
+
+    # -- writes ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def put_node(self, node: NodeData, *, create: bool = False) -> None:
+        """Buffer a node create or update."""
+
+    @abc.abstractmethod
+    def put_relationship(self, relationship: RelationshipData, *, create: bool = False) -> None:
+        """Buffer a relationship create or update."""
+
+    @abc.abstractmethod
+    def delete_node(self, node_id: int) -> None:
+        """Buffer a node delete."""
+
+    @abc.abstractmethod
+    def delete_relationship(self, rel_id: int) -> None:
+        """Buffer a relationship delete."""
+
+
+class GraphEngine(abc.ABC):
+    """A concurrency-control engine bound to one storage substrate."""
+
+    isolation_level: IsolationLevel
+
+    @abc.abstractmethod
+    def begin(self, *, read_only: bool = False) -> EngineTransaction:
+        """Start a new transaction."""
+
+    @abc.abstractmethod
+    def allocate_node_id(self) -> int:
+        """Reserve a node id for an entity being created."""
+
+    @abc.abstractmethod
+    def allocate_relationship_id(self) -> int:
+        """Reserve a relationship id for an entity being created."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release engine resources (the store is closed by the database)."""
+
+    def checkpoint(self) -> None:
+        """Optional hook: flush engine state (default does nothing)."""

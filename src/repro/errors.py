@@ -1,0 +1,153 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+The hierarchy mirrors the places where things can go wrong in the system the
+paper describes:
+
+* storage-level failures (corrupt records, failed recovery),
+* transaction-level failures (conflicts, deadlocks, use-after-close),
+* graph-model failures (missing entities, constraint violations), and
+* query-language failures (syntax and execution errors in Cypher-lite).
+
+Catching :class:`ReproError` catches everything raised by this package.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for errors raised by the record stores and page cache."""
+
+
+class StoreClosedError(StorageError):
+    """An operation was attempted on a store that has been closed."""
+
+
+class StoreCorruptionError(StorageError):
+    """A record or page could not be decoded (unexpected bytes on disk)."""
+
+
+class RecordNotInUseError(StorageError):
+    """A record id referenced a slot that is not marked in use."""
+
+
+class RecoveryError(StorageError):
+    """The write-ahead log could not be replayed on startup."""
+
+
+class WalError(StorageError):
+    """The write-ahead log could not be appended to or read."""
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+class TransactionError(ReproError):
+    """Base class for transaction lifecycle and isolation errors."""
+
+
+class TransactionClosedError(TransactionError):
+    """The transaction has already committed or rolled back."""
+
+
+class TransactionAbortedError(TransactionError):
+    """The transaction was aborted by the engine and must be retried."""
+
+
+class WriteWriteConflictError(TransactionAbortedError):
+    """Two concurrent transactions updated the same entity.
+
+    Under snapshot isolation the paper's write rule ("no two concurrent
+    transactions can update the same data item") is enforced with a
+    first-updater-wins policy: the transaction that is not the first to
+    update the entity receives this error and must roll back.
+    """
+
+
+class DeadlockError(TransactionAbortedError):
+    """A lock-wait cycle was detected; this transaction was chosen as victim."""
+
+
+class LockTimeoutError(TransactionAbortedError):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class ReadOnlyTransactionError(TransactionError):
+    """A write was attempted inside a transaction opened as read-only."""
+
+
+# ---------------------------------------------------------------------------
+# Graph model
+# ---------------------------------------------------------------------------
+
+class GraphModelError(ReproError):
+    """Base class for errors in the logical graph model."""
+
+
+class EntityNotFoundError(GraphModelError):
+    """A node or relationship id does not exist (or is not visible)."""
+
+    def __init__(self, entity_kind: str, entity_id: int) -> None:
+        super().__init__(f"{entity_kind} {entity_id} not found")
+        self.entity_kind = entity_kind
+        self.entity_id = entity_id
+
+
+class NodeNotFoundError(EntityNotFoundError):
+    """A node id does not exist in the visible snapshot."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__("node", node_id)
+
+
+class RelationshipNotFoundError(EntityNotFoundError):
+    """A relationship id does not exist in the visible snapshot."""
+
+    def __init__(self, rel_id: int) -> None:
+        super().__init__("relationship", rel_id)
+
+
+class ConstraintViolationError(GraphModelError):
+    """An operation would violate a structural constraint.
+
+    The main example is deleting a node that still has relationships without
+    asking for a detach-delete, which matches Neo4j's behaviour.
+    """
+
+
+class InvalidPropertyValueError(GraphModelError):
+    """A property value has a type the store cannot represent."""
+
+
+class ReservedNameError(GraphModelError):
+    """A label or property key collides with an internal reserved name."""
+
+
+# ---------------------------------------------------------------------------
+# Query language (Cypher-lite)
+# ---------------------------------------------------------------------------
+
+class QueryError(ReproError):
+    """Base class for Cypher-lite errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class QueryExecutionError(QueryError):
+    """The query parsed but failed while executing."""

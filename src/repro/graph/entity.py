@@ -1,0 +1,194 @@
+"""Logical graph entities.
+
+The storage layer thinks in fixed-size records; everything above it thinks in
+the immutable value objects defined here.  ``NodeData`` and
+``RelationshipData`` describe the full logical state of an entity at one point
+in time — which is exactly what a *version* is under the paper's MVCC scheme,
+so the snapshot-isolation layer stores these objects directly in its version
+chains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.graph.properties import PropertyValue
+
+
+class EntityKind(enum.Enum):
+    """The two kinds of versioned entity in the store (paper Section 4)."""
+
+    NODE = "node"
+    RELATIONSHIP = "relationship"
+
+
+class Direction(enum.Enum):
+    """Traversal direction relative to a node."""
+
+    OUTGOING = "outgoing"
+    INCOMING = "incoming"
+    BOTH = "both"
+
+    def matches(self, node_id: int, start_node: int, end_node: int) -> bool:
+        """Whether a relationship with the given endpoints matches this direction."""
+        if self is Direction.OUTGOING:
+            return start_node == node_id
+        if self is Direction.INCOMING:
+            return end_node == node_id
+        return node_id in (start_node, end_node)
+
+    def reverse(self) -> "Direction":
+        """The opposite direction (BOTH is its own reverse)."""
+        if self is Direction.OUTGOING:
+            return Direction.INCOMING
+        if self is Direction.INCOMING:
+            return Direction.OUTGOING
+        return Direction.BOTH
+
+
+@dataclass(frozen=True, order=True)
+class EntityKey:
+    """Globally unique identity of a versioned entity: kind plus id."""
+
+    kind: EntityKind
+    entity_id: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.value}:{self.entity_id}"
+
+    @staticmethod
+    def node(node_id: int) -> "EntityKey":
+        """Key for a node id."""
+        return EntityKey(EntityKind.NODE, node_id)
+
+    @staticmethod
+    def relationship(rel_id: int) -> "EntityKey":
+        """Key for a relationship id."""
+        return EntityKey(EntityKind.RELATIONSHIP, rel_id)
+
+
+def _freeze_properties(properties: Mapping[str, PropertyValue]) -> Dict[str, PropertyValue]:
+    """Copy a property map, converting mutable arrays to tuples."""
+    frozen: Dict[str, PropertyValue] = {}
+    for key, value in properties.items():
+        if isinstance(value, list):
+            frozen[key] = tuple(value)
+        else:
+            frozen[key] = value
+    return frozen
+
+
+@dataclass(frozen=True)
+class NodeData:
+    """Immutable logical state of a node."""
+
+    node_id: int
+    labels: FrozenSet[str] = frozenset()
+    properties: Mapping[str, PropertyValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "labels", frozenset(self.labels))
+        object.__setattr__(self, "properties", _freeze_properties(self.properties))
+
+    @property
+    def key(self) -> EntityKey:
+        """Entity key of this node."""
+        return EntityKey.node(self.node_id)
+
+    def with_property(self, key: str, value: PropertyValue) -> "NodeData":
+        """A copy of this node with one property set."""
+        props = dict(self.properties)
+        props[key] = value
+        return replace(self, properties=props)
+
+    def without_property(self, key: str) -> "NodeData":
+        """A copy of this node with one property removed (no-op if absent)."""
+        props = dict(self.properties)
+        props.pop(key, None)
+        return replace(self, properties=props)
+
+    def with_label(self, label: str) -> "NodeData":
+        """A copy of this node with one label added."""
+        return replace(self, labels=self.labels | {label})
+
+    def without_label(self, label: str) -> "NodeData":
+        """A copy of this node with one label removed (no-op if absent)."""
+        return replace(self, labels=self.labels - {label})
+
+    def with_properties(self, properties: Mapping[str, PropertyValue]) -> "NodeData":
+        """A copy of this node with its property map replaced."""
+        return replace(self, properties=dict(properties))
+
+
+@dataclass(frozen=True)
+class RelationshipData:
+    """Immutable logical state of a relationship (a directed, typed edge)."""
+
+    rel_id: int
+    rel_type: str
+    start_node: int
+    end_node: int
+    properties: Mapping[str, PropertyValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "properties", _freeze_properties(self.properties))
+
+    @property
+    def key(self) -> EntityKey:
+        """Entity key of this relationship."""
+        return EntityKey.relationship(self.rel_id)
+
+    def other_node(self, node_id: int) -> int:
+        """The endpoint that is not ``node_id``.
+
+        For self-loops the node itself is returned.  Raises ``ValueError`` if
+        ``node_id`` is not an endpoint at all.
+        """
+        if node_id == self.start_node:
+            return self.end_node
+        if node_id == self.end_node:
+            return self.start_node
+        raise ValueError(
+            f"node {node_id} is not an endpoint of relationship {self.rel_id}"
+        )
+
+    def touches(self, node_id: int) -> bool:
+        """Whether ``node_id`` is one of this relationship's endpoints."""
+        return node_id in (self.start_node, self.end_node)
+
+    def endpoints(self) -> Tuple[int, int]:
+        """The ``(start_node, end_node)`` pair."""
+        return (self.start_node, self.end_node)
+
+    def with_property(self, key: str, value: PropertyValue) -> "RelationshipData":
+        """A copy of this relationship with one property set."""
+        props = dict(self.properties)
+        props[key] = value
+        return replace(self, properties=props)
+
+    def without_property(self, key: str) -> "RelationshipData":
+        """A copy of this relationship with one property removed."""
+        props = dict(self.properties)
+        props.pop(key, None)
+        return replace(self, properties=props)
+
+    def with_properties(
+        self, properties: Mapping[str, PropertyValue]
+    ) -> "RelationshipData":
+        """A copy of this relationship with its property map replaced."""
+        return replace(self, properties=dict(properties))
+
+
+#: Either kind of logical entity state.
+EntityData = Optional[object]
+
+
+def entity_key_of(data: object) -> EntityKey:
+    """Entity key of a ``NodeData`` or ``RelationshipData`` instance."""
+    if isinstance(data, NodeData):
+        return data.key
+    if isinstance(data, RelationshipData):
+        return data.key
+    raise TypeError(f"not an entity payload: {type(data).__name__}")

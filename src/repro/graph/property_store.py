@@ -1,0 +1,254 @@
+"""Property store: encoding property values into chained fixed-size records.
+
+Each node or relationship record points at the head of a property chain.  A
+chain link (:class:`~repro.graph.records.PropertyRecord`) stores the property
+key token id, a type tag and either an inline 8-byte value (booleans,
+integers, floats, short strings) or a reference into a dynamic store (long
+strings and arrays), mirroring Neo4j's short-string optimisation.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from typing import Dict, List, Tuple
+
+from repro.errors import InvalidPropertyValueError, StoreCorruptionError
+from repro.graph.dynamic_store import DynamicStore
+from repro.graph.id_allocator import IdAllocator
+from repro.graph.paging import PagedFile
+from repro.graph.properties import PropertyValue
+from repro.graph.records import NULL_REF, PropertyRecord, RecordStore
+
+
+class PropertyType:
+    """Type tags stored in the ``value_type`` field of a property record."""
+
+    BOOL = 1
+    INT = 2
+    FLOAT = 3
+    SHORT_STRING = 4
+    LONG_STRING = 5
+    ARRAY = 6
+
+
+_ARRAY_ELEMENT_BOOL = 1
+_ARRAY_ELEMENT_INT = 2
+_ARRAY_ELEMENT_FLOAT = 3
+_ARRAY_ELEMENT_STRING = 4
+
+#: Longest UTF-8 string (in bytes) that fits inline in a property record.
+SHORT_STRING_LIMIT = 7
+
+
+def encode_array(values: List[PropertyValue]) -> bytes:
+    """Serialise a homogeneous array property into bytes for the dynamic store."""
+    items = list(values)
+    if not items:
+        return struct.pack("<BI", 0, 0)
+    first = items[0]
+    if isinstance(first, bool):
+        body = struct.pack(f"<{len(items)}B", *(1 if item else 0 for item in items))
+        tag = _ARRAY_ELEMENT_BOOL
+    elif isinstance(first, int):
+        body = struct.pack(f"<{len(items)}q", *items)
+        tag = _ARRAY_ELEMENT_INT
+    elif isinstance(first, float):
+        body = struct.pack(f"<{len(items)}d", *items)
+        tag = _ARRAY_ELEMENT_FLOAT
+    elif isinstance(first, str):
+        encoded = [item.encode("utf-8") for item in items]
+        body = b"".join(struct.pack("<I", len(raw)) + raw for raw in encoded)
+        tag = _ARRAY_ELEMENT_STRING
+    else:  # pragma: no cover - validate_properties rejects this earlier
+        raise InvalidPropertyValueError(
+            f"cannot encode array of {type(first).__name__}"
+        )
+    return struct.pack("<BI", tag, len(items)) + body
+
+
+def decode_array(data: bytes) -> List[PropertyValue]:
+    """Inverse of :func:`encode_array`."""
+    if len(data) < 5:
+        raise StoreCorruptionError("array payload shorter than its header")
+    tag, count = struct.unpack_from("<BI", data)
+    body = data[5:]
+    if count == 0:
+        return []
+    if tag == _ARRAY_ELEMENT_BOOL:
+        return [bool(value) for value in struct.unpack_from(f"<{count}B", body)]
+    if tag == _ARRAY_ELEMENT_INT:
+        return list(struct.unpack_from(f"<{count}q", body))
+    if tag == _ARRAY_ELEMENT_FLOAT:
+        return list(struct.unpack_from(f"<{count}d", body))
+    if tag == _ARRAY_ELEMENT_STRING:
+        values: List[PropertyValue] = []
+        offset = 0
+        for _ in range(count):
+            (length,) = struct.unpack_from("<I", body, offset)
+            offset += 4
+            values.append(body[offset:offset + length].decode("utf-8"))
+            offset += length
+        return values
+    raise StoreCorruptionError(f"unknown array element tag {tag}")
+
+
+class PropertyStore:
+    """File of property records plus the dynamic store for oversized values."""
+
+    def __init__(
+        self,
+        paged_file: PagedFile,
+        value_store: DynamicStore,
+        store_name: str = "property",
+    ) -> None:
+        self._records: RecordStore[PropertyRecord] = RecordStore(
+            paged_file, PropertyRecord, store_name
+        )
+        self._values = value_store
+        self._allocator = IdAllocator()
+        self._lock = threading.RLock()
+        self._allocator.rebuild(self._records.used_ids())
+
+    @property
+    def name(self) -> str:
+        """Store name used in diagnostics."""
+        return self._records.name
+
+    # -- value encoding ----------------------------------------------------
+
+    def _encode_value(self, value: PropertyValue) -> Tuple[int, bytes]:
+        """Encode a value into ``(type_tag, inline_bytes)``.
+
+        Values that do not fit inline are written to the dynamic store and the
+        inline bytes hold the block reference.
+        """
+        if isinstance(value, bool):
+            return PropertyType.BOOL, struct.pack("<q", 1 if value else 0)
+        if isinstance(value, int):
+            return PropertyType.INT, struct.pack("<q", value)
+        if isinstance(value, float):
+            return PropertyType.FLOAT, struct.pack("<d", value)
+        if isinstance(value, str):
+            raw = value.encode("utf-8")
+            if len(raw) <= SHORT_STRING_LIMIT:
+                return PropertyType.SHORT_STRING, bytes([len(raw)]) + raw
+            block = self._values.write_bytes(raw)
+            return PropertyType.LONG_STRING, struct.pack("<q", block)
+        if isinstance(value, (list, tuple)):
+            block = self._values.write_bytes(encode_array(list(value)))
+            return PropertyType.ARRAY, struct.pack("<q", block)
+        raise InvalidPropertyValueError(
+            f"cannot encode property value of type {type(value).__name__}"
+        )
+
+    def _decode_value(self, value_type: int, inline: bytes) -> PropertyValue:
+        if value_type == PropertyType.BOOL:
+            return bool(struct.unpack_from("<q", inline)[0])
+        if value_type == PropertyType.INT:
+            return struct.unpack_from("<q", inline)[0]
+        if value_type == PropertyType.FLOAT:
+            return struct.unpack_from("<d", inline)[0]
+        if value_type == PropertyType.SHORT_STRING:
+            length = inline[0]
+            return inline[1:1 + length].decode("utf-8")
+        if value_type == PropertyType.LONG_STRING:
+            block = struct.unpack_from("<q", inline)[0]
+            return self._values.read_bytes(block).decode("utf-8")
+        if value_type == PropertyType.ARRAY:
+            block = struct.unpack_from("<q", inline)[0]
+            return decode_array(self._values.read_bytes(block))
+        raise StoreCorruptionError(f"unknown property type tag {value_type}")
+
+    def _free_value(self, value_type: int, inline: bytes) -> None:
+        if value_type in (PropertyType.LONG_STRING, PropertyType.ARRAY):
+            block = struct.unpack_from("<q", inline)[0]
+            self._values.free_chain(block)
+
+    # -- chain management ---------------------------------------------------
+
+    def write_chain(self, properties: Dict[int, PropertyValue]) -> int:
+        """Write a property map (keyed by key token id) as a fresh chain.
+
+        Returns the record id of the chain head, or ``NULL_REF`` for an empty
+        map.
+        """
+        if not properties:
+            return NULL_REF
+        with self._lock:
+            items = sorted(properties.items())
+            record_ids = [self._allocator.allocate() for _ in items]
+            for index, (key_id, value) in enumerate(items):
+                value_type, inline = self._encode_value(value)
+                record = PropertyRecord(
+                    in_use=True,
+                    key_id=key_id,
+                    value_type=value_type,
+                    inline_value=inline,
+                    prev_prop=record_ids[index - 1] if index > 0 else NULL_REF,
+                    next_prop=(
+                        record_ids[index + 1] if index + 1 < len(record_ids) else NULL_REF
+                    ),
+                )
+                self._records.write(record_ids[index], record)
+            return record_ids[0]
+
+    def read_chain(self, first_prop: int) -> Dict[int, PropertyValue]:
+        """Read a property chain back into a ``{key_id: value}`` map."""
+        properties: Dict[int, PropertyValue] = {}
+        record_id = first_prop
+        seen = set()
+        with self._lock:
+            while record_id != NULL_REF:
+                if record_id in seen:
+                    raise StoreCorruptionError(
+                        f"{self.name}: property chain cycle at record {record_id}"
+                    )
+                seen.add(record_id)
+                record = self._records.read(record_id)
+                if not record.in_use:
+                    raise StoreCorruptionError(
+                        f"{self.name}: property record {record_id} is not in use"
+                    )
+                properties[record.key_id] = self._decode_value(
+                    record.value_type, record.inline_value
+                )
+                record_id = record.next_prop
+        return properties
+
+    def free_chain(self, first_prop: int) -> int:
+        """Free a property chain (and any dynamic values it references)."""
+        freed = 0
+        record_id = first_prop
+        with self._lock:
+            while record_id != NULL_REF:
+                record = self._records.read(record_id)
+                if not record.in_use:
+                    break
+                self._free_value(record.value_type, record.inline_value)
+                next_prop = record.next_prop
+                self._records.mark_not_in_use(record_id)
+                self._allocator.free(record_id)
+                freed += 1
+                record_id = next_prop
+        return freed
+
+    def replace_chain(self, first_prop: int, properties: Dict[int, PropertyValue]) -> int:
+        """Free the existing chain and write a new one; returns the new head."""
+        with self._lock:
+            if first_prop != NULL_REF:
+                self.free_chain(first_prop)
+            return self.write_chain(properties)
+
+    def records_in_use(self) -> int:
+        """Number of live property records (linear scan)."""
+        return self._records.count_in_use()
+
+    def flush(self) -> None:
+        """Flush property records and the dynamic value store."""
+        self._records.flush()
+        self._values.flush()
+
+    def close(self) -> None:
+        """Close property records (the dynamic store is owned by the manager)."""
+        self._records.close()

@@ -1,0 +1,400 @@
+"""Fixed-size record formats and the generic record store.
+
+Section 2 of the paper describes Neo4j's storage layout: "Nodes are kept in a
+file whose position is determined by the node identifier", relationships live
+in a second file and properties in a third.  This module defines the binary
+record formats for those files and a generic :class:`RecordStore` that reads
+and writes one record type through a :class:`~repro.graph.paging.PagedFile`.
+
+Record layouts (little-endian):
+
+``NodeRecord`` (32 bytes)
+    ``in_use``, ``first_rel`` (head of the node's relationship chain),
+    ``first_prop`` (head of the property chain), ``label_ref`` (dynamic-store
+    chain holding the node's label token ids).
+
+``RelationshipRecord`` (64 bytes)
+    ``in_use``, ``start_node``, ``end_node``, ``type_id`` and the four chain
+    pointers Neo4j uses to thread each relationship into the relationship
+    chains of both of its endpoint nodes, plus ``first_prop``.
+
+``PropertyRecord`` (32 bytes)
+    ``in_use``, ``key_id``, ``value_type``, an 8-byte inline value slot (or a
+    pointer into a dynamic store for long strings and arrays) and ``prev`` /
+    ``next`` chain pointers.
+
+``DynamicRecord`` (64 bytes)
+    chained variable-length blocks used for long strings, arrays and label
+    lists.
+
+``TokenRecord`` (16 bytes)
+    one interned token name, stored as a pointer into a dynamic store.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Generic, Iterator, List, Optional, Type, TypeVar
+
+from repro.errors import StoreCorruptionError
+from repro.graph.paging import PagedFile
+
+#: Null reference used by every chain pointer field.
+NULL_REF = -1
+
+#: Size in bytes of the per-store header written at offset zero.
+STORE_HEADER_SIZE = 16
+
+#: Magic number identifying a repro record store file.
+STORE_MAGIC = b"RPRO"
+
+#: On-disk format version, bumped when any record layout changes.
+STORE_FORMAT_VERSION = 1
+
+
+@dataclass
+class NodeRecord:
+    """One slot in the node store."""
+
+    in_use: bool = False
+    first_rel: int = NULL_REF
+    first_prop: int = NULL_REF
+    label_ref: int = NULL_REF
+
+    FORMAT = "<Bqqq"
+    RECORD_SIZE = 32
+
+    def pack(self) -> bytes:
+        data = struct.pack(
+            self.FORMAT,
+            1 if self.in_use else 0,
+            self.first_rel,
+            self.first_prop,
+            self.label_ref,
+        )
+        return data.ljust(self.RECORD_SIZE, b"\x00")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "NodeRecord":
+        try:
+            in_use, first_rel, first_prop, label_ref = struct.unpack_from(
+                cls.FORMAT, data
+            )
+        except struct.error as exc:
+            raise StoreCorruptionError(f"cannot decode node record: {exc}") from exc
+        return cls(
+            in_use=bool(in_use),
+            first_rel=first_rel,
+            first_prop=first_prop,
+            label_ref=label_ref,
+        )
+
+
+@dataclass
+class RelationshipRecord:
+    """One slot in the relationship store.
+
+    ``start_prev`` / ``start_next`` link this record into the relationship
+    chain of its start node; ``end_prev`` / ``end_next`` into the chain of its
+    end node (for self-loops only the start-side pointers are used).
+    """
+
+    in_use: bool = False
+    start_node: int = NULL_REF
+    end_node: int = NULL_REF
+    type_id: int = NULL_REF
+    start_prev: int = NULL_REF
+    start_next: int = NULL_REF
+    end_prev: int = NULL_REF
+    end_next: int = NULL_REF
+    first_prop: int = NULL_REF
+
+    FORMAT = "<Bqqiqqqqq"
+    RECORD_SIZE = 64
+
+    def pack(self) -> bytes:
+        data = struct.pack(
+            self.FORMAT,
+            1 if self.in_use else 0,
+            self.start_node,
+            self.end_node,
+            self.type_id,
+            self.start_prev,
+            self.start_next,
+            self.end_prev,
+            self.end_next,
+            self.first_prop,
+        )
+        return data.ljust(self.RECORD_SIZE, b"\x00")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "RelationshipRecord":
+        try:
+            fields = struct.unpack_from(cls.FORMAT, data)
+        except struct.error as exc:
+            raise StoreCorruptionError(
+                f"cannot decode relationship record: {exc}"
+            ) from exc
+        (
+            in_use,
+            start_node,
+            end_node,
+            type_id,
+            start_prev,
+            start_next,
+            end_prev,
+            end_next,
+            first_prop,
+        ) = fields
+        return cls(
+            in_use=bool(in_use),
+            start_node=start_node,
+            end_node=end_node,
+            type_id=type_id,
+            start_prev=start_prev,
+            start_next=start_next,
+            end_prev=end_prev,
+            end_next=end_next,
+            first_prop=first_prop,
+        )
+
+
+@dataclass
+class PropertyRecord:
+    """One slot in the property store (a link in an entity's property chain)."""
+
+    in_use: bool = False
+    key_id: int = NULL_REF
+    value_type: int = 0
+    inline_value: bytes = b"\x00" * 8
+    prev_prop: int = NULL_REF
+    next_prop: int = NULL_REF
+
+    FORMAT = "<BiB8sqq"
+    RECORD_SIZE = 32
+
+    def pack(self) -> bytes:
+        inline = self.inline_value.ljust(8, b"\x00")[:8]
+        data = struct.pack(
+            self.FORMAT,
+            1 if self.in_use else 0,
+            self.key_id,
+            self.value_type,
+            inline,
+            self.prev_prop,
+            self.next_prop,
+        )
+        return data.ljust(self.RECORD_SIZE, b"\x00")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "PropertyRecord":
+        try:
+            in_use, key_id, value_type, inline, prev_prop, next_prop = (
+                struct.unpack_from(cls.FORMAT, data)
+            )
+        except struct.error as exc:
+            raise StoreCorruptionError(
+                f"cannot decode property record: {exc}"
+            ) from exc
+        return cls(
+            in_use=bool(in_use),
+            key_id=key_id,
+            value_type=value_type,
+            inline_value=inline,
+            prev_prop=prev_prop,
+            next_prop=next_prop,
+        )
+
+
+@dataclass
+class DynamicRecord:
+    """One block of a chained variable-length value."""
+
+    in_use: bool = False
+    length: int = 0
+    next_block: int = NULL_REF
+    payload: bytes = b""
+
+    HEADER_FORMAT = "<BIq"
+    RECORD_SIZE = 64
+    PAYLOAD_SIZE = RECORD_SIZE - struct.calcsize(HEADER_FORMAT)
+
+    def pack(self) -> bytes:
+        payload = self.payload.ljust(self.PAYLOAD_SIZE, b"\x00")[: self.PAYLOAD_SIZE]
+        header = struct.pack(
+            self.HEADER_FORMAT,
+            1 if self.in_use else 0,
+            self.length,
+            self.next_block,
+        )
+        return header + payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "DynamicRecord":
+        try:
+            in_use, length, next_block = struct.unpack_from(cls.HEADER_FORMAT, data)
+        except struct.error as exc:
+            raise StoreCorruptionError(f"cannot decode dynamic record: {exc}") from exc
+        header_size = struct.calcsize(cls.HEADER_FORMAT)
+        payload = data[header_size:header_size + cls.PAYLOAD_SIZE][:length]
+        if length > cls.PAYLOAD_SIZE:
+            raise StoreCorruptionError(
+                f"dynamic record claims {length} payload bytes, "
+                f"maximum is {cls.PAYLOAD_SIZE}"
+            )
+        return cls(
+            in_use=bool(in_use),
+            length=length,
+            next_block=next_block,
+            payload=payload,
+        )
+
+
+@dataclass
+class TokenRecord:
+    """One interned token (label, relationship type or property key) name."""
+
+    in_use: bool = False
+    name_ref: int = NULL_REF
+
+    FORMAT = "<Bq"
+    RECORD_SIZE = 16
+
+    def pack(self) -> bytes:
+        data = struct.pack(self.FORMAT, 1 if self.in_use else 0, self.name_ref)
+        return data.ljust(self.RECORD_SIZE, b"\x00")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TokenRecord":
+        try:
+            in_use, name_ref = struct.unpack_from(cls.FORMAT, data)
+        except struct.error as exc:
+            raise StoreCorruptionError(f"cannot decode token record: {exc}") from exc
+        return cls(in_use=bool(in_use), name_ref=name_ref)
+
+
+RecordT = TypeVar(
+    "RecordT", NodeRecord, RelationshipRecord, PropertyRecord, DynamicRecord, TokenRecord
+)
+
+
+class RecordStore(Generic[RecordT]):
+    """A file of fixed-size records addressed by record id.
+
+    The record id determines the byte offset directly — exactly the property
+    of Neo4j's store files that Section 2 of the paper points out ("whose
+    position is determined by the node identifier").
+    """
+
+    def __init__(
+        self, paged_file: PagedFile, record_class: Type[RecordT], store_name: str
+    ) -> None:
+        self._file = paged_file
+        self._record_class = record_class
+        self._record_size: int = record_class.RECORD_SIZE
+        self._name = store_name
+        self._lock = threading.RLock()
+        self._high_water = self._infer_high_water()
+        self._ensure_header()
+
+    @property
+    def name(self) -> str:
+        """Store name used in write-ahead log entries and error messages."""
+        return self._name
+
+    @property
+    def record_size(self) -> int:
+        """Size in bytes of one record slot."""
+        return self._record_size
+
+    def high_water_mark(self) -> int:
+        """One past the highest record id ever written."""
+        with self._lock:
+            return self._high_water
+
+    def read(self, record_id: int) -> RecordT:
+        """Read the record at ``record_id`` (never-written slots read as not in use)."""
+        if record_id < 0:
+            raise ValueError(f"record id must be non-negative, got {record_id}")
+        data = self._file.read(self._offset(record_id), self._record_size)
+        return self._record_class.unpack(data)
+
+    def write(self, record_id: int, record: RecordT) -> None:
+        """Write ``record`` into slot ``record_id``."""
+        if record_id < 0:
+            raise ValueError(f"record id must be non-negative, got {record_id}")
+        self._file.write(self._offset(record_id), record.pack())
+        with self._lock:
+            if record_id >= self._high_water:
+                self._high_water = record_id + 1
+
+    def mark_not_in_use(self, record_id: int) -> None:
+        """Clear the in-use flag of a slot (the rest of the bytes are kept)."""
+        record = self.read(record_id)
+        record.in_use = False
+        self.write(record_id, record)
+
+    def iter_used_ids(self) -> Iterator[int]:
+        """Yield every record id whose slot is marked in use."""
+        for record_id in range(self.high_water_mark()):
+            if self.read(record_id).in_use:
+                yield record_id
+
+    def iter_used_records(self) -> Iterator[tuple]:
+        """Yield ``(record_id, record)`` for every in-use slot."""
+        for record_id in range(self.high_water_mark()):
+            record = self.read(record_id)
+            if record.in_use:
+                yield record_id, record
+
+    def used_ids(self) -> List[int]:
+        """All in-use record ids as a list (used to rebuild id allocators)."""
+        return list(self.iter_used_ids())
+
+    def count_in_use(self) -> int:
+        """Number of in-use records (linear scan)."""
+        return sum(1 for _ in self.iter_used_ids())
+
+    def flush(self) -> None:
+        """Flush the underlying paged file."""
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying paged file."""
+        self._file.close()
+
+    # -- internal ----------------------------------------------------------
+
+    def _offset(self, record_id: int) -> int:
+        return STORE_HEADER_SIZE + record_id * self._record_size
+
+    def _infer_high_water(self) -> int:
+        size = self._file.size()
+        if size <= STORE_HEADER_SIZE:
+            return 0
+        return (size - STORE_HEADER_SIZE + self._record_size - 1) // self._record_size
+
+    def _ensure_header(self) -> None:
+        header = self._file.read(0, STORE_HEADER_SIZE)
+        if header[:4] == b"\x00\x00\x00\x00":
+            fresh = struct.pack(
+                "<4sII", STORE_MAGIC, STORE_FORMAT_VERSION, self._record_size
+            ).ljust(STORE_HEADER_SIZE, b"\x00")
+            self._file.write(0, fresh)
+            return
+        magic, version, record_size = struct.unpack_from("<4sII", header)
+        if magic != STORE_MAGIC:
+            raise StoreCorruptionError(
+                f"store {self._name}: bad magic {magic!r}, expected {STORE_MAGIC!r}"
+            )
+        if version != STORE_FORMAT_VERSION:
+            raise StoreCorruptionError(
+                f"store {self._name}: format version {version} is not supported"
+            )
+        if record_size != self._record_size:
+            raise StoreCorruptionError(
+                f"store {self._name}: record size {record_size} on disk, "
+                f"expected {self._record_size}"
+            )

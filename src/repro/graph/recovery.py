@@ -1,0 +1,114 @@
+"""Startup recovery helpers and store consistency checking.
+
+Write-ahead-log replay itself lives in
+:meth:`repro.graph.store_manager.StoreManager._recover` (it runs automatically
+when a store is opened).  This module provides the complementary tool: a
+consistency checker that walks the record files and verifies the structural
+invariants the store manager is supposed to maintain — useful in tests, after
+crash-recovery scenarios, and as a debugging aid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.graph.records import NULL_REF
+from repro.graph.store_manager import StoreManager
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of a store consistency check."""
+
+    errors: List[str] = field(default_factory=list)
+    nodes_checked: int = 0
+    relationships_checked: int = 0
+
+    @property
+    def consistent(self) -> bool:
+        """True when no structural problems were found."""
+        return not self.errors
+
+    def add_error(self, message: str) -> None:
+        """Record one structural problem."""
+        self.errors.append(message)
+
+
+class ConsistencyChecker:
+    """Verifies the structural invariants of a persistent graph store.
+
+    Checks performed:
+
+    * every relationship's endpoints are in-use nodes,
+    * every relationship is reachable from both of its endpoints' chains,
+    * every relationship chain only contains relationships that touch the
+      chain's node, and
+    * property and label chains of in-use entities decode without errors.
+    """
+
+    def __init__(self, store: StoreManager) -> None:
+        self._store = store
+
+    def check(self) -> ConsistencyReport:
+        """Run all checks and return a report."""
+        report = ConsistencyReport()
+        self._check_relationships(report)
+        self._check_nodes(report)
+        return report
+
+    def _check_relationships(self, report: ConsistencyReport) -> None:
+        store = self._store
+        for rel_id in store.iter_relationship_ids():
+            report.relationships_checked += 1
+            record = store.relationships.read(rel_id)
+            for node_id in {record.start_node, record.end_node}:
+                if not store.nodes.exists(node_id):
+                    report.add_error(
+                        f"relationship {rel_id} references missing node {node_id}"
+                    )
+                    continue
+                chain = store.node_relationship_ids(node_id)
+                if rel_id not in chain:
+                    report.add_error(
+                        f"relationship {rel_id} is not in the chain of node {node_id}"
+                    )
+            try:
+                store.read_relationship(rel_id)
+            except Exception as exc:  # noqa: BLE001 - report, do not crash
+                report.add_error(f"relationship {rel_id} cannot be decoded: {exc}")
+
+    def _check_nodes(self, report: ConsistencyReport) -> None:
+        store = self._store
+        for node_id in store.iter_node_ids():
+            report.nodes_checked += 1
+            try:
+                chain = store.node_relationship_ids(node_id)
+            except Exception as exc:  # noqa: BLE001 - report, do not crash
+                report.add_error(f"node {node_id} has a broken relationship chain: {exc}")
+                continue
+            for rel_id in chain:
+                record = store.relationships.read(rel_id)
+                if not record.in_use:
+                    report.add_error(
+                        f"node {node_id} chain references unused relationship {rel_id}"
+                    )
+                elif node_id not in (record.start_node, record.end_node):
+                    report.add_error(
+                        f"node {node_id} chain contains foreign relationship {rel_id}"
+                    )
+            record = store.nodes.read(node_id)
+            if record.first_rel != NULL_REF and not store.relationships.exists(record.first_rel):
+                report.add_error(
+                    f"node {node_id} first_rel points at missing relationship "
+                    f"{record.first_rel}"
+                )
+            try:
+                store.read_node(node_id)
+            except Exception as exc:  # noqa: BLE001 - report, do not crash
+                report.add_error(f"node {node_id} cannot be decoded: {exc}")
+
+
+def check_store(store: StoreManager) -> ConsistencyReport:
+    """Convenience wrapper: run a full consistency check on ``store``."""
+    return ConsistencyChecker(store).check()

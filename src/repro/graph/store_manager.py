@@ -1,0 +1,558 @@
+"""Store manager: the logical face of the persistent store.
+
+Everything above this module (transaction managers, indexes, the MVCC layer)
+speaks :class:`~repro.graph.entity.NodeData` and
+:class:`~repro.graph.entity.RelationshipData`; this module translates those
+logical entities into record writes across the node, relationship, property,
+dynamic and token stores, maintains the per-node relationship chains, logs
+every mutation to the write-ahead log, and replays the log on startup.
+
+The snapshot-isolation layer relies on one property of this class that the
+paper calls out explicitly in Section 4: **only the most recent committed
+version of an entity is ever written to the persistent store** — the store
+manager has no notion of versions at all.  Older versions live purely in the
+object cache above.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import (
+    ConstraintViolationError,
+    EntityNotFoundError,
+    NodeNotFoundError,
+    RelationshipNotFoundError,
+)
+from repro.graph.dynamic_store import DynamicStore
+from repro.graph.entity import Direction, NodeData, RelationshipData
+from repro.graph.node_store import NodeStore
+from repro.graph.operations import (
+    DeleteNodeOp,
+    DeleteRelationshipOp,
+    StoreOperation,
+    WriteNodeOp,
+    WriteRelationshipOp,
+    operations_from_payloads,
+    operations_to_payloads,
+)
+from repro.graph.paging import (
+    DEFAULT_PAGE_CAPACITY,
+    DEFAULT_PAGE_SIZE,
+    PageCache,
+    PagedFile,
+    open_backend,
+)
+from repro.graph.property_store import PropertyStore
+from repro.graph.records import NULL_REF, RelationshipRecord, NodeRecord
+from repro.graph.relationship_store import RelationshipStore
+from repro.graph.token_store import TokenStore
+from repro.graph.tokens import TokenSet
+from repro.graph.wal import WriteAheadLog
+from repro.graph.properties import PropertyValue
+
+
+class StoreManagerStats:
+    """Mutation counters used by the persistence experiment (E8) and tests."""
+
+    def __init__(self) -> None:
+        self.node_writes = 0
+        self.relationship_writes = 0
+        self.node_deletes = 0
+        self.relationship_deletes = 0
+        self.batches_applied = 0
+        self.batches_replayed = 0
+
+    def entity_writes(self) -> int:
+        """Total number of logical entity writes flushed to the store."""
+        return self.node_writes + self.relationship_writes
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view of the counters."""
+        return {
+            "node_writes": self.node_writes,
+            "relationship_writes": self.relationship_writes,
+            "node_deletes": self.node_deletes,
+            "relationship_deletes": self.relationship_deletes,
+            "batches_applied": self.batches_applied,
+            "batches_replayed": self.batches_replayed,
+            "entity_writes": self.entity_writes(),
+        }
+
+
+class StoreManager:
+    """Owns every store file and exposes the logical read/write API."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        page_cache_pages: int = DEFAULT_PAGE_CAPACITY,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        wal_enabled: bool = True,
+        wal_sync: bool = False,
+        reuse_entity_ids: bool = True,
+    ) -> None:
+        """Open (or create) a graph store.
+
+        ``path`` is a directory; ``None`` keeps everything in memory.  With
+        ``wal_enabled`` every applied batch is logged before it touches the
+        stores and the log is replayed on the next open.  ``wal_sync``
+        controls whether commits fsync the log (off by default because the
+        benchmarks measure concurrency-control costs, not disk latency).
+        ``reuse_entity_ids`` is disabled by the multi-version engine so that
+        node/relationship ids are never recycled while old versions of a
+        deleted entity may still be readable by an open snapshot.
+        """
+        self._path = path
+        self._lock = threading.RLock()
+        self._closed = False
+        self.stats = StoreManagerStats()
+        self.page_cache = PageCache(page_cache_pages, page_size)
+
+        def paged(name: str) -> PagedFile:
+            file_path = None if path is None else os.path.join(path, name)
+            return PagedFile(open_backend(file_path), self.page_cache)
+
+        self._label_dynamic = DynamicStore(paged("labels.dyn"), "label-dynamic")
+        self._value_dynamic = DynamicStore(paged("values.dyn"), "value-dynamic")
+        self._name_dynamic = DynamicStore(paged("names.dyn"), "name-dynamic")
+        self.nodes = NodeStore(
+            paged("node.store"), self._label_dynamic, reuse_ids=reuse_entity_ids
+        )
+        self.relationships = RelationshipStore(
+            paged("relationship.store"), reuse_ids=reuse_entity_ids
+        )
+        self.properties = PropertyStore(paged("property.store"), self._value_dynamic)
+        self._label_tokens = TokenStore(paged("label_tokens.store"), self._name_dynamic, "label-tokens")
+        self._type_tokens = TokenStore(paged("type_tokens.store"), self._name_dynamic, "type-tokens")
+        self._key_tokens = TokenStore(paged("key_tokens.store"), self._name_dynamic, "key-tokens")
+
+        self.tokens = TokenSet(
+            on_create_label=self._label_tokens.create,
+            on_create_type=self._type_tokens.create,
+            on_create_key=self._key_tokens.create,
+        )
+        self._load_tokens()
+
+        wal_path = None if path is None else os.path.join(path, "wal.log")
+        self._wal_enabled = wal_enabled
+        self.wal = WriteAheadLog(wal_path if wal_enabled else None, sync_on_commit=wal_sync)
+        if wal_enabled:
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def path(self) -> Optional[str]:
+        """Directory holding the store files (``None`` when in memory)."""
+        return self._path
+
+    def checkpoint(self) -> None:
+        """Flush all dirty pages to the backends and reset the write-ahead log."""
+        with self._lock:
+            self.page_cache.flush()
+            for store in (self.nodes, self.relationships, self.properties):
+                store.flush()
+            self._label_dynamic.flush()
+            self._value_dynamic.flush()
+            self._name_dynamic.flush()
+            self._label_tokens.flush()
+            self._type_tokens.flush()
+            self._key_tokens.flush()
+            self.wal.checkpoint()
+
+    def close(self) -> None:
+        """Checkpoint and close every store file."""
+        with self._lock:
+            if self._closed:
+                return
+            self.checkpoint()
+            for closable in (
+                self.nodes,
+                self.relationships,
+                self.properties,
+                self._label_dynamic,
+                self._value_dynamic,
+                self._name_dynamic,
+                self._label_tokens,
+                self._type_tokens,
+                self._key_tokens,
+            ):
+                closable.close()
+            self.wal.close()
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # id allocation
+    # ------------------------------------------------------------------
+
+    def allocate_node_id(self) -> int:
+        """Reserve a node id for a not-yet-committed node."""
+        return self.nodes.allocate_id()
+
+    def allocate_relationship_id(self) -> int:
+        """Reserve a relationship id for a not-yet-committed relationship."""
+        return self.relationships.allocate_id()
+
+    # ------------------------------------------------------------------
+    # batched application (the commit path)
+    # ------------------------------------------------------------------
+
+    def apply_batch(self, txn_id: int, operations: List[StoreOperation]) -> None:
+        """Log and apply one committed transaction's store operations.
+
+        The write-ahead log entry is appended before any store file is
+        touched, so a crash in the middle of application is repaired by
+        replay on the next open.
+        """
+        if not operations:
+            return
+        with self._lock:
+            if self._wal_enabled:
+                self.wal.append_commit(txn_id, operations_to_payloads(operations))
+            for operation in operations:
+                self._apply_operation(operation)
+            self.stats.batches_applied += 1
+
+    def _apply_operation(self, operation: StoreOperation) -> None:
+        if isinstance(operation, WriteNodeOp):
+            self.write_node(operation.node, _log=False)
+        elif isinstance(operation, DeleteNodeOp):
+            self.delete_node(operation.node_id, _log=False, missing_ok=True)
+        elif isinstance(operation, WriteRelationshipOp):
+            self.write_relationship(operation.relationship, _log=False)
+        elif isinstance(operation, DeleteRelationshipOp):
+            self.delete_relationship(operation.rel_id, _log=False, missing_ok=True)
+        else:  # pragma: no cover - exhaustive over StoreOperation
+            raise TypeError(f"unknown store operation {operation!r}")
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+
+    def write_node(self, node: NodeData, *, _log: bool = True) -> None:
+        """Create or overwrite a node's persistent state."""
+        with self._lock:
+            if _log and self._wal_enabled:
+                self.wal.append_commit(0, operations_to_payloads([WriteNodeOp(node)]))
+            self.nodes.mark_id_used(node.node_id)
+            record = self.nodes.read(node.node_id)
+            if record.in_use:
+                self.nodes.free_labels(record.label_ref)
+                self.properties.free_chain(record.first_prop)
+            else:
+                record = NodeRecord(in_use=True)
+            record.in_use = True
+            record.label_ref = self.nodes.write_labels(
+                [self.tokens.labels.get_or_create(label) for label in node.labels]
+            )
+            record.first_prop = self.properties.write_chain(
+                self._encode_property_keys(node.properties)
+            )
+            self.nodes.write(node.node_id, record)
+            self.stats.node_writes += 1
+
+    def read_node(self, node_id: int) -> Optional[NodeData]:
+        """Read a node's persistent state, or ``None`` if the slot is unused."""
+        with self._lock:
+            if not self.nodes.exists(node_id):
+                return None
+            record = self.nodes.read(node_id)
+            labels = frozenset(
+                self.tokens.labels.name_of(label_id)
+                for label_id in self.nodes.read_labels(record.label_ref)
+            )
+            properties = self._decode_property_keys(
+                self.properties.read_chain(record.first_prop)
+            )
+            return NodeData(node_id=node_id, labels=labels, properties=properties)
+
+    def delete_node(
+        self, node_id: int, *, _log: bool = True, missing_ok: bool = False
+    ) -> None:
+        """Delete a node's persistent state.
+
+        The node must have no relationships left in the store; higher layers
+        are responsible for detach semantics.
+        """
+        with self._lock:
+            if not self.nodes.exists(node_id):
+                if missing_ok:
+                    return
+                raise NodeNotFoundError(node_id)
+            record = self.nodes.read(node_id)
+            if record.first_rel != NULL_REF:
+                raise ConstraintViolationError(
+                    f"node {node_id} still has relationships in the store"
+                )
+            if _log and self._wal_enabled:
+                self.wal.append_commit(0, operations_to_payloads([DeleteNodeOp(node_id)]))
+            self.nodes.free_labels(record.label_ref)
+            self.properties.free_chain(record.first_prop)
+            self.nodes.delete(node_id)
+            self.stats.node_deletes += 1
+
+    def node_exists(self, node_id: int) -> bool:
+        """Whether the persistent store holds a node with this id."""
+        with self._lock:
+            return self.nodes.exists(node_id)
+
+    def iter_node_ids(self) -> Iterator[int]:
+        """Node ids present in the persistent store, in id order."""
+        with self._lock:
+            ids = list(self.nodes.iter_used_ids())
+        return iter(ids)
+
+    def iter_nodes(self) -> Iterator[NodeData]:
+        """Persistent node states, in id order."""
+        for node_id in self.iter_node_ids():
+            node = self.read_node(node_id)
+            if node is not None:
+                yield node
+
+    def node_count(self) -> int:
+        """Number of nodes in the persistent store."""
+        with self._lock:
+            return self.nodes.count()
+
+    # ------------------------------------------------------------------
+    # relationships
+    # ------------------------------------------------------------------
+
+    def write_relationship(self, relationship: RelationshipData, *, _log: bool = True) -> None:
+        """Create or overwrite a relationship's persistent state.
+
+        For an existing relationship only the property chain is replaced; the
+        endpoints and type of a relationship are immutable, as in Neo4j.
+        """
+        with self._lock:
+            if _log and self._wal_enabled:
+                self.wal.append_commit(
+                    0, operations_to_payloads([WriteRelationshipOp(relationship)])
+                )
+            self.relationships.mark_id_used(relationship.rel_id)
+            record = self.relationships.read(relationship.rel_id)
+            encoded_props = self._encode_property_keys(relationship.properties)
+            if record.in_use:
+                self.properties.free_chain(record.first_prop)
+                record.first_prop = self.properties.write_chain(encoded_props)
+                self.relationships.write(relationship.rel_id, record)
+            else:
+                self._require_node(relationship.start_node)
+                self._require_node(relationship.end_node)
+                record = RelationshipRecord(
+                    in_use=True,
+                    start_node=relationship.start_node,
+                    end_node=relationship.end_node,
+                    type_id=self.tokens.relationship_types.get_or_create(
+                        relationship.rel_type
+                    ),
+                    first_prop=self.properties.write_chain(encoded_props),
+                )
+                self._link_into_chains(relationship.rel_id, record)
+            self.stats.relationship_writes += 1
+
+    def read_relationship(self, rel_id: int) -> Optional[RelationshipData]:
+        """Read a relationship's persistent state, or ``None`` if unused."""
+        with self._lock:
+            if not self.relationships.exists(rel_id):
+                return None
+            record = self.relationships.read(rel_id)
+            properties = self._decode_property_keys(
+                self.properties.read_chain(record.first_prop)
+            )
+            return RelationshipData(
+                rel_id=rel_id,
+                rel_type=self.tokens.relationship_types.name_of(record.type_id),
+                start_node=record.start_node,
+                end_node=record.end_node,
+                properties=properties,
+            )
+
+    def delete_relationship(
+        self, rel_id: int, *, _log: bool = True, missing_ok: bool = False
+    ) -> None:
+        """Delete a relationship, unlinking it from both endpoint chains."""
+        with self._lock:
+            if not self.relationships.exists(rel_id):
+                if missing_ok:
+                    return
+                raise RelationshipNotFoundError(rel_id)
+            if _log and self._wal_enabled:
+                self.wal.append_commit(
+                    0, operations_to_payloads([DeleteRelationshipOp(rel_id)])
+                )
+            record = self.relationships.read(rel_id)
+            self._unlink_from_chain(rel_id, record, record.start_node)
+            if record.end_node != record.start_node:
+                self._unlink_from_chain(rel_id, record, record.end_node)
+            self.properties.free_chain(record.first_prop)
+            self.relationships.delete(rel_id)
+            self.stats.relationship_deletes += 1
+
+    def relationship_exists(self, rel_id: int) -> bool:
+        """Whether the persistent store holds a relationship with this id."""
+        with self._lock:
+            return self.relationships.exists(rel_id)
+
+    def iter_relationship_ids(self) -> Iterator[int]:
+        """Relationship ids present in the persistent store, in id order."""
+        with self._lock:
+            ids = list(self.relationships.iter_used_ids())
+        return iter(ids)
+
+    def iter_relationships(self) -> Iterator[RelationshipData]:
+        """Persistent relationship states, in id order."""
+        for rel_id in self.iter_relationship_ids():
+            relationship = self.read_relationship(rel_id)
+            if relationship is not None:
+                yield relationship
+
+    def relationship_count(self) -> int:
+        """Number of relationships in the persistent store."""
+        with self._lock:
+            return self.relationships.count()
+
+    def node_relationship_ids(
+        self, node_id: int, direction: Direction = Direction.BOTH
+    ) -> List[int]:
+        """Relationship ids attached to ``node_id``, found by walking its chain."""
+        with self._lock:
+            if not self.nodes.exists(node_id):
+                raise NodeNotFoundError(node_id)
+            result: List[int] = []
+            rel_id = self.nodes.read(node_id).first_rel
+            guard = 0
+            while rel_id != NULL_REF:
+                record = self.relationships.read(rel_id)
+                if direction.matches(node_id, record.start_node, record.end_node):
+                    result.append(rel_id)
+                rel_id = self._chain_next(record, node_id)
+                guard += 1
+                if guard > self.relationships.high_water_mark() + 1:
+                    raise EntityNotFoundError("relationship chain", node_id)
+            return result
+
+    def node_degree(self, node_id: int, direction: Direction = Direction.BOTH) -> int:
+        """Number of relationships attached to ``node_id``."""
+        return len(self.node_relationship_ids(node_id, direction))
+
+    # ------------------------------------------------------------------
+    # chain helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _chain_next(record: RelationshipRecord, node_id: int) -> int:
+        if record.start_node == node_id:
+            return record.start_next
+        return record.end_next
+
+    @staticmethod
+    def _chain_prev(record: RelationshipRecord, node_id: int) -> int:
+        if record.start_node == node_id:
+            return record.start_prev
+        return record.end_prev
+
+    @staticmethod
+    def _set_chain_next(record: RelationshipRecord, node_id: int, value: int) -> None:
+        if record.start_node == node_id:
+            record.start_next = value
+        else:
+            record.end_next = value
+
+    @staticmethod
+    def _set_chain_prev(record: RelationshipRecord, node_id: int, value: int) -> None:
+        if record.start_node == node_id:
+            record.start_prev = value
+        else:
+            record.end_prev = value
+
+    def _link_into_chains(self, rel_id: int, record: RelationshipRecord) -> None:
+        """Insert a new relationship at the head of both endpoint chains."""
+        endpoints = [record.start_node]
+        if record.end_node != record.start_node:
+            endpoints.append(record.end_node)
+        for node_id in endpoints:
+            node_record = self.nodes.read(node_id)
+            old_first = node_record.first_rel
+            if node_id == record.start_node:
+                record.start_prev = NULL_REF
+                record.start_next = old_first
+            else:
+                record.end_prev = NULL_REF
+                record.end_next = old_first
+            if old_first != NULL_REF:
+                neighbour = self.relationships.read(old_first)
+                self._set_chain_prev(neighbour, node_id, rel_id)
+                self.relationships.write(old_first, neighbour)
+            node_record.first_rel = rel_id
+            self.nodes.write(node_id, node_record)
+        self.relationships.write(rel_id, record)
+
+    def _unlink_from_chain(
+        self, rel_id: int, record: RelationshipRecord, node_id: int
+    ) -> None:
+        """Remove ``rel_id`` from one endpoint's relationship chain."""
+        prev_id = self._chain_prev(record, node_id)
+        next_id = self._chain_next(record, node_id)
+        if prev_id == NULL_REF:
+            node_record = self.nodes.read(node_id)
+            if node_record.first_rel == rel_id:
+                node_record.first_rel = next_id
+                self.nodes.write(node_id, node_record)
+        else:
+            prev_record = self.relationships.read(prev_id)
+            self._set_chain_next(prev_record, node_id, next_id)
+            self.relationships.write(prev_id, prev_record)
+        if next_id != NULL_REF:
+            next_record = self.relationships.read(next_id)
+            self._set_chain_prev(next_record, node_id, prev_id)
+            self.relationships.write(next_id, next_record)
+
+    # ------------------------------------------------------------------
+    # property key translation
+    # ------------------------------------------------------------------
+
+    def _encode_property_keys(self, properties) -> Dict[int, PropertyValue]:
+        return {
+            self.tokens.property_keys.get_or_create(key): (
+                list(value) if isinstance(value, tuple) else value
+            )
+            for key, value in properties.items()
+        }
+
+    def _decode_property_keys(self, properties: Dict[int, PropertyValue]) -> Dict[str, PropertyValue]:
+        return {
+            self.tokens.property_keys.name_of(key_id): value
+            for key_id, value in properties.items()
+        }
+
+    def _require_node(self, node_id: int) -> None:
+        if not self.nodes.exists(node_id):
+            raise NodeNotFoundError(node_id)
+
+    # ------------------------------------------------------------------
+    # startup
+    # ------------------------------------------------------------------
+
+    def _load_tokens(self) -> None:
+        self._label_tokens.populate_registry(self.tokens.labels)
+        self._type_tokens.populate_registry(self.tokens.relationship_types)
+        self._key_tokens.populate_registry(self.tokens.property_keys)
+
+    def _recover(self) -> None:
+        """Replay committed write-ahead-log batches left over from a crash."""
+        replayed = 0
+        for payloads in self.wal.replay():
+            operations = operations_from_payloads(payloads)
+            for operation in operations:
+                self._apply_operation(operation)
+            replayed += 1
+        self.stats.batches_replayed = replayed
+        if replayed:
+            self.checkpoint()

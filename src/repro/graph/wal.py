@@ -1,0 +1,197 @@
+"""Write-ahead log.
+
+Commits append a batch of logical store operations (serialised as JSON) to the
+log before the operations touch the store files.  On startup the log is
+replayed: every committed batch found after the last checkpoint is re-applied,
+which makes a crash between "log written" and "stores updated" harmless.
+
+Entry framing (little-endian)::
+
+    magic (1 byte) | type (1 byte) | txn_id (8 bytes) |
+    payload length (4 bytes) | payload | crc32 (4 bytes)
+
+The CRC covers type, txn_id and payload.  A torn or corrupt tail entry simply
+ends replay — everything before it is still recovered.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import WalError
+
+_ENTRY_MAGIC = 0xA5
+_HEADER_FORMAT = "<BBqI"
+_HEADER_SIZE = struct.calcsize(_HEADER_FORMAT)
+_CRC_SIZE = 4
+
+
+class LogRecordType:
+    """Entry types appearing in the write-ahead log."""
+
+    BEGIN = 1
+    OPERATION = 2
+    COMMIT = 3
+    CHECKPOINT = 4
+
+
+class WriteAheadLog:
+    """Append-only logical redo log.
+
+    With ``path=None`` the log lives in memory, which keeps the commit path
+    identical (useful for benchmarks) without touching disk.
+    """
+
+    def __init__(self, path: Optional[str] = None, *, sync_on_commit: bool = True) -> None:
+        self._path = path
+        self._sync_on_commit = sync_on_commit
+        self._lock = threading.Lock()
+        self._memory_buffer = bytearray()
+        self._fd: Optional[int] = None
+        if path is not None:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+        self.appended_batches = 0
+        self.replayed_batches = 0
+
+    @property
+    def path(self) -> Optional[str]:
+        """Log file path (``None`` for an in-memory log)."""
+        return self._path
+
+    # -- appending -----------------------------------------------------------
+
+    def append_commit(self, txn_id: int, operation_payloads: List[Dict[str, Any]]) -> None:
+        """Durably record one committed batch of logical operations."""
+        frames = [self._frame(LogRecordType.BEGIN, txn_id, b"")]
+        for payload in operation_payloads:
+            encoded = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+            frames.append(self._frame(LogRecordType.OPERATION, txn_id, encoded))
+        frames.append(self._frame(LogRecordType.COMMIT, txn_id, b""))
+        data = b"".join(frames)
+        with self._lock:
+            self._append_bytes(data)
+            if self._sync_on_commit and self._fd is not None:
+                os.fsync(self._fd)
+            self.appended_batches += 1
+
+    def checkpoint(self) -> None:
+        """Mark everything so far as applied and reset the log.
+
+        The caller must flush the store files *before* checkpointing.
+        """
+        with self._lock:
+            if self._fd is not None:
+                os.ftruncate(self._fd, 0)
+                os.lseek(self._fd, 0, os.SEEK_SET)
+                os.fsync(self._fd)
+            else:
+                self._memory_buffer.clear()
+
+    # -- replay ----------------------------------------------------------------
+
+    def replay(self) -> Iterator[List[Dict[str, Any]]]:
+        """Yield the operation payloads of every committed batch, in order.
+
+        Batches without a COMMIT entry (a crash mid-append) are dropped, as is
+        anything after the first corrupt entry.
+        """
+        data = self._read_all()
+        offset = 0
+        current_ops: List[Dict[str, Any]] = []
+        in_batch = False
+        while offset < len(data):
+            parsed = self._parse_entry(data, offset)
+            if parsed is None:
+                break
+            entry_type, _txn_id, payload, offset = parsed
+            if entry_type == LogRecordType.BEGIN:
+                current_ops = []
+                in_batch = True
+            elif entry_type == LogRecordType.OPERATION:
+                if in_batch:
+                    try:
+                        current_ops.append(json.loads(payload.decode("utf-8")))
+                    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                        raise WalError(f"corrupt operation payload in log: {exc}") from exc
+            elif entry_type == LogRecordType.COMMIT:
+                if in_batch:
+                    self.replayed_batches += 1
+                    yield current_ops
+                current_ops = []
+                in_batch = False
+            elif entry_type == LogRecordType.CHECKPOINT:
+                current_ops = []
+                in_batch = False
+
+    def entry_count(self) -> int:
+        """Number of well-formed entries currently in the log (for tests)."""
+        data = self._read_all()
+        offset = 0
+        count = 0
+        while offset < len(data):
+            parsed = self._parse_entry(data, offset)
+            if parsed is None:
+                break
+            offset = parsed[3]
+            count += 1
+        return count
+
+    def size_bytes(self) -> int:
+        """Current size of the log in bytes."""
+        with self._lock:
+            if self._fd is not None:
+                return os.fstat(self._fd).st_size
+            return len(self._memory_buffer)
+
+    def close(self) -> None:
+        """Close the log file (in-memory logs keep their buffer for inspection)."""
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    # -- internal -----------------------------------------------------------
+
+    def _frame(self, entry_type: int, txn_id: int, payload: bytes) -> bytes:
+        header = struct.pack(_HEADER_FORMAT, _ENTRY_MAGIC, entry_type, txn_id, len(payload))
+        crc = zlib.crc32(header[1:] + payload) & 0xFFFFFFFF
+        return header + payload + struct.pack("<I", crc)
+
+    def _append_bytes(self, data: bytes) -> None:
+        if self._fd is not None:
+            os.write(self._fd, data)
+        else:
+            self._memory_buffer.extend(data)
+
+    def _read_all(self) -> bytes:
+        with self._lock:
+            if self._fd is not None:
+                size = os.fstat(self._fd).st_size
+                return os.pread(self._fd, size, 0)
+            return bytes(self._memory_buffer)
+
+    def _parse_entry(self, data: bytes, offset: int):
+        if offset + _HEADER_SIZE > len(data):
+            return None
+        magic, entry_type, txn_id, length = struct.unpack_from(_HEADER_FORMAT, data, offset)
+        if magic != _ENTRY_MAGIC:
+            return None
+        end = offset + _HEADER_SIZE + length + _CRC_SIZE
+        if end > len(data):
+            return None
+        payload = data[offset + _HEADER_SIZE:offset + _HEADER_SIZE + length]
+        (stored_crc,) = struct.unpack_from("<I", data, offset + _HEADER_SIZE + length)
+        expected_crc = (
+            zlib.crc32(data[offset + 1:offset + _HEADER_SIZE] + payload) & 0xFFFFFFFF
+        )
+        if stored_crc != expected_crc:
+            return None
+        return entry_type, txn_id, payload, end

@@ -1,0 +1,21 @@
+"""Index subsystem.
+
+Section 2 of the paper lists three indexes in Neo4j: a label index and a
+property index for nodes, and a property index for relationships.  The classes
+here are the *unversioned* implementations used by the read-committed
+baseline engine and as the building blocks underneath the multi-versioned
+indexes of :mod:`repro.core.versioned_index`.
+"""
+
+from repro.index.label_index import LabelIndex
+from repro.index.property_index import PropertyIndex
+from repro.index.relationship_index import RelationshipPropertyIndex, RelationshipTypeIndex
+from repro.index.index_manager import IndexManager
+
+__all__ = [
+    "IndexManager",
+    "LabelIndex",
+    "PropertyIndex",
+    "RelationshipPropertyIndex",
+    "RelationshipTypeIndex",
+]

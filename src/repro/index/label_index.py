@@ -1,0 +1,64 @@
+"""Label index: label name → set of node ids."""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+
+class LabelIndex:
+    """Thread-safe mapping from label names to the node ids carrying them."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._nodes_by_label: Dict[str, Set[int]] = {}
+
+    def add(self, label: str, node_id: int) -> None:
+        """Record that ``node_id`` carries ``label``."""
+        with self._lock:
+            self._nodes_by_label.setdefault(label, set()).add(node_id)
+
+    def remove(self, label: str, node_id: int) -> None:
+        """Record that ``node_id`` no longer carries ``label``."""
+        with self._lock:
+            members = self._nodes_by_label.get(label)
+            if members is not None:
+                members.discard(node_id)
+
+    def update(self, node_id: int, old_labels: FrozenSet[str], new_labels: FrozenSet[str]) -> None:
+        """Apply a label-set change for one node."""
+        with self._lock:
+            for label in old_labels - new_labels:
+                members = self._nodes_by_label.get(label)
+                if members is not None:
+                    members.discard(node_id)
+            for label in new_labels - old_labels:
+                self._nodes_by_label.setdefault(label, set()).add(node_id)
+
+    def get(self, label: str) -> Set[int]:
+        """Node ids currently carrying ``label`` (a copy)."""
+        with self._lock:
+            return set(self._nodes_by_label.get(label, ()))
+
+    def labels(self) -> List[str]:
+        """All labels that have ever had at least one member."""
+        with self._lock:
+            return sorted(self._nodes_by_label)
+
+    def count(self, label: str) -> int:
+        """Number of nodes currently carrying ``label``."""
+        with self._lock:
+            return len(self._nodes_by_label.get(label, ()))
+
+    def remove_node(self, node_id: int, labels: Iterable[str]) -> None:
+        """Remove a deleted node from every one of its labels."""
+        with self._lock:
+            for label in labels:
+                members = self._nodes_by_label.get(label)
+                if members is not None:
+                    members.discard(node_id)
+
+    def clear(self) -> None:
+        """Drop every entry (used before a rebuild)."""
+        with self._lock:
+            self._nodes_by_label.clear()

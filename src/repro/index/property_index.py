@@ -1,0 +1,90 @@
+"""Node property index: (property key, value) → set of node ids."""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, Iterable, Mapping, Set, Tuple
+
+from repro.graph.properties import PropertyValue
+
+
+def hashable_value(value: PropertyValue) -> Hashable:
+    """Convert a property value into a hashable index key (arrays → tuples)."""
+    if isinstance(value, list):
+        return tuple(value)
+    if isinstance(value, tuple):
+        return value
+    return value
+
+
+class PropertyIndex:
+    """Thread-safe mapping from ``(key, value)`` pairs to node ids."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._nodes_by_entry: Dict[Tuple[str, Hashable], Set[int]] = {}
+
+    def add(self, key: str, value: PropertyValue, node_id: int) -> None:
+        """Record that ``node_id`` has property ``key`` = ``value``."""
+        entry = (key, hashable_value(value))
+        with self._lock:
+            self._nodes_by_entry.setdefault(entry, set()).add(node_id)
+
+    def remove(self, key: str, value: PropertyValue, node_id: int) -> None:
+        """Record that ``node_id`` no longer has property ``key`` = ``value``."""
+        entry = (key, hashable_value(value))
+        with self._lock:
+            members = self._nodes_by_entry.get(entry)
+            if members is not None:
+                members.discard(node_id)
+
+    def update(
+        self,
+        node_id: int,
+        old_properties: Mapping[str, PropertyValue],
+        new_properties: Mapping[str, PropertyValue],
+    ) -> None:
+        """Apply a property-map change for one node."""
+        with self._lock:
+            for key, value in old_properties.items():
+                if new_properties.get(key) != value or key not in new_properties:
+                    members = self._nodes_by_entry.get((key, hashable_value(value)))
+                    if members is not None:
+                        members.discard(node_id)
+            for key, value in new_properties.items():
+                if old_properties.get(key) != value or key not in old_properties:
+                    self._nodes_by_entry.setdefault(
+                        (key, hashable_value(value)), set()
+                    ).add(node_id)
+
+    def get(self, key: str, value: PropertyValue) -> Set[int]:
+        """Node ids with property ``key`` = ``value`` (a copy)."""
+        with self._lock:
+            return set(self._nodes_by_entry.get((key, hashable_value(value)), ()))
+
+    def get_by_key(self, key: str) -> Set[int]:
+        """Node ids that have *any* value for ``key``."""
+        with self._lock:
+            result: Set[int] = set()
+            for (entry_key, _value), members in self._nodes_by_entry.items():
+                if entry_key == key:
+                    result.update(members)
+            return result
+
+    def remove_node(self, node_id: int, properties: Mapping[str, PropertyValue]) -> None:
+        """Remove a deleted node from every entry it appears in."""
+        with self._lock:
+            for key, value in properties.items():
+                members = self._nodes_by_entry.get((key, hashable_value(value)))
+                if members is not None:
+                    members.discard(node_id)
+
+    def entry_count(self) -> int:
+        """Number of distinct ``(key, value)`` entries."""
+        with self._lock:
+            return len(self._nodes_by_entry)
+
+    def clear(self) -> None:
+        """Drop every entry (used before a rebuild)."""
+        with self._lock:
+            self._nodes_by_entry.clear()

@@ -1,0 +1,114 @@
+"""Relationship indexes.
+
+The paper mentions that Neo4j "maintains one index for relationships, mapping
+properties to [relationships] holding those properties"; a relationship-type
+index is also provided because the traversal framework and Cypher-lite planner
+both benefit from it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, Mapping, Set, Tuple
+
+from repro.graph.properties import PropertyValue
+from repro.index.property_index import hashable_value
+
+
+class RelationshipPropertyIndex:
+    """Thread-safe mapping from ``(key, value)`` pairs to relationship ids."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._rels_by_entry: Dict[Tuple[str, Hashable], Set[int]] = {}
+
+    def add(self, key: str, value: PropertyValue, rel_id: int) -> None:
+        """Record that relationship ``rel_id`` has property ``key`` = ``value``."""
+        with self._lock:
+            self._rels_by_entry.setdefault((key, hashable_value(value)), set()).add(rel_id)
+
+    def remove(self, key: str, value: PropertyValue, rel_id: int) -> None:
+        """Record that relationship ``rel_id`` no longer has that property value."""
+        with self._lock:
+            members = self._rels_by_entry.get((key, hashable_value(value)))
+            if members is not None:
+                members.discard(rel_id)
+
+    def update(
+        self,
+        rel_id: int,
+        old_properties: Mapping[str, PropertyValue],
+        new_properties: Mapping[str, PropertyValue],
+    ) -> None:
+        """Apply a property-map change for one relationship."""
+        with self._lock:
+            for key, value in old_properties.items():
+                if new_properties.get(key) != value or key not in new_properties:
+                    members = self._rels_by_entry.get((key, hashable_value(value)))
+                    if members is not None:
+                        members.discard(rel_id)
+            for key, value in new_properties.items():
+                if old_properties.get(key) != value or key not in old_properties:
+                    self._rels_by_entry.setdefault(
+                        (key, hashable_value(value)), set()
+                    ).add(rel_id)
+
+    def get(self, key: str, value: PropertyValue) -> Set[int]:
+        """Relationship ids with property ``key`` = ``value`` (a copy)."""
+        with self._lock:
+            return set(self._rels_by_entry.get((key, hashable_value(value)), ()))
+
+    def remove_relationship(
+        self, rel_id: int, properties: Mapping[str, PropertyValue]
+    ) -> None:
+        """Remove a deleted relationship from every entry it appears in."""
+        with self._lock:
+            for key, value in properties.items():
+                members = self._rels_by_entry.get((key, hashable_value(value)))
+                if members is not None:
+                    members.discard(rel_id)
+
+    def clear(self) -> None:
+        """Drop every entry (used before a rebuild)."""
+        with self._lock:
+            self._rels_by_entry.clear()
+
+
+class RelationshipTypeIndex:
+    """Thread-safe mapping from relationship type names to relationship ids."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._rels_by_type: Dict[str, Set[int]] = {}
+
+    def add(self, rel_type: str, rel_id: int) -> None:
+        """Record a relationship of the given type."""
+        with self._lock:
+            self._rels_by_type.setdefault(rel_type, set()).add(rel_id)
+
+    def remove(self, rel_type: str, rel_id: int) -> None:
+        """Forget a relationship of the given type."""
+        with self._lock:
+            members = self._rels_by_type.get(rel_type)
+            if members is not None:
+                members.discard(rel_id)
+
+    def get(self, rel_type: str) -> Set[int]:
+        """Relationship ids of the given type (a copy)."""
+        with self._lock:
+            return set(self._rels_by_type.get(rel_type, ()))
+
+    def types(self) -> Set[str]:
+        """All relationship types seen so far."""
+        with self._lock:
+            return set(self._rels_by_type)
+
+    def count(self, rel_type: str) -> int:
+        """Number of relationships of the given type."""
+        with self._lock:
+            return len(self._rels_by_type.get(rel_type, ()))
+
+    def clear(self) -> None:
+        """Drop every entry (used before a rebuild)."""
+        with self._lock:
+            self._rels_by_type.clear()

@@ -1,0 +1,74 @@
+"""Wait-for graph used for deadlock detection.
+
+The lock manager records a "transaction A waits for transaction B" edge
+whenever A blocks on a lock held by B.  Before A actually goes to sleep the
+graph is checked for a cycle through A; if one exists, A is chosen as the
+victim and receives :class:`~repro.errors.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Set
+
+
+class WaitForGraph:
+    """Thread-safe directed graph of waits-for edges between transaction ids."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._edges: Dict[int, Set[int]] = {}
+
+    def add_waits(self, waiter: int, holders: Iterable[int]) -> None:
+        """Record that ``waiter`` is blocked on each transaction in ``holders``."""
+        holders = {holder for holder in holders if holder != waiter}
+        if not holders:
+            return
+        with self._lock:
+            self._edges.setdefault(waiter, set()).update(holders)
+
+    def remove_waiter(self, waiter: int) -> None:
+        """Remove every outgoing edge of ``waiter`` (it stopped waiting)."""
+        with self._lock:
+            self._edges.pop(waiter, None)
+
+    def remove_transaction(self, txn_id: int) -> None:
+        """Remove a finished transaction from both sides of the graph."""
+        with self._lock:
+            self._edges.pop(txn_id, None)
+            for targets in self._edges.values():
+                targets.discard(txn_id)
+
+    def creates_cycle(self, waiter: int, holders: Iterable[int]) -> bool:
+        """Whether adding ``waiter -> holders`` edges would close a cycle.
+
+        The check is done *before* the edges are added so the caller can
+        refuse to wait instead of deadlocking.
+        """
+        holders = {holder for holder in holders if holder != waiter}
+        if not holders:
+            return False
+        with self._lock:
+            # Depth-first search from the holders; a path back to the waiter
+            # through existing edges means waiting would close a cycle.
+            stack: List[int] = list(holders)
+            seen: Set[int] = set()
+            while stack:
+                current = stack.pop()
+                if current == waiter:
+                    return True
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(self._edges.get(current, ()))
+            return False
+
+    def waiting_transactions(self) -> Set[int]:
+        """Ids of transactions currently recorded as waiting."""
+        with self._lock:
+            return set(self._edges)
+
+    def edge_count(self) -> int:
+        """Total number of waits-for edges (for tests and diagnostics)."""
+        with self._lock:
+            return sum(len(targets) for targets in self._edges.values())

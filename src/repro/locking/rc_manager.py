@@ -1,0 +1,118 @@
+"""Read-committed engine: Neo4j's stock transaction manager.
+
+Commits apply the transaction's buffered writes to the store in one batch and
+update the (unversioned) indexes; there is no validation phase because read
+committed permits the anomalies that validation would prevent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.engine import GraphEngine, IsolationLevel
+from repro.graph.entity import EntityKind, NodeData, RelationshipData
+from repro.graph.store_manager import StoreManager
+from repro.index.index_manager import IndexManager
+from repro.locking.lock_manager import LockManager
+from repro.locking.rc_transaction import ReadCommittedTransaction
+
+
+@dataclass
+class EngineStats:
+    """Transaction outcome counters shared by both engines."""
+
+    begun: int = 0
+    committed: int = 0
+    aborted: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view of the counters."""
+        return {
+            "begun": self.begun,
+            "committed": self.committed,
+            "aborted": self.aborted,
+        }
+
+
+class ReadCommittedEngine(GraphEngine):
+    """Lock-based engine providing read-committed isolation."""
+
+    isolation_level = IsolationLevel.READ_COMMITTED
+
+    def __init__(
+        self,
+        store: StoreManager,
+        *,
+        lock_manager: Optional[LockManager] = None,
+        index_manager: Optional[IndexManager] = None,
+        lock_timeout: Optional[float] = None,
+    ) -> None:
+        self.store = store
+        self.locks = lock_manager or (
+            LockManager(default_timeout=lock_timeout) if lock_timeout else LockManager()
+        )
+        self.indexes = index_manager or IndexManager()
+        if index_manager is None:
+            self.indexes.rebuild(store)
+        self.stats = EngineStats()
+        self._txn_ids = itertools.count(1)
+        self._commit_lock = threading.Lock()
+
+    # -- transaction lifecycle ---------------------------------------------
+
+    def begin(self, *, read_only: bool = False) -> ReadCommittedTransaction:
+        """Start a new read-committed transaction."""
+        self.stats.begun += 1
+        return ReadCommittedTransaction(self, next(self._txn_ids), read_only=read_only)
+
+    def commit_transaction(self, txn: ReadCommittedTransaction) -> None:
+        """Apply a transaction's writes to the store and indexes."""
+        writes = txn.pending_writes()
+        if writes:
+            with self._commit_lock:
+                old_states = self._capture_old_states(writes)
+                operations = txn.build_store_operations()
+                self.store.apply_batch(txn.txn_id, operations)
+                self._update_indexes(writes, old_states)
+        self.locks.release_all(txn.txn_id)
+        self.stats.committed += 1
+
+    def abort_transaction(self, txn: ReadCommittedTransaction) -> None:
+        """Discard a transaction's writes and release its locks."""
+        self.locks.release_all(txn.txn_id)
+        self.stats.aborted += 1
+
+    # -- ids ------------------------------------------------------------------
+
+    def allocate_node_id(self) -> int:
+        return self.store.allocate_node_id()
+
+    def allocate_relationship_id(self) -> int:
+        return self.store.allocate_relationship_id()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release engine resources (nothing engine-specific to do here)."""
+
+    # -- internal -----------------------------------------------------------------
+
+    def _capture_old_states(self, writes) -> Dict:
+        old_states: Dict = {}
+        for key in writes:
+            if key.kind is EntityKind.NODE:
+                old_states[key] = self.store.read_node(key.entity_id)
+            else:
+                old_states[key] = self.store.read_relationship(key.entity_id)
+        return old_states
+
+    def _update_indexes(self, writes, old_states) -> None:
+        for key, new_state in writes.items():
+            old_state = old_states.get(key)
+            if key.kind is EntityKind.NODE:
+                self.indexes.apply_node_change(old_state, new_state)
+            else:
+                self.indexes.apply_relationship_change(old_state, new_state)

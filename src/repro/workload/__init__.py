@@ -1,0 +1,37 @@
+"""Workload generation and measurement.
+
+The paper has no evaluation section of its own, so the experiments in
+EXPERIMENTS.md are driven by the utilities here:
+
+* :mod:`repro.workload.generators` — deterministic graph generators (social
+  network, chain, grid, account graph),
+* :mod:`repro.workload.operations` — reusable transaction bodies (point
+  reads, property updates, two-step traversals, label scans, transfers),
+* :mod:`repro.workload.anomaly` — in-transaction checkers for unrepeatable
+  reads, phantom reads, lost updates and write skew,
+* :mod:`repro.workload.metrics` — latency/throughput aggregation, and
+* :mod:`repro.workload.runner` — a multi-threaded workload runner that runs
+  the same workload against either isolation level.
+"""
+
+from repro.workload.anomaly import AnomalyCounters
+from repro.workload.generators import (
+    build_account_graph,
+    build_chain_graph,
+    build_grid_graph,
+    build_social_graph,
+)
+from repro.workload.metrics import LatencyRecorder, WorkloadResult
+from repro.workload.runner import ConcurrentWorkloadRunner, WorkerOutcome
+
+__all__ = [
+    "AnomalyCounters",
+    "ConcurrentWorkloadRunner",
+    "LatencyRecorder",
+    "WorkerOutcome",
+    "WorkloadResult",
+    "build_account_graph",
+    "build_chain_graph",
+    "build_grid_graph",
+    "build_social_graph",
+]

@@ -1,0 +1,136 @@
+"""Latency and throughput aggregation for workload runs."""
+
+from __future__ import annotations
+
+import statistics
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.workload.anomaly import AnomalyCounters
+
+
+class LatencyRecorder:
+    """Thread-safe collection of per-operation latencies (seconds)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: List[float] = []
+
+    def record(self, latency_seconds: float) -> None:
+        """Add one latency sample."""
+        with self._lock:
+            self._samples.append(latency_seconds)
+
+    def extend(self, samples: List[float]) -> None:
+        """Add a batch of latency samples."""
+        with self._lock:
+            self._samples.extend(samples)
+
+    def count(self) -> int:
+        """Number of recorded samples."""
+        with self._lock:
+            return len(self._samples)
+
+    def samples(self) -> List[float]:
+        """A copy of every recorded sample."""
+        with self._lock:
+            return list(self._samples)
+
+    def percentile(self, fraction: float) -> float:
+        """Latency at the given fraction (0..1); 0.0 with no samples."""
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+            index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+            return ordered[index]
+
+    def mean(self) -> float:
+        """Mean latency; 0.0 with no samples."""
+        with self._lock:
+            return statistics.fmean(self._samples) if self._samples else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Mean and common percentiles in one dictionary."""
+        return {
+            "count": self.count(),
+            "mean": self.mean(),
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "max": self.percentile(1.0),
+        }
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregate outcome of one workload run."""
+
+    workers: int = 0
+    operations: int = 0
+    committed: int = 0
+    aborted: int = 0
+    conflicts: int = 0
+    deadlocks: int = 0
+    retries: int = 0
+    duration_seconds: float = 0.0
+    anomalies: AnomalyCounters = field(default_factory=AnomalyCounters)
+    latencies: LatencyRecorder = field(default_factory=LatencyRecorder)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per second."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.committed / self.duration_seconds
+
+    @property
+    def abort_rate(self) -> float:
+        """Fraction of attempted transactions that aborted."""
+        attempts = self.committed + self.aborted
+        return self.aborted / attempts if attempts else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary used by the benchmark harness to print result rows."""
+        result: Dict[str, object] = {
+            "workers": self.workers,
+            "operations": self.operations,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "conflicts": self.conflicts,
+            "deadlocks": self.deadlocks,
+            "retries": self.retries,
+            "duration_seconds": round(self.duration_seconds, 4),
+            "throughput_tps": round(self.throughput, 2),
+            "abort_rate": round(self.abort_rate, 4),
+        }
+        result.update({f"anomaly_{key}": value for key, value in self.anomalies.as_dict().items()})
+        result.update({f"latency_{key}": round(value, 6) for key, value in self.latencies.summary().items()})
+        result.update(self.extra)
+        return result
+
+    def merge_worker(
+        self,
+        *,
+        operations: int,
+        committed: int,
+        aborted: int,
+        conflicts: int = 0,
+        deadlocks: int = 0,
+        retries: int = 0,
+        latencies: Optional[List[float]] = None,
+        anomalies: Optional[AnomalyCounters] = None,
+    ) -> None:
+        """Fold one worker's counters into the aggregate (called per worker)."""
+        self.operations += operations
+        self.committed += committed
+        self.aborted += aborted
+        self.conflicts += conflicts
+        self.deadlocks += deadlocks
+        self.retries += retries
+        if latencies:
+            self.latencies.extend(latencies)
+        if anomalies is not None:
+            self.anomalies.merge(anomalies)

@@ -1,0 +1,113 @@
+"""Reusable transaction bodies for workloads.
+
+Each function performs one complete unit of application work against an open
+transaction.  The concurrent runner (and the benchmarks) compose these into
+operation mixes; keeping them here means the read-committed and snapshot
+runs execute byte-for-byte identical application logic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.transaction import Transaction
+from repro.graph.entity import Direction
+
+
+def read_node_properties(tx: Transaction, node_id: int) -> Dict[str, object]:
+    """Point read: return the properties of one node (empty dict if invisible)."""
+    node = tx.try_get_node(node_id)
+    return dict(node.properties) if node is not None else {}
+
+
+def update_node_property(
+    tx: Transaction, node_id: int, key: str, rng: random.Random
+) -> bool:
+    """Read-modify-write one integer property; returns False if the node is gone."""
+    node = tx.try_get_node(node_id)
+    if node is None:
+        return False
+    current = int(node.get(key, 0))
+    tx.set_node_property(node_id, key, current + rng.randint(1, 5))
+    return True
+
+
+def transfer_between_accounts(
+    tx: Transaction, from_id: int, to_id: int, amount: int
+) -> bool:
+    """Move ``amount`` between two account nodes; False if either is missing."""
+    source = tx.try_get_node(from_id)
+    target = tx.try_get_node(to_id)
+    if source is None or target is None:
+        return False
+    tx.set_node_property(from_id, "balance", int(source.get("balance", 0)) - amount)
+    tx.set_node_property(to_id, "balance", int(target.get("balance", 0)) + amount)
+    return True
+
+
+def scan_label(tx: Transaction, label: str) -> List[int]:
+    """Predicate scan: ids of every visible node with ``label``."""
+    return [node.id for node in tx.find_nodes(label=label)]
+
+
+def scan_property(tx: Transaction, key: str, value: object) -> List[int]:
+    """Predicate scan: ids of every visible node with ``key`` = ``value``."""
+    return [node.id for node in tx.find_nodes(key=key, value=value)]
+
+
+def insert_labelled_node(
+    tx: Transaction, label: str, rng: random.Random, extra_labels: Sequence[str] = ()
+) -> int:
+    """Insert a node carrying ``label`` (used to provoke phantoms); returns its id."""
+    node = tx.create_node(
+        [label, *extra_labels],
+        {"payload": rng.randint(0, 1_000_000), "flag": rng.random() < 0.5},
+    )
+    return node.id
+
+def delete_random_node(
+    tx: Transaction, candidates: Sequence[int], rng: random.Random
+) -> Optional[int]:
+    """Detach-delete one node picked from ``candidates``; returns its id or None."""
+    if not candidates:
+        return None
+    node_id = rng.choice(list(candidates))
+    if tx.try_get_node(node_id) is None:
+        return None
+    tx.delete_node(node_id, detach=True)
+    return node_id
+
+
+def add_friendship(
+    tx: Transaction, people: Sequence[int], rng: random.Random
+) -> Optional[int]:
+    """Create one ``KNOWS`` relationship between two random people."""
+    if len(people) < 2:
+        return None
+    left, right = rng.sample(list(people), 2)
+    if tx.try_get_node(left) is None or tx.try_get_node(right) is None:
+        return None
+    return tx.create_relationship(left, right, "KNOWS", {"since": rng.randint(1990, 2026)}).id
+
+
+def traverse_neighbourhood(
+    tx: Transaction, start_id: int, *, depth: int = 2, rel_types: Optional[Sequence[str]] = None
+) -> int:
+    """Breadth-first neighbourhood walk; returns the number of nodes visited."""
+    if tx.try_get_node(start_id) is None:
+        return 0
+    frontier = [start_id]
+    visited = {start_id}
+    for _level in range(depth):
+        next_frontier: List[int] = []
+        for node_id in frontier:
+            if tx.try_get_node(node_id) is None:
+                continue
+            for relationship in tx.relationships_of(node_id, Direction.BOTH, rel_types):
+                other = relationship.other_node_id(node_id)
+                if other not in visited:
+                    visited.add(other)
+                    next_frontier.append(other)
+        frontier = next_frontier
+    return len(visited)

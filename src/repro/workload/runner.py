@@ -1,0 +1,172 @@
+"""Multi-threaded workload runner.
+
+The runner spawns N worker threads against one database.  Each worker calls a
+user-supplied *work function* repeatedly; the work function owns its
+transaction and reports what happened through a :class:`WorkerOutcome`.  The
+runner aggregates outcomes into a :class:`~repro.workload.metrics.WorkloadResult`
+and takes care of the boring parts: start barrier, per-worker RNG seeding,
+timing, retry/abort accounting, and turning engine exceptions into counters
+instead of crashed threads.
+
+Because Python threads share the GIL the absolute throughput numbers are not
+meaningful as hardware measurements — the *relative* behaviour of the two
+isolation levels under identical interleavings is what the experiments use.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.api.database import GraphDatabase
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    TransactionAbortedError,
+    WriteWriteConflictError,
+)
+from repro.workload.anomaly import AnomalyCounters
+from repro.workload.metrics import WorkloadResult
+
+
+@dataclass
+class WorkerOutcome:
+    """What one invocation of a work function did."""
+
+    committed: bool = True
+    anomalies: AnomalyCounters = field(default_factory=AnomalyCounters)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+#: Work function signature: (database, rng, worker_id, iteration) -> outcome.
+WorkFn = Callable[[GraphDatabase, random.Random, int, int], WorkerOutcome]
+
+
+@dataclass
+class _WorkerReport:
+    operations: int = 0
+    committed: int = 0
+    aborted: int = 0
+    conflicts: int = 0
+    deadlocks: int = 0
+    latencies: List[float] = field(default_factory=list)
+    anomalies: AnomalyCounters = field(default_factory=AnomalyCounters)
+    extra: Dict[str, float] = field(default_factory=dict)
+    error: Optional[BaseException] = None
+
+
+class ConcurrentWorkloadRunner:
+    """Runs one work function concurrently from many threads."""
+
+    def __init__(
+        self,
+        db: GraphDatabase,
+        *,
+        workers: int = 4,
+        operations_per_worker: int = 100,
+        seed: int = 7,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("at least one worker is required")
+        self.db = db
+        self.workers = workers
+        self.operations_per_worker = operations_per_worker
+        self.seed = seed
+
+    def run(self, work_fn: WorkFn) -> WorkloadResult:
+        """Execute the workload and return the aggregated result."""
+        reports = [_WorkerReport() for _ in range(self.workers)]
+        barrier = threading.Barrier(self.workers + 1)
+        threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(work_fn, worker_id, reports[worker_id], barrier),
+                name=f"workload-worker-{worker_id}",
+                daemon=True,
+            )
+            for worker_id in range(self.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        duration = time.perf_counter() - started
+
+        result = WorkloadResult(workers=self.workers, duration_seconds=duration)
+        first_error: Optional[BaseException] = None
+        for report in reports:
+            if report.error is not None and first_error is None:
+                first_error = report.error
+            result.merge_worker(
+                operations=report.operations,
+                committed=report.committed,
+                aborted=report.aborted,
+                conflicts=report.conflicts,
+                deadlocks=report.deadlocks,
+                latencies=report.latencies,
+                anomalies=report.anomalies,
+            )
+            for key, value in report.extra.items():
+                result.extra[key] = result.extra.get(key, 0.0) + value
+        if first_error is not None:
+            raise first_error
+        return result
+
+    # ------------------------------------------------------------------
+    # internal
+    # ------------------------------------------------------------------
+
+    def _worker_loop(
+        self,
+        work_fn: WorkFn,
+        worker_id: int,
+        report: _WorkerReport,
+        barrier: threading.Barrier,
+    ) -> None:
+        try:
+            barrier.wait()
+            rng = random.Random(self.seed * 10_007 + worker_id + 1)
+            for iteration in range(self.operations_per_worker):
+                report.operations += 1
+                started = time.perf_counter()
+                try:
+                    outcome = work_fn(self.db, rng, worker_id, iteration)
+                except (WriteWriteConflictError, TransactionAbortedError) as exc:
+                    report.aborted += 1
+                    report.conflicts += 1
+                    if isinstance(exc, DeadlockError) or isinstance(exc, LockTimeoutError):
+                        report.deadlocks += 1
+                    continue
+                finally:
+                    report.latencies.append(time.perf_counter() - started)
+                if outcome is None:
+                    outcome = WorkerOutcome()
+                if outcome.committed:
+                    report.committed += 1
+                else:
+                    report.aborted += 1
+                report.anomalies.merge(outcome.anomalies)
+                for key, value in outcome.extra.items():
+                    report.extra[key] = report.extra.get(key, 0.0) + value
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            report.error = exc
+
+
+def run_mixed_workload(
+    db: GraphDatabase,
+    work_fn: WorkFn,
+    *,
+    workers: int = 4,
+    operations_per_worker: int = 100,
+    seed: int = 7,
+) -> WorkloadResult:
+    """One-call convenience wrapper around :class:`ConcurrentWorkloadRunner`."""
+    runner = ConcurrentWorkloadRunner(
+        db, workers=workers, operations_per_worker=operations_per_worker, seed=seed
+    )
+    return runner.run(work_fn)

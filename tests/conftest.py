@@ -1,0 +1,47 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphDatabase, IsolationLevel
+from repro.graph.store_manager import StoreManager
+
+
+@pytest.fixture
+def store():
+    """An in-memory store manager, closed after the test."""
+    manager = StoreManager(None)
+    yield manager
+    manager.close()
+
+
+@pytest.fixture
+def si_db():
+    """An in-memory database under snapshot isolation."""
+    db = GraphDatabase.in_memory(isolation=IsolationLevel.SNAPSHOT)
+    yield db
+    db.close()
+
+
+@pytest.fixture
+def rc_db():
+    """An in-memory database under read committed."""
+    db = GraphDatabase.in_memory(isolation=IsolationLevel.READ_COMMITTED)
+    yield db
+    db.close()
+
+
+@pytest.fixture(params=[IsolationLevel.SNAPSHOT, IsolationLevel.READ_COMMITTED],
+                ids=["snapshot", "read_committed"])
+def any_db(request):
+    """An in-memory database, parametrised over both isolation levels."""
+    db = GraphDatabase.in_memory(isolation=request.param)
+    yield db
+    db.close()
+
+
+@pytest.fixture
+def disk_db_path(tmp_path):
+    """A directory for an on-disk database."""
+    return str(tmp_path / "graph-db")

@@ -1,0 +1,237 @@
+"""Tests for the user-facing transaction API (runs under both isolation levels)."""
+
+import pytest
+
+from repro.errors import (
+    ConstraintViolationError,
+    InvalidPropertyValueError,
+    NodeNotFoundError,
+    RelationshipNotFoundError,
+    ReservedNameError,
+)
+from repro.graph.entity import Direction
+
+
+class TestNodeCrud:
+    def test_create_and_get(self, any_db):
+        with any_db.transaction() as tx:
+            node = tx.create_node(["Person"], {"name": "Alice", "age": 30})
+            node_id = node.id
+        with any_db.transaction(read_only=True) as tx:
+            loaded = tx.get_node(node_id)
+            assert loaded["name"] == "Alice"
+            assert loaded.get("age") == 30
+            assert loaded.get("missing", "default") == "default"
+            assert loaded.has_label("Person")
+            assert loaded.labels == {"Person"}
+
+    def test_get_missing_node_raises(self, any_db):
+        with any_db.transaction(read_only=True) as tx:
+            with pytest.raises(NodeNotFoundError):
+                tx.get_node(999)
+            assert tx.try_get_node(999) is None
+            assert not tx.node_exists(999)
+
+    def test_set_and_remove_property(self, any_db):
+        with any_db.transaction() as tx:
+            node = tx.create_node(["Person"], {"name": "Alice"})
+            tx.set_node_property(node, "age", 30)
+            tx.remove_node_property(node, "name")
+            node_id = node.id
+        with any_db.transaction(read_only=True) as tx:
+            loaded = tx.get_node(node_id)
+            assert loaded["age"] == 30
+            assert loaded.get("name") is None
+
+    def test_update_properties_merges(self, any_db):
+        with any_db.transaction() as tx:
+            node = tx.create_node(properties={"a": 1, "b": 2})
+            tx.update_node_properties(node, {"b": 20, "c": 3})
+            node_id = node.id
+        with any_db.transaction(read_only=True) as tx:
+            assert tx.get_node(node_id).properties == {"a": 1, "b": 20, "c": 3}
+
+    def test_labels_add_remove(self, any_db):
+        with any_db.transaction() as tx:
+            node = tx.create_node(["Person"])
+            tx.add_label(node, "Admin")
+            tx.remove_label(node, "Person")
+            node_id = node.id
+        with any_db.transaction(read_only=True) as tx:
+            assert tx.get_node(node_id).labels == {"Admin"}
+            assert [n.id for n in tx.find_nodes(label="Admin")] == [node_id]
+            assert tx.find_nodes(label="Person") == []
+
+    def test_invalid_inputs_rejected(self, any_db):
+        with any_db.transaction() as tx:
+            with pytest.raises(ValueError):
+                tx.create_node([""])
+            with pytest.raises(ReservedNameError):
+                tx.create_node(["_si_hidden"])
+            with pytest.raises(InvalidPropertyValueError):
+                tx.create_node(properties={"bad": {"nested": True}})
+            with pytest.raises(ReservedNameError):
+                tx.create_node(properties={"_si_commit_ts": 4})
+            node = tx.create_node()
+            with pytest.raises(InvalidPropertyValueError):
+                tx.set_node_property(node, "value", None)
+            tx.rollback()
+
+    def test_delete_requires_detach_when_relationships_exist(self, any_db):
+        with any_db.transaction() as tx:
+            a = tx.create_node(["Person"])
+            b = tx.create_node(["Person"])
+            tx.create_relationship(a, b, "KNOWS")
+            a_id, b_id = a.id, b.id
+        with any_db.transaction() as tx:
+            with pytest.raises(ConstraintViolationError):
+                tx.delete_node(a_id)
+            tx.rollback()
+        with any_db.transaction() as tx:
+            tx.delete_node(a_id, detach=True)
+        with any_db.transaction(read_only=True) as tx:
+            assert tx.try_get_node(a_id) is None
+            assert tx.relationships_of(b_id) == []
+
+    def test_node_handle_delegation(self, any_db):
+        with any_db.transaction() as tx:
+            node = tx.create_node(["Person"], {"name": "x"})
+            node = node.set_property("age", 1)
+            node = node.add_label("Admin")
+            node = node.remove_label("Person")
+            node = node.remove_property("name")
+            assert node.degree() == 0
+            node_id = node.id
+        with any_db.transaction(read_only=True) as tx:
+            loaded = tx.get_node(node_id)
+            assert loaded.labels == {"Admin"}
+            assert loaded.properties == {"age": 1}
+
+
+class TestRelationshipCrud:
+    def test_create_and_expand(self, any_db):
+        with any_db.transaction() as tx:
+            a = tx.create_node(["Person"], {"name": "a"})
+            b = tx.create_node(["Person"], {"name": "b"})
+            rel = tx.create_relationship(a, b, "KNOWS", {"since": 2016})
+            a_id, b_id, rel_id = a.id, b.id, rel.id
+        with any_db.transaction(read_only=True) as tx:
+            rel = tx.get_relationship(rel_id)
+            assert rel.type == "KNOWS"
+            assert rel["since"] == 2016
+            assert rel.start_node_id == a_id and rel.end_node_id == b_id
+            assert rel.other_node_id(a_id) == b_id
+            assert rel.start_node().id == a_id
+            assert rel.end_node().id == b_id
+            assert rel.other_node(a_id).id == b_id
+            neighbours = tx.neighbours(a_id)
+            assert [node.id for node in neighbours] == [b_id]
+            assert tx.degree(a_id) == 1
+            assert tx.degree(a_id, Direction.INCOMING) == 0
+            pairs = list(tx.expand(a_id, Direction.OUTGOING))
+            assert pairs[0][0].id == rel_id and pairs[0][1].id == b_id
+
+    def test_endpoints_must_exist(self, any_db):
+        with any_db.transaction() as tx:
+            a = tx.create_node()
+            with pytest.raises(NodeNotFoundError):
+                tx.create_relationship(a, 12345, "KNOWS")
+            tx.rollback()
+
+    def test_type_must_be_non_empty(self, any_db):
+        with any_db.transaction() as tx:
+            a = tx.create_node()
+            b = tx.create_node()
+            with pytest.raises(ValueError):
+                tx.create_relationship(a, b, "")
+            tx.rollback()
+
+    def test_relationship_properties_and_delete(self, any_db):
+        with any_db.transaction() as tx:
+            a = tx.create_node()
+            b = tx.create_node()
+            rel = tx.create_relationship(a, b, "KNOWS")
+            tx.set_relationship_property(rel, "weight", 0.5)
+            rel_id = rel.id
+        with any_db.transaction() as tx:
+            assert tx.get_relationship(rel_id)["weight"] == 0.5
+            assert [r.id for r in tx.find_relationships("weight", 0.5)] == [rel_id]
+            tx.remove_relationship_property(rel_id, "weight")
+            tx.delete_relationship(rel_id)
+        with any_db.transaction(read_only=True) as tx:
+            assert tx.try_get_relationship(rel_id) is None
+            with pytest.raises(RelationshipNotFoundError):
+                tx.get_relationship(rel_id)
+
+    def test_self_loop(self, any_db):
+        with any_db.transaction() as tx:
+            node = tx.create_node(["Thing"])
+            rel = tx.create_relationship(node, node, "SELF")
+            node_id, rel_id = node.id, rel.id
+        with any_db.transaction(read_only=True) as tx:
+            rels = tx.relationships_of(node_id)
+            assert [r.id for r in rels] == [rel_id]
+            assert rels[0].other_node_id(node_id) == node_id
+
+
+class TestQueriesAndCounts:
+    def test_find_nodes_combinations(self, any_db):
+        with any_db.transaction() as tx:
+            alice = tx.create_node(["Person"], {"city": "madrid"})
+            bob = tx.create_node(["Person"], {"city": "lisbon"})
+            site = tx.create_node(["Page"], {"city": "madrid"})
+            ids = (alice.id, bob.id, site.id)
+        with any_db.transaction(read_only=True) as tx:
+            assert {n.id for n in tx.find_nodes(label="Person")} == {ids[0], ids[1]}
+            assert {n.id for n in tx.find_nodes(key="city", value="madrid")} == {ids[0], ids[2]}
+            assert [n.id for n in tx.find_nodes(label="Person", key="city", value="madrid")] == [ids[0]]
+            assert len(tx.find_nodes()) == 3
+            with pytest.raises(ValueError):
+                tx.find_nodes(key="city")
+
+    def test_counts(self, any_db):
+        with any_db.transaction() as tx:
+            a = tx.create_node()
+            b = tx.create_node()
+            tx.create_relationship(a, b, "KNOWS")
+        assert any_db.node_count() == 2
+        assert any_db.relationship_count() == 1
+        with any_db.transaction(read_only=True) as tx:
+            assert tx.node_count() == 2
+            assert tx.relationship_count() == 1
+            assert len(list(tx.relationships())) == 1
+
+
+class TestTransactionLifecycle:
+    def test_context_manager_commits_on_success(self, any_db):
+        with any_db.transaction() as tx:
+            node_id = tx.create_node(["Person"]).id
+        with any_db.transaction(read_only=True) as tx:
+            assert tx.node_exists(node_id)
+
+    def test_context_manager_rolls_back_on_exception(self, any_db):
+        with pytest.raises(RuntimeError):
+            with any_db.transaction() as tx:
+                tx.create_node(["Person"], {"name": "ghost"})
+                raise RuntimeError("boom")
+        with any_db.transaction(read_only=True) as tx:
+            assert tx.find_nodes(label="Person") == []
+
+    def test_explicit_commit_and_rollback(self, any_db):
+        tx = any_db.begin()
+        node = tx.create_node()
+        tx.commit()
+        assert not tx.is_open
+        tx2 = any_db.begin()
+        tx2.set_node_property(node.id, "x", 1)
+        tx2.rollback()
+        assert not tx2.is_open
+        with any_db.transaction(read_only=True) as tx3:
+            assert tx3.get_node(node.id).get("x") is None
+
+    def test_transaction_exposes_metadata(self, any_db):
+        tx = any_db.begin(read_only=True)
+        assert tx.read_only
+        assert tx.id > 0
+        assert tx.engine_transaction is not None
+        tx.rollback()

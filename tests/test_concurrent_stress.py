@@ -1,0 +1,139 @@
+"""Concurrent stress tests: end-to-end invariants under real thread interleavings.
+
+These complement the deterministic interleavings in ``test_isolation_anomalies``:
+they run genuinely concurrent workloads and assert global invariants that must
+hold regardless of scheduling — money conservation under snapshot isolation,
+store consistency after mixed structural churn, and snapshot stability for a
+reader that stays open for the whole run.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro import GraphDatabase, IsolationLevel, WriteWriteConflictError
+from repro.errors import TransactionAbortedError
+from repro.graph.recovery import check_store
+from repro.workload.generators import build_account_graph, build_social_graph
+
+WORKERS = 4
+OPS = 30
+
+
+def run_threads(worker, count=WORKERS):
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not any(thread.is_alive() for thread in threads)
+
+
+class TestMoneyConservation:
+    def test_snapshot_isolation_with_retries_conserves_total(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SNAPSHOT)
+        graph = build_account_graph(db, accounts=10, initial_balance=1_000, seed=1)
+        accounts = graph.group("accounts")
+
+        def worker(worker_id):
+            rng = random.Random(worker_id)
+            for _ in range(OPS):
+                for _attempt in range(20):
+                    source, target = rng.sample(accounts, 2)
+                    amount = rng.randint(1, 25)
+                    try:
+                        with db.transaction() as tx:
+                            src = tx.get_node(source)
+                            dst = tx.get_node(target)
+                            tx.set_node_property(source, "balance", int(src["balance"]) - amount)
+                            tx.set_node_property(target, "balance", int(dst["balance"]) + amount)
+                        break
+                    except (WriteWriteConflictError, TransactionAbortedError):
+                        continue
+
+        run_threads(worker)
+        with db.transaction(read_only=True) as tx:
+            total = sum(int(tx.get_node(account)["balance"]) for account in accounts)
+        assert total == 10 * 1_000
+        db.close()
+
+
+class TestStructuralChurn:
+    @pytest.mark.parametrize("isolation", [IsolationLevel.SNAPSHOT, IsolationLevel.READ_COMMITTED],
+                             ids=["snapshot", "read_committed"])
+    def test_store_stays_consistent_under_concurrent_churn(self, isolation):
+        db = GraphDatabase.in_memory(isolation=isolation)
+        graph = build_social_graph(db, people=60, avg_friends=3, seed=2)
+        people = graph.group("people")
+
+        def worker(worker_id):
+            rng = random.Random(worker_id + 100)
+            for _ in range(OPS):
+                try:
+                    action = rng.random()
+                    with db.transaction() as tx:
+                        if action < 0.4:
+                            left, right = rng.sample(people, 2)
+                            if tx.try_get_node(left) and tx.try_get_node(right):
+                                tx.create_relationship(left, right, "KNOWS")
+                        elif action < 0.7:
+                            victim = rng.choice(people)
+                            if tx.try_get_node(victim) is not None:
+                                tx.delete_node(victim, detach=True)
+                        else:
+                            node = tx.create_node(["Person"], {"name": f"new-{worker_id}"})
+                            anchor = rng.choice(people)
+                            if tx.try_get_node(anchor) is not None:
+                                tx.create_relationship(node, anchor, "KNOWS")
+                except (WriteWriteConflictError, TransactionAbortedError):
+                    continue
+
+        run_threads(worker)
+        # Whatever interleaving happened, the persistent store must be
+        # structurally sound and the two entity counts must agree with a scan.
+        if db.is_snapshot_isolation:
+            db.run_gc()
+        report = check_store(db.store)
+        assert report.consistent, report.errors
+        with db.transaction(read_only=True) as tx:
+            assert tx.node_count() == db.store.node_count()
+        db.close()
+
+
+class TestSnapshotStabilityUnderLoad:
+    def test_long_reader_sees_a_frozen_world(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SNAPSHOT)
+        graph = build_social_graph(db, people=40, avg_friends=2, seed=3)
+        people = graph.group("people")
+
+        reader = db.begin(read_only=True)
+        initial_people = {node.id for node in reader.find_nodes(label="Person")}
+        initial_scores = {node_id: reader.get_node(node_id).get("score", 0) for node_id in people[:10]}
+
+        def worker(worker_id):
+            rng = random.Random(worker_id + 7)
+            for _ in range(OPS):
+                try:
+                    with db.transaction() as tx:
+                        if rng.random() < 0.5:
+                            tx.create_node(["Person"], {"name": "noise"})
+                        else:
+                            victim = rng.choice(people)
+                            if tx.try_get_node(victim) is not None:
+                                tx.set_node_property(victim, "score", rng.randint(1, 10_000))
+                except (WriteWriteConflictError, TransactionAbortedError):
+                    continue
+
+        run_threads(worker)
+
+        # The reader's view is byte-for-byte what it was at its start timestamp.
+        assert {node.id for node in reader.find_nodes(label="Person")} == initial_people
+        for node_id, score in initial_scores.items():
+            assert reader.get_node(node_id).get("score", 0) == score
+        reader.rollback()
+
+        # A fresh reader sees the churned world.
+        with db.transaction(read_only=True) as tx:
+            assert {node.id for node in tx.find_nodes(label="Person")} != initial_people
+        db.close()

@@ -1,0 +1,68 @@
+"""Unit tests for the write rule (conflict detection policies)."""
+
+import pytest
+
+from repro.core.conflict import ConflictDetector, ConflictPolicy
+from repro.errors import WriteWriteConflictError
+from repro.graph.entity import EntityKey
+from repro.locking.lock_manager import LockManager
+
+KEY = EntityKey.node(1)
+
+
+class TestFirstUpdaterWins:
+    def make(self):
+        return ConflictDetector(LockManager(), ConflictPolicy.FIRST_UPDATER_WINS)
+
+    def test_first_updater_gets_the_lock(self):
+        detector = self.make()
+        detector.on_write(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=3)
+        # Same transaction writing again is fine.
+        detector.on_write(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=3)
+
+    def test_second_updater_aborts_immediately(self):
+        detector = self.make()
+        detector.on_write(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=3)
+        with pytest.raises(WriteWriteConflictError):
+            detector.on_write(txn_id=2, start_ts=5, key=KEY, newest_committed_ts=3)
+        assert detector.stats.write_time_conflicts == 1
+
+    def test_concurrent_committed_update_detected(self):
+        detector = self.make()
+        # Newest committed version is newer than this transaction's snapshot.
+        with pytest.raises(WriteWriteConflictError):
+            detector.on_write(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=8)
+
+    def test_lock_released_after_abort_allows_new_updater(self):
+        detector = self.make()
+        detector.on_write(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=None)
+        detector.release_locks(1)
+        detector.on_write(txn_id=2, start_ts=5, key=KEY, newest_committed_ts=None)
+
+    def test_commit_validation_is_noop(self):
+        detector = self.make()
+        detector.validate_at_commit(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=50)
+        assert detector.stats.commit_time_conflicts == 0
+
+
+class TestFirstCommitterWins:
+    def make(self):
+        return ConflictDetector(LockManager(), ConflictPolicy.FIRST_COMMITTER_WINS)
+
+    def test_write_time_never_conflicts(self):
+        detector = self.make()
+        detector.on_write(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=50)
+        detector.on_write(txn_id=2, start_ts=5, key=KEY, newest_committed_ts=50)
+        assert detector.stats.write_time_conflicts == 0
+
+    def test_commit_validation_detects_concurrent_commit(self):
+        detector = self.make()
+        with pytest.raises(WriteWriteConflictError):
+            detector.validate_at_commit(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=8)
+        assert detector.stats.commit_time_conflicts == 1
+
+    def test_commit_validation_passes_for_older_versions(self):
+        detector = self.make()
+        detector.validate_at_commit(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=5)
+        detector.validate_at_commit(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=None)
+        assert detector.stats.total() == 0

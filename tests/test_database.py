@@ -1,0 +1,104 @@
+"""Tests for the GraphDatabase facade."""
+
+import pytest
+
+from repro import ConflictPolicy, GraphDatabase, IsolationLevel, ReproError
+
+
+class TestConstruction:
+    def test_isolation_accepts_strings(self):
+        db = GraphDatabase.in_memory(isolation="read_committed")
+        assert db.isolation_level is IsolationLevel.READ_COMMITTED
+        assert not db.is_snapshot_isolation
+        db.close()
+
+    def test_unknown_isolation_rejected(self):
+        with pytest.raises(ValueError):
+            GraphDatabase.in_memory(isolation="serializable")
+
+    def test_unknown_conflict_policy_rejected(self):
+        with pytest.raises(ValueError):
+            GraphDatabase.in_memory(conflict_policy="last_writer_wins")
+
+    def test_conflict_policy_accepts_string(self):
+        db = GraphDatabase.in_memory(conflict_policy="first_committer_wins")
+        assert db.engine.conflicts.policy is ConflictPolicy.FIRST_COMMITTER_WINS
+        db.close()
+
+    def test_context_manager_closes(self):
+        with GraphDatabase.in_memory() as db:
+            with db.transaction() as tx:
+                tx.create_node(["Person"])
+        with pytest.raises(ReproError):
+            db.begin()
+
+    def test_close_is_idempotent(self, si_db):
+        si_db.close()
+        si_db.close()
+
+
+class TestMaintenance:
+    def test_statistics_shape(self, any_db):
+        with any_db.transaction() as tx:
+            tx.create_node(["Person"])
+        stats = any_db.statistics()
+        assert stats["isolation"] == any_db.isolation_level.value
+        assert "store" in stats and "page_cache" in stats and "engine" in stats
+
+    def test_run_gc_only_for_snapshot(self, si_db, rc_db):
+        assert si_db.run_gc() is not None
+        assert rc_db.run_gc() is None
+        with pytest.raises(ReproError):
+            rc_db.create_vacuum_collector()
+        assert si_db.create_vacuum_collector() is not None
+
+    def test_checkpoint(self, any_db):
+        with any_db.transaction() as tx:
+            tx.create_node(["Person"])
+        any_db.checkpoint()
+        assert any_db.store.wal.size_bytes() == 0
+
+    def test_gc_every_n_commits(self):
+        db = GraphDatabase.in_memory(gc_every_n_commits=2)
+        with db.transaction() as tx:
+            node = tx.create_node(["Item"], {"v": 0})
+        for value in range(3):
+            with db.transaction() as tx:
+                tx.set_node_property(node.id, "v", value)
+        assert db.engine.gc.collections_run >= 1
+        db.close()
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("isolation", [IsolationLevel.SNAPSHOT, IsolationLevel.READ_COMMITTED])
+    def test_reopen_from_disk(self, disk_db_path, isolation):
+        db = GraphDatabase.open(disk_db_path, isolation=isolation)
+        with db.transaction() as tx:
+            alice = tx.create_node(["Person"], {"name": "Alice"})
+            bob = tx.create_node(["Person"], {"name": "Bob"})
+            tx.create_relationship(alice, bob, "KNOWS", {"since": 2016})
+        db.close()
+
+        reopened = GraphDatabase.open(disk_db_path, isolation=isolation)
+        with reopened.transaction(read_only=True) as tx:
+            people = tx.find_nodes(label="Person")
+            assert {p["name"] for p in people} == {"Alice", "Bob"}
+            rels = tx.relationships_of(people[0].id)
+            assert rels[0]["since"] == 2016
+        reopened.close()
+
+    def test_snapshot_semantics_survive_reopen(self, disk_db_path):
+        db = GraphDatabase.open(disk_db_path)
+        with db.transaction() as tx:
+            node_id = tx.create_node(["Item"], {"v": 1}).id
+        db.close()
+
+        reopened = GraphDatabase.open(disk_db_path)
+        reader = reopened.begin(read_only=True)
+        with reopened.transaction() as tx:
+            tx.set_node_property(node_id, "v", 2)
+        assert reader.get_node(node_id)["v"] == 1
+        reader.rollback()
+        with reopened.transaction(read_only=True) as tx:
+            assert tx.get_node(node_id)["v"] == 2
+        reopened.close()

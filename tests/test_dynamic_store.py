@@ -1,0 +1,65 @@
+"""Unit tests for the dynamic (chained block) store."""
+
+import pytest
+
+from repro.graph.dynamic_store import DynamicStore
+from repro.graph.paging import InMemoryBackend, PageCache, PagedFile
+from repro.graph.records import NULL_REF, DynamicRecord
+
+
+def make_dynamic_store():
+    cache = PageCache(capacity_pages=128, page_size=256)
+    return DynamicStore(PagedFile(InMemoryBackend(), cache), "test-dynamic")
+
+
+class TestDynamicStore:
+    def test_small_payload_roundtrip(self):
+        store = make_dynamic_store()
+        ref = store.write_bytes(b"hello")
+        assert store.read_bytes(ref) == b"hello"
+        assert store.blocks_in_use() == 1
+
+    def test_empty_payload_gets_a_block(self):
+        store = make_dynamic_store()
+        ref = store.write_bytes(b"")
+        assert ref != NULL_REF
+        assert store.read_bytes(ref) == b""
+
+    def test_null_ref_reads_empty(self):
+        store = make_dynamic_store()
+        assert store.read_bytes(NULL_REF) == b""
+
+    def test_large_payload_spans_blocks(self):
+        store = make_dynamic_store()
+        payload = bytes(range(256)) * 3
+        ref = store.write_bytes(payload)
+        assert store.read_bytes(ref) == payload
+        assert store.blocks_in_use() > 1
+
+    def test_free_chain_releases_blocks_for_reuse(self):
+        store = make_dynamic_store()
+        payload = b"x" * (DynamicRecord.PAYLOAD_SIZE * 2 + 3)
+        ref = store.write_bytes(payload)
+        blocks_before = store.blocks_in_use()
+        freed = store.free_chain(ref)
+        assert freed == blocks_before
+        assert store.blocks_in_use() == 0
+        # New writes reuse the freed block ids.
+        new_ref = store.write_bytes(b"abc")
+        assert new_ref == ref or new_ref < blocks_before
+
+    def test_free_null_chain_is_noop(self):
+        store = make_dynamic_store()
+        assert store.free_chain(NULL_REF) == 0
+
+    def test_rewrite_chain_replaces_content(self):
+        store = make_dynamic_store()
+        ref = store.write_bytes(b"old content that is long enough" * 4)
+        new_ref = store.rewrite_chain(ref, b"new")
+        assert store.read_bytes(new_ref) == b"new"
+
+    def test_multiple_independent_chains(self):
+        store = make_dynamic_store()
+        refs = [store.write_bytes(f"payload-{index}".encode() * 10) for index in range(5)]
+        for index, ref in enumerate(refs):
+            assert store.read_bytes(ref) == f"payload-{index}".encode() * 10

@@ -1,0 +1,193 @@
+"""Unit tests for the threaded-list garbage collector and the vacuum baseline."""
+
+from repro.core.gc import GarbageCollector, ThreadedVersionList
+from repro.core.si_manager import SnapshotIsolationEngine
+from repro.core.timestamps import TimestampOracle
+from repro.core.vacuum import VacuumCollector
+from repro.core.version import Version
+from repro.core.version_store import VersionStore
+from repro.core.versioned_index import VersionedIndexSet
+from repro.graph.entity import EntityKey, NodeData
+from repro.graph.store_manager import StoreManager
+
+KEY = EntityKey.node(1)
+
+
+def version(commit_ts, payload="x", key=KEY):
+    data = None if payload is None else NodeData(key.entity_id, properties={"v": payload})
+    return Version(key, data, commit_ts)
+
+
+class TestThreadedVersionList:
+    def test_append_and_len(self):
+        gc_list = ThreadedVersionList()
+        v1, v2 = version(1), version(2)
+        gc_list.append(v1, reclaim_ts=3)
+        gc_list.append(v2, reclaim_ts=5)
+        assert len(gc_list) == 2
+        assert gc_list.peek_oldest() is v1
+
+    def test_double_append_ignored(self):
+        gc_list = ThreadedVersionList()
+        v1 = version(1)
+        gc_list.append(v1, 3)
+        gc_list.append(v1, 9)
+        assert len(gc_list) == 1
+        assert v1.reclaim_ts == 3
+
+    def test_pop_reclaimable_stops_at_watermark(self):
+        gc_list = ThreadedVersionList()
+        versions = [version(ts) for ts in (1, 2, 3)]
+        for v, reclaim in zip(versions, (2, 4, 6)):
+            gc_list.append(v, reclaim)
+        popped = gc_list.pop_reclaimable(watermark=4)
+        assert popped == versions[:2]
+        assert len(gc_list) == 1
+        assert not versions[0].in_gc_list
+
+    def test_remove_middle(self):
+        gc_list = ThreadedVersionList()
+        versions = [version(ts) for ts in (1, 2, 3)]
+        for v in versions:
+            gc_list.append(v, v.commit_ts)
+        gc_list.remove(versions[1])
+        assert len(gc_list) == 2
+        assert gc_list.pop_reclaimable(10) == [versions[0], versions[2]]
+
+    def test_remove_untracked_is_noop(self):
+        gc_list = ThreadedVersionList()
+        gc_list.remove(version(1))
+        assert len(gc_list) == 0
+
+
+class TestGarbageCollectorUnit:
+    def make(self):
+        store = VersionStore()
+        oracle = TimestampOracle()
+        indexes = VersionedIndexSet()
+        collector = GarbageCollector(store, oracle, indexes)
+        return store, oracle, indexes, collector
+
+    def test_superseded_version_collected_when_watermark_passes(self):
+        store, oracle, _indexes, collector = self.make()
+        chain = store.ensure_chain(KEY)
+        old = version(1, "old")
+        new = version(3, "new")
+        chain.add_committed(old)
+        chain.add_committed(new)
+        collector.version_superseded(old, superseding_commit_ts=3)
+
+        # An active transaction still reading at ts 2 pins the old version.
+        reader_txn, _ = oracle.begin_transaction()  # start_ts == 0
+        stats = collector.collect()
+        assert stats.versions_collected == 0
+        assert len(chain) == 2
+
+        oracle.retire_transaction(reader_txn)
+        oracle.advance_to(3)
+        stats = collector.collect()
+        assert stats.versions_collected == 1
+        assert len(chain) == 1
+        assert chain.newest() is new
+
+    def test_tombstone_purges_whole_entity(self):
+        store, oracle, indexes, collector = self.make()
+        node = NodeData(KEY.entity_id, {"Person"})
+        indexes.apply_node_change(None, node, commit_ts=1)
+        chain = store.ensure_chain(KEY)
+        base = Version(KEY, node, 1)
+        tomb = Version(KEY, None, 4)
+        chain.add_committed(base)
+        chain.add_committed(tomb)
+        collector.version_superseded(base, superseding_commit_ts=4)
+        collector.tombstone_installed(tomb)
+
+        oracle.advance_to(4)
+        stats = collector.collect()
+        assert stats.versions_collected == 2
+        assert stats.entities_purged == 1
+        assert store.get_chain(KEY) is None
+        assert indexes.node_labels.visible("Person", 10) == set()
+
+    def test_collect_accumulates_totals(self):
+        _store, oracle, _indexes, collector = self.make()
+        oracle.advance_to(1)
+        collector.collect()
+        collector.collect()
+        assert collector.collections_run == 2
+        assert collector.total_stats.watermark == 1
+
+
+class TestGcThroughEngine:
+    def test_long_reader_pins_versions_then_gc_reclaims(self):
+        store = StoreManager(None, reuse_entity_ids=False)
+        engine = SnapshotIsolationEngine(store)
+        setup = engine.begin()
+        node_id = engine.allocate_node_id()
+        setup.put_node(NodeData(node_id, {"Item"}, {"value": 0}), create=True)
+        setup.commit()
+
+        long_reader = engine.begin(read_only=True)
+        for value in range(1, 6):
+            writer = engine.begin()
+            current = writer.read_node(node_id)
+            writer.put_node(current.with_property("value", value))
+            writer.commit()
+
+        # The long reader pins its snapshot: nothing can be reclaimed yet.
+        assert engine.run_gc().versions_collected == 0
+        assert engine.versions.get_chain(EntityKey.node(node_id)).version_count() == 6
+        assert long_reader.read_node(node_id).properties["value"] == 0
+
+        long_reader.rollback()
+        stats = engine.run_gc()
+        assert stats.versions_collected == 5
+        assert engine.versions.get_chain(EntityKey.node(node_id)).version_count() == 1
+        store.close()
+
+
+class TestVacuumCollector:
+    def test_vacuum_scans_everything_and_collects_the_same_garbage(self):
+        store = StoreManager(None, reuse_entity_ids=False)
+        engine = SnapshotIsolationEngine(store)
+        setup = engine.begin()
+        node_ids = []
+        for index in range(10):
+            node_id = engine.allocate_node_id()
+            node_ids.append(node_id)
+            setup.put_node(NodeData(node_id, {"Item"}, {"value": 0}), create=True)
+        setup.commit()
+        for value in range(1, 4):
+            writer = engine.begin()
+            for node_id in node_ids:
+                current = writer.read_node(node_id)
+                writer.put_node(current.with_property("value", value))
+            writer.commit()
+
+        vacuum = engine.create_vacuum_collector()
+        stats = vacuum.collect()
+        # Full scan: every chain and every persistent record was examined.
+        assert stats.chains_scanned >= 10
+        assert stats.store_records_scanned >= 10
+        assert stats.versions_collected == 30
+        assert engine.versions.total_versions() == 10
+        assert vacuum.collections_run == 1
+        store.close()
+
+    def test_vacuum_purges_deleted_entities(self):
+        store = StoreManager(None, reuse_entity_ids=False)
+        engine = SnapshotIsolationEngine(store)
+        txn = engine.begin()
+        node_id = engine.allocate_node_id()
+        txn.put_node(NodeData(node_id, {"Temp"}), create=True)
+        txn.commit()
+        deleter = engine.begin()
+        deleter.delete_node(node_id)
+        deleter.commit()
+
+        vacuum = VacuumCollector(engine.versions, engine.oracle, engine.indexes, store)
+        stats = vacuum.collect()
+        assert stats.versions_collected == 2
+        assert stats.entities_purged == 1
+        assert engine.versions.get_chain(EntityKey.node(node_id)) is None
+        store.close()

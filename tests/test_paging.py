@@ -1,0 +1,156 @@
+"""Unit tests for backends, the page cache and paged files."""
+
+import os
+
+import pytest
+
+from repro.errors import StoreClosedError
+from repro.graph.paging import (
+    FileBackend,
+    InMemoryBackend,
+    PageCache,
+    PagedFile,
+    open_backend,
+)
+
+
+class TestInMemoryBackend:
+    def test_read_past_end_is_zero_padded(self):
+        backend = InMemoryBackend()
+        assert backend.read(0, 4) == b"\x00" * 4
+
+    def test_write_and_read_back(self):
+        backend = InMemoryBackend()
+        backend.write(10, b"abc")
+        assert backend.read(10, 3) == b"abc"
+        assert backend.size() == 13
+
+    def test_truncate(self):
+        backend = InMemoryBackend()
+        backend.write(0, b"abcdef")
+        backend.truncate(3)
+        assert backend.size() == 3
+        backend.truncate(5)
+        assert backend.read(0, 5) == b"abc\x00\x00"
+
+    def test_closed_backend_raises(self):
+        backend = InMemoryBackend()
+        backend.close()
+        with pytest.raises(StoreClosedError):
+            backend.read(0, 1)
+
+
+class TestFileBackend:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "data.bin")
+        backend = FileBackend(path)
+        backend.write(100, b"hello")
+        assert backend.read(100, 5) == b"hello"
+        backend.sync()
+        backend.close()
+        assert os.path.exists(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "nested" / "deeper" / "data.bin")
+        backend = FileBackend(path)
+        backend.write(0, b"x")
+        backend.close()
+        assert os.path.exists(path)
+
+    def test_read_after_close_raises(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "data.bin"))
+        backend.close()
+        with pytest.raises(StoreClosedError):
+            backend.read(0, 1)
+
+    def test_open_backend_dispatch(self, tmp_path):
+        assert isinstance(open_backend(None), InMemoryBackend)
+        assert isinstance(open_backend(str(tmp_path / "f.bin")), FileBackend)
+
+
+class TestPageCache:
+    def test_hits_and_misses_counted(self):
+        cache = PageCache(capacity_pages=4, page_size=64)
+        backend = InMemoryBackend()
+        file_id = cache.register_backend(backend)
+        cache.read_page(file_id, 0)
+        cache.read_page(file_id, 0)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_eviction_writes_back_dirty_pages(self):
+        cache = PageCache(capacity_pages=2, page_size=16)
+        backend = InMemoryBackend()
+        file_id = cache.register_backend(backend)
+        cache.write_into_page(file_id, 0, 0, b"A" * 16)
+        cache.write_into_page(file_id, 1, 0, b"B" * 16)
+        cache.write_into_page(file_id, 2, 0, b"C" * 16)
+        assert cache.stats.evictions >= 1
+        assert backend.read(0, 16) == b"A" * 16
+
+    def test_flush_persists_everything(self):
+        cache = PageCache(capacity_pages=8, page_size=16)
+        backend = InMemoryBackend()
+        file_id = cache.register_backend(backend)
+        cache.write_into_page(file_id, 3, 4, b"xyz")
+        cache.flush()
+        assert backend.read(3 * 16 + 4, 3) == b"xyz"
+
+    def test_write_spanning_page_rejected(self):
+        cache = PageCache(capacity_pages=2, page_size=16)
+        backend = InMemoryBackend()
+        file_id = cache.register_backend(backend)
+        with pytest.raises(ValueError):
+            cache.write_into_page(file_id, 0, 10, b"0123456789")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PageCache(capacity_pages=0)
+
+    def test_unregister_flushes_and_drops(self):
+        cache = PageCache(capacity_pages=4, page_size=16)
+        backend = InMemoryBackend()
+        file_id = cache.register_backend(backend)
+        cache.write_into_page(file_id, 0, 0, b"Z" * 16)
+        cache.unregister_backend(file_id)
+        assert backend.read(0, 16) == b"Z" * 16
+        assert cache.resident_pages() == 0
+
+
+class TestPagedFile:
+    def test_cross_page_write_and_read(self):
+        cache = PageCache(capacity_pages=4, page_size=16)
+        paged = PagedFile(InMemoryBackend(), cache)
+        data = bytes(range(40))
+        paged.write(10, data)
+        assert paged.read(10, 40) == data
+        assert paged.size() == 50
+
+    def test_read_past_end_zero_padded(self):
+        cache = PageCache(capacity_pages=4, page_size=16)
+        paged = PagedFile(InMemoryBackend(), cache)
+        paged.write(0, b"ab")
+        assert paged.read(0, 4) == b"ab\x00\x00"
+
+    def test_empty_read_and_write(self):
+        cache = PageCache(capacity_pages=4, page_size=16)
+        paged = PagedFile(InMemoryBackend(), cache)
+        paged.write(5, b"")
+        assert paged.read(5, 0) == b""
+
+    def test_flush_reaches_backend(self, tmp_path):
+        cache = PageCache(capacity_pages=4, page_size=64)
+        backend = FileBackend(str(tmp_path / "file.bin"))
+        paged = PagedFile(backend, cache)
+        paged.write(0, b"persist me")
+        paged.flush()
+        assert backend.read(0, 10) == b"persist me"
+        paged.close()
+
+    def test_use_after_close_raises(self):
+        cache = PageCache(capacity_pages=4, page_size=16)
+        paged = PagedFile(InMemoryBackend(), cache)
+        paged.close()
+        with pytest.raises(StoreClosedError):
+            paged.read(0, 1)
+        paged.close()  # idempotent

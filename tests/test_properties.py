@@ -1,0 +1,122 @@
+"""Unit tests for property value validation."""
+
+import pytest
+
+from repro.errors import InvalidPropertyValueError, ReservedNameError
+from repro.graph.properties import (
+    RESERVED_PROPERTY_PREFIX,
+    properties_equal,
+    validate_properties,
+    validate_property_key,
+    validate_property_value,
+)
+
+
+class TestValidatePropertyValue:
+    def test_scalars_pass_through(self):
+        assert validate_property_value(True) is True
+        assert validate_property_value(42) == 42
+        assert validate_property_value(3.5) == 3.5
+        assert validate_property_value("hello") == "hello"
+
+    def test_empty_string_is_allowed(self):
+        assert validate_property_value("") == ""
+
+    def test_integer_overflow_rejected(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_value(2 ** 63)
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_value(-(2 ** 63) - 1)
+
+    def test_boundary_integers_accepted(self):
+        assert validate_property_value(2 ** 63 - 1) == 2 ** 63 - 1
+        assert validate_property_value(-(2 ** 63)) == -(2 ** 63)
+
+    def test_homogeneous_lists_allowed(self):
+        assert validate_property_value([1, 2, 3]) == [1, 2, 3]
+        assert validate_property_value(["a", "b"]) == ["a", "b"]
+        assert validate_property_value((1.0, 2.0)) == [1.0, 2.0]
+        assert validate_property_value([True, False]) == [True, False]
+
+    def test_empty_list_allowed(self):
+        assert validate_property_value([]) == []
+
+    def test_mixed_lists_rejected(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_value([1, "two"])
+
+    def test_bool_and_int_not_interchangeable_in_arrays(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_value([True, 1])
+
+    def test_nested_lists_rejected(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_value([[1], [2]])
+
+    def test_none_rejected(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_value(None)
+
+    def test_unsupported_types_rejected(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_value({"a": 1})
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_value(object())
+
+
+class TestValidatePropertyKey:
+    def test_plain_keys_accepted(self):
+        assert validate_property_key("name") == "name"
+
+    def test_non_string_rejected(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_key(42)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_property_key("")
+
+    def test_reserved_prefix_rejected(self):
+        with pytest.raises(ReservedNameError):
+            validate_property_key(RESERVED_PROPERTY_PREFIX + "commit_ts")
+
+    def test_reserved_prefix_allowed_when_requested(self):
+        key = RESERVED_PROPERTY_PREFIX + "commit_ts"
+        assert validate_property_key(key, allow_reserved=True) == key
+
+
+class TestValidateProperties:
+    def test_none_becomes_empty_dict(self):
+        assert validate_properties(None) == {}
+
+    def test_copies_input(self):
+        source = {"a": 1}
+        result = validate_properties(source)
+        result["b"] = 2
+        assert "b" not in source
+
+    def test_none_value_rejected(self):
+        with pytest.raises(InvalidPropertyValueError):
+            validate_properties({"a": None})
+
+    def test_reserved_key_rejected(self):
+        with pytest.raises(ReservedNameError):
+            validate_properties({RESERVED_PROPERTY_PREFIX + "deleted": True})
+
+
+class TestPropertiesEqual:
+    def test_equal_maps(self):
+        assert properties_equal({"a": 1, "b": "x"}, {"a": 1, "b": "x"})
+
+    def test_different_keys(self):
+        assert not properties_equal({"a": 1}, {"b": 1})
+
+    def test_different_values(self):
+        assert not properties_equal({"a": 1}, {"a": 2})
+
+    def test_arrays_compare_elementwise_across_list_and_tuple(self):
+        assert properties_equal({"a": [1, 2]}, {"a": (1, 2)})
+        assert not properties_equal({"a": [1, 2]}, {"a": (2, 1)})
+
+    def test_type_sensitive_for_scalars(self):
+        assert not properties_equal({"a": 1}, {"a": True})

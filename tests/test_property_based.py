@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.version import Version, VersionChain
+from repro.core.versioned_index import VersionedEntrySet
+from repro.graph.dynamic_store import DynamicStore
+from repro.graph.entity import EntityKey, NodeData
+from repro.graph.id_allocator import IdAllocator
+from repro.graph.paging import InMemoryBackend, PageCache, PagedFile
+from repro.graph.property_store import PropertyStore, decode_array, encode_array
+
+# -- strategies -----------------------------------------------------------------
+
+scalar_values = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=40),
+)
+
+array_values = st.one_of(
+    st.lists(st.integers(min_value=-(2 ** 62), max_value=2 ** 62), max_size=12),
+    st.lists(st.booleans(), max_size=12),
+    st.lists(st.floats(allow_nan=False, allow_infinity=False, width=64), max_size=12),
+    st.lists(st.text(max_size=12), max_size=12),
+)
+
+property_values = st.one_of(scalar_values, array_values)
+
+
+def make_property_store():
+    cache = PageCache(capacity_pages=512, page_size=256)
+    values = DynamicStore(PagedFile(InMemoryBackend(), cache), "values")
+    return PropertyStore(PagedFile(InMemoryBackend(), cache), values)
+
+
+# -- storage round trips -----------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=-(2 ** 62), max_value=2 ** 62), max_size=30))
+def test_int_array_codec_roundtrip(values):
+    assert decode_array(encode_array(values)) == values
+
+
+@given(st.lists(st.text(max_size=20), max_size=20))
+def test_string_array_codec_roundtrip(values):
+    assert decode_array(encode_array(values)) == values
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+@given(st.dictionaries(st.integers(min_value=0, max_value=30), property_values, max_size=8))
+def test_property_chain_roundtrip(properties):
+    store = make_property_store()
+    ref = store.write_chain(dict(properties))
+    assert store.read_chain(ref) == properties
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+@given(st.binary(max_size=600))
+def test_dynamic_store_roundtrip(payload):
+    cache = PageCache(capacity_pages=512, page_size=256)
+    store = DynamicStore(PagedFile(InMemoryBackend(), cache), "dyn")
+    assert store.read_bytes(store.write_bytes(payload)) == payload
+
+
+# -- id allocator invariants ---------------------------------------------------------
+
+@given(st.lists(st.sampled_from(["alloc", "free"]), max_size=60))
+def test_id_allocator_never_hands_out_a_live_id(script):
+    allocator = IdAllocator()
+    live = set()
+    for action in script:
+        if action == "alloc":
+            new_id = allocator.allocate()
+            assert new_id not in live
+            live.add(new_id)
+        elif live:
+            victim = sorted(live)[0]
+            live.discard(victim)
+            allocator.free(victim)
+
+
+# -- version chain visibility (the read rule) ------------------------------------------
+
+@given(
+    commit_steps=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=15),
+    read_offset=st.integers(min_value=0, max_value=80),
+)
+def test_version_chain_visibility_matches_brute_force(commit_steps, read_offset):
+    key = EntityKey.node(1)
+    chain = VersionChain(key)
+    commit_ts = 0
+    all_versions = []
+    for step in commit_steps:
+        commit_ts += step
+        version = Version(key, NodeData(1, properties={"at": commit_ts}), commit_ts)
+        chain.add_committed(version)
+        all_versions.append(version)
+
+    start_ts = read_offset
+    expected = max(
+        (version for version in all_versions if version.commit_ts <= start_ts),
+        key=lambda version: version.commit_ts,
+        default=None,
+    )
+    assert chain.visible_to(start_ts) is expected
+
+
+# -- versioned index intervals vs a brute-force model ------------------------------------
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]), st.integers(min_value=0, max_value=5)),
+        max_size=20,
+    ),
+    st.integers(min_value=0, max_value=25),
+)
+def test_versioned_entry_set_matches_brute_force(events, read_ts):
+    entries = VersionedEntrySet()
+    model = {}  # entity -> list of (op, ts)
+    commit_ts = 0
+    for operation, entity in events:
+        commit_ts += 1
+        history = model.setdefault(entity, [])
+        if operation == "add":
+            entries.add(entity, commit_ts)
+            history.append(("add", commit_ts))
+        else:
+            entries.mark_removed(entity, commit_ts)
+            history.append(("remove", commit_ts))
+
+    def visible_in_model(entity):
+        member = False
+        open_interval = False
+        for operation, ts in model.get(entity, []):
+            if operation == "add":
+                open_interval = True
+                if ts <= read_ts:
+                    member = True
+            elif open_interval:
+                open_interval = False
+                if ts <= read_ts:
+                    member = False
+        return member
+
+    expected = {entity for entity in model if visible_in_model(entity)}
+    assert entries.visible(read_ts) == expected
+
+
+# -- end-to-end engine invariant: committed money is conserved under SI ------------------
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(1, 50)), max_size=12))
+def test_snapshot_isolation_conserves_total_balance(transfers):
+    from repro import GraphDatabase, IsolationLevel, WriteWriteConflictError
+
+    db = GraphDatabase.in_memory(isolation=IsolationLevel.SNAPSHOT)
+    with db.transaction() as tx:
+        accounts = [tx.create_node(["Account"], {"balance": 100}).id for _ in range(5)]
+    for source_index, target_index, amount in transfers:
+        if source_index == target_index:
+            continue
+        try:
+            with db.transaction() as tx:
+                source = tx.get_node(accounts[source_index])
+                target = tx.get_node(accounts[target_index])
+                tx.set_node_property(accounts[source_index], "balance", int(source["balance"]) - amount)
+                tx.set_node_property(accounts[target_index], "balance", int(target["balance"]) + amount)
+        except WriteWriteConflictError:
+            pass
+    with db.transaction(read_only=True) as tx:
+        total = sum(int(tx.get_node(account)["balance"]) for account in accounts)
+    assert total == 500
+    db.close()

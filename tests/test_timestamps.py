@@ -1,0 +1,80 @@
+"""Unit tests for the timestamp oracle."""
+
+from repro.core.timestamps import TimestampOracle
+
+
+class TestTimestampOracle:
+    def test_begin_returns_monotonic_txn_ids(self):
+        oracle = TimestampOracle()
+        txn1, _ = oracle.begin_transaction()
+        txn2, _ = oracle.begin_transaction()
+        assert txn2 > txn1
+
+    def test_start_ts_tracks_latest_published_commit(self):
+        oracle = TimestampOracle()
+        _, start_before = oracle.begin_transaction()
+        assert start_before == 0
+        commit_ts = oracle.issue_commit_timestamp()
+        # Not yet published: new transactions still see the old snapshot.
+        _, start_mid = oracle.begin_transaction()
+        assert start_mid == 0
+        oracle.publish_commit(999, commit_ts)
+        _, start_after = oracle.begin_transaction()
+        assert start_after == commit_ts
+
+    def test_commit_timestamps_are_strictly_increasing(self):
+        oracle = TimestampOracle()
+        first = oracle.issue_commit_timestamp()
+        second = oracle.issue_commit_timestamp()
+        assert second == first + 1
+
+    def test_watermark_with_no_active_transactions(self):
+        oracle = TimestampOracle()
+        ts = oracle.issue_commit_timestamp()
+        oracle.publish_commit(1, ts)
+        assert oracle.watermark() == ts
+
+    def test_watermark_pinned_by_oldest_active(self):
+        oracle = TimestampOracle()
+        old_txn, old_start = oracle.begin_transaction()
+        ts = oracle.issue_commit_timestamp()
+        oracle.publish_commit(99, ts)
+        _new_txn, _ = oracle.begin_transaction()
+        assert oracle.watermark() == old_start
+        oracle.retire_transaction(old_txn)
+        assert oracle.watermark() >= old_start
+
+    def test_retire_and_active_tracking(self):
+        oracle = TimestampOracle()
+        txn, start = oracle.begin_transaction()
+        assert oracle.is_active(txn)
+        assert oracle.start_ts_of(txn) == start
+        assert oracle.active_count() == 1
+        assert oracle.active_start_timestamps() == {txn: start}
+        oracle.retire_transaction(txn)
+        assert not oracle.is_active(txn)
+        assert oracle.start_ts_of(txn) is None
+
+    def test_publish_commit_retires_transaction(self):
+        oracle = TimestampOracle()
+        txn, _ = oracle.begin_transaction()
+        ts = oracle.issue_commit_timestamp()
+        oracle.publish_commit(txn, ts)
+        assert not oracle.is_active(txn)
+        assert oracle.latest_commit_ts == ts
+
+    def test_advance_to(self):
+        oracle = TimestampOracle()
+        oracle.advance_to(100)
+        assert oracle.latest_commit_ts == 100
+        assert oracle.issue_commit_timestamp() == 101
+        # advance_to never goes backwards
+        oracle.advance_to(50)
+        assert oracle.latest_commit_ts == 100
+
+    def test_counters(self):
+        oracle = TimestampOracle()
+        oracle.begin_transaction()
+        oracle.issue_commit_timestamp()
+        assert oracle.transactions_started == 1
+        assert oracle.commits_issued == 1

@@ -1,0 +1,87 @@
+"""Unit tests for the token registries."""
+
+import pytest
+
+from repro.errors import ReservedNameError
+from repro.graph.tokens import TokenRegistry, TokenSet
+
+
+class TestTokenRegistry:
+    def test_ids_are_dense_and_stable(self):
+        registry = TokenRegistry("label")
+        assert registry.get_or_create("Person") == 0
+        assert registry.get_or_create("City") == 1
+        assert registry.get_or_create("Person") == 0
+        assert len(registry) == 2
+
+    def test_name_lookup(self):
+        registry = TokenRegistry("label")
+        registry.get_or_create("Person")
+        assert registry.name_of(0) == "Person"
+        assert registry.maybe_id("Person") == 0
+        assert registry.maybe_id("Missing") is None
+
+    def test_unknown_id_raises(self):
+        registry = TokenRegistry("label")
+        with pytest.raises(KeyError):
+            registry.name_of(3)
+
+    def test_contains_and_iteration(self):
+        registry = TokenRegistry("label")
+        registry.get_or_create("A")
+        registry.get_or_create("B")
+        assert "A" in registry
+        assert list(registry) == ["A", "B"]
+        assert registry.names() == ["A", "B"]
+
+    def test_on_create_callback_fires_once_per_token(self):
+        created = []
+        registry = TokenRegistry("label", on_create=lambda tid, name: created.append((tid, name)))
+        registry.get_or_create("A")
+        registry.get_or_create("A")
+        registry.get_or_create("B")
+        assert created == [(0, "A"), (1, "B")]
+
+    def test_load_requires_dense_ids(self):
+        registry = TokenRegistry("label")
+        registry.load(0, "A")
+        with pytest.raises(ValueError):
+            registry.load(2, "C")
+
+    def test_load_rejects_duplicate_names(self):
+        registry = TokenRegistry("label")
+        registry.load(0, "A")
+        with pytest.raises(ValueError):
+            registry.load(1, "A")
+
+    def test_load_does_not_fire_callback(self):
+        created = []
+        registry = TokenRegistry("label", on_create=lambda tid, name: created.append(name))
+        registry.load(0, "A")
+        assert created == []
+
+    def test_invalid_names_rejected(self):
+        registry = TokenRegistry("label")
+        with pytest.raises(ValueError):
+            registry.get_or_create("")
+        with pytest.raises(ValueError):
+            registry.get_or_create(123)
+
+    def test_reserved_prefix_rejected_when_configured(self):
+        registry = TokenRegistry("label", reserved_prefix="_si_")
+        with pytest.raises(ReservedNameError):
+            registry.get_or_create("_si_internal")
+
+
+class TestTokenSet:
+    def test_bundles_three_registries(self):
+        tokens = TokenSet()
+        tokens.labels.get_or_create("Person")
+        tokens.relationship_types.get_or_create("KNOWS")
+        tokens.property_keys.get_or_create("name")
+        tokens.property_keys.get_or_create("age")
+        assert tokens.snapshot_counts() == {
+            "labels": 1,
+            "relationship_types": 1,
+            "property_keys": 2,
+        }

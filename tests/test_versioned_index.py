@@ -1,0 +1,189 @@
+"""Unit tests for the multi-versioned indexes and the adjacency map."""
+
+from repro.core.versioned_index import (
+    AdjacencyIndex,
+    VersionedEntrySet,
+    VersionedIndexSet,
+    VersionedLabelIndex,
+    VersionedPropertyIndex,
+    VersionedRelationshipTypeIndex,
+)
+from repro.graph.entity import NodeData, RelationshipData
+
+
+class TestVersionedEntrySet:
+    def test_visibility_window(self):
+        entries = VersionedEntrySet()
+        entries.add(1, commit_ts=5)
+        assert entries.visible(4) == set()
+        assert entries.visible(5) == {1}
+        entries.mark_removed(1, commit_ts=9)
+        assert entries.visible(8) == {1}
+        assert entries.visible(9) == set()
+        assert entries.current() == set()
+
+    def test_re_add_after_removal(self):
+        entries = VersionedEntrySet()
+        entries.add(1, 2)
+        entries.mark_removed(1, 4)
+        entries.add(1, 6)
+        assert entries.visible(3) == {1}
+        assert entries.visible(5) == set()
+        assert entries.visible(7) == {1}
+        assert entries.current() == {1}
+
+    def test_mark_removed_unknown_entity_is_noop(self):
+        entries = VersionedEntrySet()
+        entries.mark_removed(7, 3)
+        assert entries.is_empty()
+
+    def test_purge_drops_closed_intervals_below_watermark(self):
+        entries = VersionedEntrySet()
+        entries.add(1, 2)
+        entries.mark_removed(1, 4)
+        entries.add(2, 3)
+        assert entries.purge(watermark=4) == 1
+        assert entries.visible(3) == {2}
+        assert entries.interval_count() == 1
+
+    def test_purge_keeps_intervals_still_visible(self):
+        entries = VersionedEntrySet()
+        entries.add(1, 2)
+        entries.mark_removed(1, 10)
+        assert entries.purge(watermark=5) == 0
+        assert entries.visible(5) == {1}
+
+    def test_drop_entity(self):
+        entries = VersionedEntrySet()
+        entries.add(1, 2)
+        entries.drop_entity(1)
+        assert entries.is_empty()
+
+
+class TestVersionedLabelIndex:
+    def test_apply_node_change_and_lookup(self):
+        index = VersionedLabelIndex()
+        created = NodeData(1, {"Person"})
+        index.apply_node_change(None, created, commit_ts=3)
+        assert index.visible("Person", 3) == {1}
+        assert index.visible("Person", 2) == set()
+
+        relabelled = NodeData(1, {"Admin"})
+        index.apply_node_change(created, relabelled, commit_ts=6)
+        assert index.visible("Person", 5) == {1}
+        assert index.visible("Person", 6) == set()
+        assert index.visible("Admin", 6) == {1}
+
+        index.apply_node_change(relabelled, None, commit_ts=8)
+        assert index.visible("Admin", 8) == set()
+
+    def test_label_created_after_snapshot_is_discarded_wholesale(self):
+        index = VersionedLabelIndex()
+        index.apply_node_change(None, NodeData(1, {"Brand"}), commit_ts=10)
+        # The label token itself did not exist at ts 5 (the paper's shortcut).
+        assert index.key_creation_ts("Brand") == 10
+        assert index.visible("Brand", 5) == set()
+
+    def test_drop_node(self):
+        index = VersionedLabelIndex()
+        index.apply_node_change(None, NodeData(1, {"Person"}), commit_ts=1)
+        index.drop_node(1)
+        assert index.visible("Person", 5) == set()
+
+
+class TestVersionedPropertyIndex:
+    def test_property_change_moves_entry(self):
+        index = VersionedPropertyIndex()
+        index.apply_change(1, {}, {"age": 30}, commit_ts=2)
+        index.apply_change(1, {"age": 30}, {"age": 31}, commit_ts=5)
+        assert index.visible("age", 30, 4) == {1}
+        assert index.visible("age", 30, 5) == set()
+        assert index.visible("age", 31, 5) == {1}
+
+    def test_array_values(self):
+        index = VersionedPropertyIndex()
+        index.apply_change(1, {}, {"tags": ["a", "b"]}, commit_ts=2)
+        assert index.visible("tags", ["a", "b"], 2) == {1}
+
+    def test_interval_count(self):
+        index = VersionedPropertyIndex()
+        index.apply_change(1, {}, {"x": 1, "y": 2}, commit_ts=1)
+        assert index.interval_count() == 2
+
+
+class TestVersionedRelationshipTypeIndex:
+    def test_lifecycle(self):
+        index = VersionedRelationshipTypeIndex()
+        rel = RelationshipData(4, "KNOWS", 1, 2)
+        index.apply_relationship_change(None, rel, commit_ts=3)
+        assert index.visible("KNOWS", 3) == {4}
+        index.apply_relationship_change(rel, None, commit_ts=7)
+        assert index.visible("KNOWS", 6) == {4}
+        assert index.visible("KNOWS", 7) == set()
+        index.drop_relationship(4)
+        assert index.visible("KNOWS", 5) == set()
+
+
+class TestAdjacencyIndex:
+    def test_add_and_candidates(self):
+        adjacency = AdjacencyIndex()
+        rel = RelationshipData(9, "KNOWS", 1, 2)
+        adjacency.add(rel)
+        assert adjacency.candidate_rel_ids(1) == {9}
+        assert adjacency.candidate_rel_ids(2) == {9}
+        assert adjacency.candidate_rel_ids(3) == set()
+        assert adjacency.node_count() == 2
+        assert adjacency.entry_count() == 2
+
+    def test_self_loop_counted_once_per_node(self):
+        adjacency = AdjacencyIndex()
+        adjacency.add(RelationshipData(5, "SELF", 3, 3))
+        assert adjacency.candidate_rel_ids(3) == {5}
+
+    def test_discard_and_drop_node(self):
+        adjacency = AdjacencyIndex()
+        rel = RelationshipData(9, "KNOWS", 1, 2)
+        adjacency.add(rel)
+        adjacency.discard(rel)
+        assert adjacency.candidate_rel_ids(1) == set()
+        adjacency.add(rel)
+        adjacency.drop_node(1)
+        assert adjacency.candidate_rel_ids(1) == set()
+        assert adjacency.candidate_rel_ids(2) == {9}
+
+
+class TestVersionedIndexSet:
+    def test_node_and_relationship_maintenance(self):
+        indexes = VersionedIndexSet()
+        alice = NodeData(1, {"Person"}, {"name": "alice"})
+        indexes.apply_node_change(None, alice, commit_ts=1)
+        rel = RelationshipData(7, "KNOWS", 1, 2, {"since": 2016})
+        indexes.apply_relationship_change(None, rel, commit_ts=2)
+
+        assert indexes.node_labels.visible("Person", 1) == {1}
+        assert indexes.node_properties.visible("name", "alice", 1) == {1}
+        assert indexes.relationship_properties.visible("since", 2016, 2) == {7}
+        assert indexes.relationship_types.visible("KNOWS", 2) == {7}
+        assert indexes.adjacency.candidate_rel_ids(1) == {7}
+        assert indexes.interval_count() == 4
+
+    def test_purge_entities(self):
+        indexes = VersionedIndexSet()
+        alice = NodeData(1, {"Person"}, {"name": "alice"})
+        rel = RelationshipData(7, "KNOWS", 1, 2, {"since": 2016})
+        indexes.apply_node_change(None, alice, commit_ts=1)
+        indexes.apply_relationship_change(None, rel, commit_ts=1)
+        indexes.purge_relationship(rel)
+        indexes.purge_node(alice)
+        assert indexes.node_labels.visible("Person", 5) == set()
+        assert indexes.adjacency.candidate_rel_ids(1) == set()
+        assert indexes.relationship_types.visible("KNOWS", 5) == set()
+
+    def test_purge_by_watermark(self):
+        indexes = VersionedIndexSet()
+        alice = NodeData(1, {"Person"})
+        indexes.apply_node_change(None, alice, commit_ts=1)
+        indexes.apply_node_change(alice, NodeData(1, {"Admin"}), commit_ts=3)
+        purged = indexes.purge(watermark=3)
+        assert purged >= 1
+        assert indexes.node_labels.visible("Admin", 3) == {1}
