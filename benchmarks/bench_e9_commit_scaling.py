@@ -1,0 +1,201 @@
+"""E9 — commit scaling: committed transactions/sec vs committer threads.
+
+The seed serialised every snapshot-isolation commit behind one global mutex,
+so adding committer threads could never add commit throughput.  The sharded
+pipeline serialises only commits whose write sets share a stripe, publishes
+snapshots through the oracle's contiguous watermark, and (with group commit)
+coalesces concurrent committers' WAL appends — one fsync per *group*.
+
+This experiment drives 1/2/4/8 committer threads over **disjoint** write sets
+(each thread updates only its own accounts) against an on-disk store with
+``wal_sync=True``, so every commit pays a real durability round trip:
+
+* ``global_mutex`` — ``commit_stripes=1``, no group commit (the seed path),
+* ``sharded`` — striped commit locks plus group commit.
+
+Results go to ``BENCH_e9_commit_scaling.json`` so future PRs can track the
+trajectory.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_e9_commit_scaling.py
+
+or through pytest (reduced matrix)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e9_commit_scaling.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro import GraphDatabase, IsolationLevel, WriteWriteConflictError
+
+from bench_helpers import print_row, write_json
+
+DEFAULT_THREADS = (1, 2, 4, 8)
+ACCOUNTS_PER_THREAD = 8
+
+CONFIGS = {
+    "global_mutex": {"commit_stripes": 1, "group_commit": False},
+    "sharded": {"commit_stripes": 32, "group_commit": True},
+}
+
+
+def _run_cell(config: str, threads: int, ops_per_thread: int) -> Dict[str, object]:
+    """One (config, thread-count) cell: disjoint per-thread account updates."""
+    options = CONFIGS[config]
+    with tempfile.TemporaryDirectory(prefix="bench_e9_") as path:
+        db = GraphDatabase.open(
+            os.path.join(path, "store"),
+            isolation=IsolationLevel.SNAPSHOT,
+            wal_sync=True,
+            **options,
+        )
+        with db.transaction() as tx:
+            owned: List[List[int]] = [
+                [
+                    tx.create_node(labels=["Account"], properties={"balance": 0}).id
+                    for _ in range(ACCOUNTS_PER_THREAD)
+                ]
+                for _ in range(threads)
+            ]
+
+        barrier = threading.Barrier(threads + 1)
+        committed_counts = [0] * threads
+        retry_counts = [0] * threads
+
+        def worker(worker_id: int, accounts: List[int]) -> None:
+            # The write sets are disjoint, but under out-of-order publication
+            # a snapshot can briefly lag this thread's own previous commit
+            # (the watermark waits for older in-flight committers), which
+            # first-updater-wins conservatively aborts.  Real applications
+            # retry; so does the benchmark, and only successes are counted.
+            barrier.wait()
+            for iteration in range(ops_per_thread):
+                while True:
+                    try:
+                        with db.transaction() as tx:
+                            tx.set_node_property(
+                                accounts[iteration % len(accounts)],
+                                "balance",
+                                iteration,
+                            )
+                        committed_counts[worker_id] += 1
+                        break
+                    except WriteWriteConflictError:
+                        retry_counts[worker_id] += 1
+
+        pool = [
+            threading.Thread(target=worker, args=(i, owned[i]), daemon=True)
+            for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in pool:
+            thread.join()
+        duration = time.perf_counter() - started
+
+        engine_stats = db.engine.statistics()
+        store_stats = db.store.stats
+        committed = sum(committed_counts)
+        row: Dict[str, object] = {
+            "config": config,
+            "threads": threads,
+            "committed": committed,
+            "conflict_retries": sum(retry_counts),
+            "duration_seconds": round(duration, 4),
+            "committed_per_second": round(committed / duration, 1),
+            "stripe_waits": engine_stats["commit_pipeline"]["stripe_waits"],
+            "group_flushes": store_stats.group_flushes,
+            "group_max_coalesced": store_stats.group_max_coalesced,
+        }
+        db.close()
+        return row
+
+
+def run_scaling(
+    threads_series=DEFAULT_THREADS, ops_per_thread: int = 40, output: str = None
+) -> Dict[str, object]:
+    """Run the full matrix and write the JSON result document."""
+    rows = []
+    for config in CONFIGS:
+        for threads in threads_series:
+            row = _run_cell(config, threads, ops_per_thread)
+            print_row("E9", row)
+            rows.append(row)
+
+    def tps(config: str, threads: int) -> float:
+        for row in rows:
+            if row["config"] == config and row["threads"] == threads:
+                return float(row["committed_per_second"])
+        return 0.0
+
+    speedup_threads = 4 if 4 in threads_series else max(threads_series)
+    baseline = tps("global_mutex", speedup_threads)
+    payload: Dict[str, object] = {
+        "experiment": "e9_commit_scaling",
+        "workload": {
+            "accounts_per_thread": ACCOUNTS_PER_THREAD,
+            "ops_per_thread": ops_per_thread,
+            "threads_series": list(threads_series),
+            "wal_sync": True,
+            "disjoint_write_sets": True,
+        },
+        "configs": CONFIGS,
+        "series": rows,
+        "speedup_at_threads": speedup_threads,
+        "sharded_speedup": round(
+            tps("sharded", speedup_threads) / baseline, 3
+        )
+        if baseline
+        else None,
+    }
+    if output is None:
+        output = "BENCH_e9_commit_scaling.json"
+    write_json(output, payload)
+    print(f"\n[E9] wrote {output}  sharded_speedup={payload['sharded_speedup']}x")
+    return payload
+
+
+def test_e9_commit_scaling(tmp_path):
+    """Reduced matrix for pytest runs: the pipeline scales and emits JSON."""
+    output = str(tmp_path / "BENCH_e9_commit_scaling.json")
+    payload = run_scaling(threads_series=(1, 4), ops_per_thread=15, output=output)
+    assert os.path.exists(output)
+    by_key = {(row["config"], row["threads"]): row for row in payload["series"]}
+    assert by_key[("sharded", 4)]["committed"] == 60
+    assert by_key[("global_mutex", 4)]["committed"] == 60
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ops-per-thread", type=int, default=40, help="commits per thread per cell"
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_THREADS),
+        help="committer thread counts to sweep",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_e9_commit_scaling.json",
+        help="where to write the result document",
+    )
+    args = parser.parse_args()
+    run_scaling(
+        threads_series=tuple(args.threads),
+        ops_per_thread=args.ops_per_thread,
+        output=args.output,
+    )

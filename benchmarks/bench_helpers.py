@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from typing import Dict
 
 from repro import GraphDatabase, IsolationLevel
@@ -16,3 +17,10 @@ def print_row(experiment: str, row: Dict[str, object]) -> None:
     """Print one result row in a stable, grep-friendly format."""
     columns = "  ".join(f"{key}={value}" for key, value in row.items())
     print(f"\n[{experiment}] {columns}")
+
+
+def write_json(path: str, payload: Dict[str, object]) -> None:
+    """Write one experiment's result document (for trajectory tracking)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -16,13 +16,14 @@ EXPERIMENTS.md are produced.
 
 from __future__ import annotations
 
+import contextlib
 import threading
-from typing import Dict, Optional, Union
+from typing import ContextManager, Dict, Optional, Union
 
 from repro.api.transaction import Transaction
 from repro.core.conflict import ConflictPolicy
 from repro.core.gc import GcStats
-from repro.core.si_manager import SnapshotIsolationEngine
+from repro.core.si_manager import DEFAULT_COMMIT_STRIPES, SnapshotIsolationEngine
 from repro.core.vacuum import VacuumCollector
 from repro.engine import GraphEngine, IsolationLevel
 from repro.errors import ReproError
@@ -70,6 +71,8 @@ class GraphDatabase:
         lock_timeout: float = 10.0,
         version_cache_capacity: int = 200_000,
         gc_every_n_commits: int = 0,
+        commit_stripes: int = DEFAULT_COMMIT_STRIPES,
+        group_commit: bool = False,
     ) -> None:
         """Open (or create) a database.
 
@@ -77,6 +80,12 @@ class GraphDatabase:
         database in memory.  See :class:`~repro.core.si_manager.SnapshotIsolationEngine`
         and :class:`~repro.locking.rc_manager.ReadCommittedEngine` for the
         meaning of the engine-specific options.
+
+        ``commit_stripes`` shards the snapshot-isolation commit path so that
+        commits touching disjoint entities proceed concurrently (1 restores
+        the fully-serialised behaviour).  ``group_commit`` coalesces the store
+        persistence of concurrent committers into one WAL append (one fsync
+        under ``wal_sync``) per group.
         """
         self._isolation = _coerce_isolation(isolation)
         self._closed = False
@@ -89,6 +98,7 @@ class GraphDatabase:
             # Never recycle entity ids under MVCC: old versions of a deleted
             # entity may still be readable by open snapshots.
             reuse_entity_ids=(self._isolation is IsolationLevel.READ_COMMITTED),
+            group_commit=group_commit,
         )
         locks = LockManager(default_timeout=lock_timeout)
         if self._isolation is IsolationLevel.SNAPSHOT:
@@ -98,6 +108,7 @@ class GraphDatabase:
                 conflict_policy=_coerce_policy(conflict_policy),
                 version_cache_capacity=version_cache_capacity,
                 gc_every_n_commits=gc_every_n_commits,
+                commit_stripes=commit_stripes,
             )
         else:
             self.engine = ReadCommittedEngine(self.store, lock_manager=locks)
@@ -172,6 +183,18 @@ class GraphDatabase:
         if not isinstance(self.engine, SnapshotIsolationEngine):
             raise ReproError("vacuum collection only applies to snapshot isolation")
         return self.engine.create_vacuum_collector()
+
+    def pause_commits(self) -> ContextManager[None]:
+        """Block every committer while the returned context manager is held.
+
+        Under snapshot isolation this acquires all commit stripes (what the
+        stop-the-world vacuum uses); the read-committed engine has no sharded
+        pipeline, so pausing is a no-op there.
+        """
+        self._ensure_open()
+        if isinstance(self.engine, SnapshotIsolationEngine):
+            return self.engine.pause_commits()
+        return contextlib.nullcontext()
 
     def checkpoint(self) -> None:
         """Flush dirty pages and truncate the write-ahead log."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import WriteWriteConflictError
 from repro.graph.entity import EntityKey
@@ -57,7 +57,7 @@ class ConflictDetector:
         txn_id: int,
         start_ts: int,
         key: EntityKey,
-        newest_committed_ts: Optional[int],
+        read_newest_committed_ts: Callable[[], Optional[int]],
     ) -> None:
         """Check the write rule when a transaction first updates ``key``.
 
@@ -67,6 +67,14 @@ class ConflictDetector:
         Having obtained the lock, a version committed by a concurrent
         transaction (commit timestamp newer than our snapshot) is still a
         conflict — the other updater already won by committing.
+
+        ``read_newest_committed_ts`` is deliberately a callable, evaluated
+        only *after* the long lock has been acquired.  This matters: versions
+        of ``key`` are only ever installed by a transaction holding its long
+        lock, so a timestamp read under the lock cannot race a concurrent
+        install — whereas a timestamp snapshotted before acquisition can go
+        stale while the previous holder finishes its commit, silently
+        admitting a lost update.
 
         Under first-committer-wins nothing is checked here; validation happens
         at commit time.
@@ -79,6 +87,7 @@ class ConflictDetector:
                 f"transaction {txn_id} is not the first updater of {key} "
                 "(another concurrent transaction holds its write lock)"
             )
+        newest_committed_ts = read_newest_committed_ts()
         if newest_committed_ts is not None and newest_committed_ts > start_ts:
             self.stats.write_time_conflicts += 1
             raise WriteWriteConflictError(

@@ -28,7 +28,7 @@ from repro.core.snapshot import Snapshot
 from repro.core.timestamps import TimestampOracle
 from repro.core.vacuum import VacuumCollector
 from repro.core.version import Version, VersionChain
-from repro.core.version_store import VersionStore
+from repro.core.version_store import VersionStore, stripe_of
 from repro.core.versioned_index import VersionedIndexSet
 from repro.engine import GraphEngine, IsolationLevel
 from repro.errors import WriteWriteConflictError
@@ -48,11 +48,14 @@ from repro.graph.operations import (
 from repro.graph.properties import RESERVED_PROPERTY_PREFIX
 from repro.graph.store_manager import StoreManager
 from repro.locking.lock_manager import LockManager
-from repro.locking.rc_manager import EngineStats
+from repro.stats import CommitPipelineStats, EngineStats
 
 #: Reserved property carrying the commit timestamp of the persisted version
 #: (the extra property the paper adds to nodes and relationships).
 COMMIT_TS_PROPERTY = RESERVED_PROPERTY_PREFIX + "commit_ts"
+
+#: Default number of commit stripes (1 restores the seed's global mutex).
+DEFAULT_COMMIT_STRIPES = 16
 
 
 class SnapshotIsolationEngine(GraphEngine):
@@ -68,25 +71,42 @@ class SnapshotIsolationEngine(GraphEngine):
         conflict_policy: ConflictPolicy = ConflictPolicy.FIRST_UPDATER_WINS,
         version_cache_capacity: int = 200_000,
         gc_every_n_commits: int = 0,
+        commit_stripes: int = DEFAULT_COMMIT_STRIPES,
     ) -> None:
         """Create an engine over an open store.
 
         ``gc_every_n_commits`` > 0 runs a garbage-collection pass automatically
-        after every N commits; 0 leaves collection entirely to explicit
-        :meth:`run_gc` calls (what the benchmarks do, so they can measure it).
+        after every N version-installing commits; 0 leaves collection entirely
+        to explicit :meth:`run_gc` calls (what the benchmarks do, so they can
+        measure it).
+
+        ``commit_stripes`` shards the commit critical section: each committing
+        transaction locks only the stripes covering its write set (plus the
+        structural neighbourhood it validates), so commits on disjoint key
+        sets proceed concurrently.  ``commit_stripes=1`` restores the seed's
+        fully-serialised single-mutex behaviour.
         """
+        if commit_stripes < 1:
+            raise ValueError("the engine needs at least one commit stripe")
         self.store = store
         self.locks = lock_manager or LockManager()
         self.oracle = TimestampOracle()
-        self.versions = VersionStore(cache_capacity=version_cache_capacity)
-        self.indexes = VersionedIndexSet()
+        self.versions = VersionStore(
+            cache_capacity=version_cache_capacity, stripes=commit_stripes
+        )
+        self.indexes = VersionedIndexSet(stripes=commit_stripes)
         self.conflicts = ConflictDetector(self.locks, conflict_policy)
         self.gc = GarbageCollector(
             self.versions, self.oracle, self.indexes, ThreadedVersionList()
         )
         self.stats = EngineStats()
+        self.commit_pipeline_stats = CommitPipelineStats()
         self._gc_every_n_commits = gc_every_n_commits
-        self._commit_mutex = threading.Lock()
+        self._versioned_commits = 0
+        # Guards the outcome counters and the GC trigger: the commit path is
+        # concurrent now, and unsynchronised `+=` loses increments.
+        self._counter_lock = threading.Lock()
+        self._commit_stripes = [threading.Lock() for _ in range(commit_stripes)]
         self._bootstrap_indexes()
 
     # ------------------------------------------------------------------
@@ -96,39 +116,129 @@ class SnapshotIsolationEngine(GraphEngine):
     def begin(self, *, read_only: bool = False) -> SnapshotTransaction:
         """Start a transaction with a fresh snapshot of the committed state."""
         txn_id, start_ts = self.oracle.begin_transaction()
-        self.stats.begun += 1
+        with self._counter_lock:
+            self.stats.begun += 1
         return SnapshotTransaction(
             self, Snapshot(txn_id=txn_id, start_ts=start_ts), read_only=read_only
         )
 
     def commit_transaction(self, txn: SnapshotTransaction) -> None:
-        """Commit: validate the write rule, install versions, persist, publish."""
+        """Commit: validate the write rule, install versions, persist, publish.
+
+        The critical section is sharded: the transaction acquires, in sorted
+        order (deadlock-free), only the commit stripes covering its write set
+        plus the structural neighbourhood its validation reads — the endpoint
+        nodes of created relationships and the adjacent relationships of
+        deleted nodes.  Commits on disjoint stripe sets run concurrently; the
+        oracle's pending-commit protocol keeps new snapshots behind any
+        committer that is still installing.
+        """
         if not txn.has_writes():
             self.oracle.retire_transaction(txn.txn_id)
             self.conflicts.release_locks(txn.txn_id)
-            self.stats.committed += 1
+            with self._counter_lock:
+                self.stats.committed += 1
             return
         writes = self._effective_writes(txn)
         try:
-            with self._commit_mutex:
+            with self._acquire_stripes(self._commit_stripe_set(txn, writes)):
                 self._validate(txn, writes)
                 commit_ts = self.oracle.issue_commit_timestamp()
-                old_states = self._install_versions(txn, writes, commit_ts)
-                self._update_indexes(writes, old_states, commit_ts)
-                operations = self._build_store_operations(writes, commit_ts)
-                self.store.apply_batch(txn.txn_id, operations)
-                self.oracle.publish_commit(txn.txn_id, commit_ts)
+                try:
+                    old_states = self._install_versions(txn, writes, commit_ts)
+                    self._update_indexes(writes, old_states, commit_ts)
+                    operations = self._build_store_operations(writes, commit_ts)
+                    self.store.apply_batch(txn.txn_id, operations)
+                finally:
+                    # Publish unconditionally so a failed install can never
+                    # wedge the snapshot watermark (store operations are not
+                    # expected to fail; this mirrors the seed, where the next
+                    # publish exposed whatever had been installed).
+                    self.oracle.publish_commit(txn.txn_id, commit_ts)
         finally:
             self.conflicts.release_locks(txn.txn_id)
-        self.stats.committed += 1
-        if self._gc_every_n_commits and self.stats.committed % self._gc_every_n_commits == 0:
+        # The counter and the modulo decision must move together: concurrent
+        # committers racing an unlocked += can jump the counter past the
+        # trigger boundary and skip a scheduled GC pass entirely.
+        with self._counter_lock:
+            self.stats.committed += 1
+            self._versioned_commits += 1
+            gc_due = (
+                self._gc_every_n_commits != 0
+                and self._versioned_commits % self._gc_every_n_commits == 0
+            )
+        if gc_due:
             self.gc.collect()
+
+    # ------------------------------------------------------------------
+    # commit stripes
+    # ------------------------------------------------------------------
+
+    @property
+    def commit_stripe_count(self) -> int:
+        """Number of commit stripes the pipeline was configured with."""
+        return len(self._commit_stripes)
+
+    def _stripe_index(self, key: EntityKey) -> int:
+        return stripe_of(key, len(self._commit_stripes))
+
+    def _commit_stripe_set(
+        self, txn: SnapshotTransaction, writes: Dict[EntityKey, Optional[object]]
+    ) -> List[int]:
+        """Sorted stripe indices a committing transaction must hold.
+
+        Beyond the write set itself this covers the keys validation *reads*:
+        the endpoint nodes of created relationships (so a concurrent node
+        delete cannot slip between the liveness check and the install) and the
+        adjacency candidates of deleted nodes (so a concurrent relationship
+        delete on the same node is serialised against the node delete).  A
+        relationship created against one of our nodes after this set is
+        computed must itself hold the node's stripe, so it serialises with us
+        and is re-read by :meth:`_validate_node_delete` under our stripes.
+        """
+        created = txn.created_keys()
+        indices = set()
+        for key, payload in writes.items():
+            indices.add(self._stripe_index(key))
+            if isinstance(payload, RelationshipData) and key in created:
+                indices.add(self._stripe_index(EntityKey.node(payload.start_node)))
+                indices.add(self._stripe_index(EntityKey.node(payload.end_node)))
+            if payload is None and key.kind is EntityKind.NODE:
+                for rel_id in self.indexes.adjacency.candidate_rel_ids(key.entity_id):
+                    indices.add(self._stripe_index(EntityKey.relationship(rel_id)))
+        return sorted(indices)
+
+    @contextlib.contextmanager
+    def _acquire_stripes(
+        self, indices: List[int], *, count_stats: bool = True
+    ) -> Iterator[None]:
+        """Hold the given commit stripes, acquired in sorted index order.
+
+        ``count_stats=False`` keeps non-commit callers (the vacuum's
+        stop-the-world pause) out of the per-commit contention counters.
+        """
+        acquired: List[threading.Lock] = []
+        waits = 0
+        try:
+            for index in indices:
+                lock = self._commit_stripes[index]
+                if not lock.acquire(blocking=False):
+                    waits += 1
+                    lock.acquire()
+                acquired.append(lock)
+            if count_stats:
+                self.commit_pipeline_stats.record_commit(len(acquired), waits)
+            yield
+        finally:
+            for lock in reversed(acquired):
+                lock.release()
 
     def abort_transaction(self, txn: SnapshotTransaction) -> None:
         """Abort: discard the private write set and release write locks."""
         self.conflicts.release_locks(txn.txn_id)
         self.oracle.retire_transaction(txn.txn_id)
-        self.stats.aborted += 1
+        with self._counter_lock:
+            self.stats.aborted += 1
 
     # ------------------------------------------------------------------
     # read path
@@ -153,9 +263,14 @@ class SnapshotIsolationEngine(GraphEngine):
         return newest.commit_ts if newest is not None else None
 
     def check_write_conflict(self, txn: SnapshotTransaction, key: EntityKey) -> None:
-        """First-updater-wins check, delegated to the conflict detector."""
+        """First-updater-wins check, delegated to the conflict detector.
+
+        The newest committed timestamp is passed lazily so the detector reads
+        it under the entity's long lock, after any concurrent committer of
+        this key has finished installing (see ``ConflictDetector.on_write``).
+        """
         self.conflicts.on_write(
-            txn.txn_id, txn.start_ts, key, self.newest_committed_ts(key)
+            txn.txn_id, txn.start_ts, key, lambda: self.newest_committed_ts(key)
         )
 
     # ------------------------------------------------------------------
@@ -192,8 +307,15 @@ class SnapshotIsolationEngine(GraphEngine):
 
     @contextlib.contextmanager
     def pause_commits(self) -> Iterator[None]:
-        """Block the commit path while held (used by the stop-the-world vacuum)."""
-        with self._commit_mutex:
+        """Block the commit path while held (used by the stop-the-world vacuum).
+
+        Acquires every commit stripe in index order, so it queues behind (and
+        then excludes) all committers regardless of which stripes they use.
+        """
+        with self._acquire_stripes(
+            list(range(len(self._commit_stripes))), count_stats=False
+        ):
+            self.commit_pipeline_stats.record_pause()
             yield
 
     # ------------------------------------------------------------------
@@ -219,7 +341,12 @@ class SnapshotIsolationEngine(GraphEngine):
                 "latest_commit_ts": self.oracle.latest_commit_ts,
                 "active_transactions": self.oracle.active_count(),
                 "watermark": self.oracle.watermark(),
+                "pending_commits": self.oracle.pending_commit_count(),
             },
+            "commit_pipeline": dict(
+                self.commit_pipeline_stats.as_dict(),
+                stripes=len(self._commit_stripes),
+            ),
         }
 
     # ------------------------------------------------------------------

@@ -6,18 +6,35 @@ mechanism given a start timestamp should enable to observe the most recent
 committed state that has a commit timestamp equal or lower than the start
 timestamp."
 
-The oracle issues start timestamps to beginning transactions (equal to the
-newest commit timestamp whose writes are fully installed), issues commit
+The oracle issues start timestamps to beginning transactions, issues commit
 timestamps to committing transactions, and tracks the set of active
 transactions so garbage collection can compute the *watermark*: the oldest
 start timestamp any active transaction is still reading at.
+
+Out-of-order publication.  With the sharded commit pipeline several
+transactions hold commit timestamps at once and may finish installing their
+versions in any order.  A start timestamp must never cover a commit whose
+versions are still being installed, so the oracle keeps the set of issued but
+not-yet-published commit timestamps (a min-heap) and exposes as the *snapshot
+watermark* only the largest timestamp below which every commit has been
+published.  A slow committer therefore pins the snapshot watermark — later
+commits stay invisible to new snapshots until the gap closes — which is
+exactly what prevents a torn snapshot.
+
+The price of a scalar watermark is that a new snapshot can briefly lag
+commits that are already fully published (even the beginning transaction's
+own previous commit).  The write rule then aborts, conservatively, any
+update over such an uncovered commit — allowing it would be a lost update —
+and applications retry, the same discipline snapshot isolation already
+demands for genuine write-write conflicts.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 
 class TimestampOracle:
@@ -26,10 +43,15 @@ class TimestampOracle:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._txn_ids = itertools.count(1)
-        #: Newest commit timestamp whose versions are fully installed.
+        #: Newest commit timestamp below which *every* commit is published
+        #: (the contiguous snapshot watermark handed to new transactions).
         self._latest_visible_ts = 0
         #: Newest commit timestamp handed out (may not be installed yet).
         self._newest_issued_ts = 0
+        #: Issued commit timestamps whose versions are still being installed.
+        self._pending_commits: List[int] = []
+        #: Published timestamps waiting for an older pending commit to finish.
+        self._published_ahead: Set[int] = set()
         #: Active transactions: txn id -> start timestamp.
         self._active: Dict[int, int] = {}
         #: Lifetime counters for statistics.
@@ -41,10 +63,11 @@ class TimestampOracle:
     def begin_transaction(self) -> Tuple[int, int]:
         """Start a transaction; returns ``(txn_id, start_ts)``.
 
-        The start timestamp is the newest commit timestamp whose writes are
-        already installed, so the new transaction observes exactly the
+        The start timestamp is the contiguous snapshot watermark: the newest
+        commit timestamp at or below which every issued commit has published
+        its versions.  The new transaction therefore observes exactly the
         committed state as of this moment (the paper's "snapshot of the
-        committed state").
+        committed state") with no risk of reading a half-installed commit.
         """
         with self._lock:
             txn_id = next(self._txn_ids)
@@ -54,22 +77,27 @@ class TimestampOracle:
             return txn_id, start_ts
 
     def issue_commit_timestamp(self) -> int:
-        """Reserve the next commit timestamp for a committing transaction."""
+        """Reserve the next commit timestamp for a committing transaction.
+
+        The timestamp joins the pending set and is excluded from new snapshots
+        until :meth:`publish_commit` is called for it.
+        """
         with self._lock:
             self._newest_issued_ts += 1
+            heapq.heappush(self._pending_commits, self._newest_issued_ts)
             self.commits_issued += 1
             return self._newest_issued_ts
 
     def publish_commit(self, txn_id: int, commit_ts: int) -> None:
         """Mark a commit's versions as installed and retire the transaction.
 
-        Only after this call will new transactions receive a start timestamp
-        that covers ``commit_ts``, which is what makes "assign commit
-        timestamp, then install versions" safe.
+        The snapshot watermark advances only across the *contiguous* prefix of
+        published commits: publishing timestamp 7 while 5 is still installing
+        leaves the watermark at 4, and new snapshots see neither until 5
+        publishes too.
         """
         with self._lock:
-            if commit_ts > self._latest_visible_ts:
-                self._latest_visible_ts = commit_ts
+            self._mark_published(commit_ts)
             self._active.pop(txn_id, None)
 
     def advance_to(self, commit_ts: int) -> None:
@@ -94,9 +122,18 @@ class TimestampOracle:
 
     @property
     def latest_commit_ts(self) -> int:
-        """Newest fully installed commit timestamp."""
+        """Newest commit timestamp covered by new snapshots (contiguous prefix)."""
         with self._lock:
             return self._latest_visible_ts
+
+    def pending_commit_count(self) -> int:
+        """Number of issued commit timestamps not yet published.
+
+        Timestamps published ahead of an older pending commit stay in the
+        contiguity heap until the gap closes but are no longer *pending*.
+        """
+        with self._lock:
+            return max(0, len(self._pending_commits) - len(self._published_ahead))
 
     def active_count(self) -> int:
         """Number of transactions currently registered as active."""
@@ -111,9 +148,9 @@ class TimestampOracle:
     def watermark(self) -> int:
         """Oldest start timestamp still readable by an active transaction.
 
-        With no active transactions the watermark equals the newest installed
-        commit timestamp: everything older than the latest version of each
-        entity is reclaimable (the paper's garbage-collection criterion).
+        With no active transactions the watermark equals the snapshot
+        watermark: everything older than the latest version of each entity is
+        reclaimable (the paper's garbage-collection criterion).
         """
         with self._lock:
             if self._active:
@@ -129,3 +166,21 @@ class TimestampOracle:
         """Start timestamp of an active transaction, or ``None``."""
         with self._lock:
             return self._active.get(txn_id)
+
+    # -- internal -------------------------------------------------------------
+
+    def _mark_published(self, commit_ts: int) -> None:
+        """Record one published commit and advance the contiguous watermark.
+
+        ``commit_ts`` must come from :meth:`issue_commit_timestamp`; a
+        timestamp that was never issued has no pending entry to gate on and
+        simply never advances the watermark (conservative by construction).
+        """
+        if commit_ts <= self._latest_visible_ts:
+            return  # already covered (double publish / advance_to overlap)
+        self._published_ahead.add(commit_ts)
+        while self._pending_commits and self._pending_commits[0] in self._published_ahead:
+            ts = heapq.heappop(self._pending_commits)
+            self._published_ahead.discard(ts)
+            if ts > self._latest_visible_ts:
+                self._latest_visible_ts = ts

@@ -10,6 +10,12 @@ one persisted in the store (the store keeps only the newest committed
 version) and can therefore be reloaded on demand.  Chains with history — the
 versions the persistent store does *not* have — are pinned in memory until
 garbage collection shrinks them back to one version.
+
+Locking: the get-or-load path needs a lock only to keep two concurrent
+loaders of the *same* key from installing two chains.  The lock is therefore
+striped by entity key, so concurrent committers installing versions for
+disjoint keys never contend here (the cache itself is internally
+thread-safe).  ``stripes=1`` restores the seed's single global lock.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ import threading
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.core.version import Version, VersionChain, VersionPayload
-from repro.graph.entity import EntityKey
+from repro.graph.entity import EntityKey, EntityKind
 from repro.graph.object_cache import ObjectCache
 
 #: A loader returns the persisted state and its commit timestamp, or ``None``.
@@ -31,12 +37,30 @@ def _chain_evictable(_key: EntityKey, chain: VersionChain) -> bool:
     return len(chain) == 1 and newest is not None and not newest.is_tombstone
 
 
+def stripe_of(key: EntityKey, stripes: int) -> int:
+    """Deterministic stripe index of an entity key.
+
+    Consecutive entity ids land on distinct stripes, so disjoint working sets
+    spread across the stripe space instead of hashing together, and each
+    entity kind can occupy *every* stripe (relationship ids are an
+    independent sequence, rotated half a ring so node i and relationship i
+    usually differ).
+    """
+    offset = stripes // 2 if key.kind is EntityKind.RELATIONSHIP else 0
+    return (key.entity_id + offset) % stripes
+
+
 class VersionStore:
     """All in-memory version chains, keyed by entity."""
 
-    def __init__(self, *, cache_capacity: int = 100_000) -> None:
+    def __init__(self, *, cache_capacity: int = 100_000, stripes: int = 16) -> None:
+        if stripes < 1:
+            raise ValueError("version store needs at least one lock stripe")
         self._cache = ObjectCache(cache_capacity, evictable=_chain_evictable)
-        self._lock = threading.RLock()
+        self._locks = [threading.RLock() for _ in range(stripes)]
+
+    def _lock_for(self, key: EntityKey) -> threading.RLock:
+        return self._locks[stripe_of(key, len(self._locks))]
 
     @property
     def cache(self) -> ObjectCache:
@@ -55,7 +79,7 @@ class VersionStore:
         ``loader`` reads the persistent store; when it returns ``None`` the
         entity does not exist anywhere and no chain is created.
         """
-        with self._lock:
+        with self._lock_for(key):
             chain = self._cache.get(key)
             if chain is not None:
                 return chain
@@ -70,7 +94,7 @@ class VersionStore:
 
     def ensure_chain(self, key: EntityKey) -> VersionChain:
         """The chain for ``key``, creating an empty one if none is cached."""
-        with self._lock:
+        with self._lock_for(key):
             chain = self._cache.get(key)
             if chain is None:
                 chain = VersionChain(key)

@@ -108,58 +108,98 @@ class VersionedEntrySet:
         return sum(len(intervals) for intervals in self._intervals.values())
 
 
-class _VersionedKeyedIndex:
-    """Shared machinery: a map from index key to a versioned entry set."""
+class _IndexShard:
+    """One lock stripe of a keyed index: its own lock, entries and key table."""
+
+    __slots__ = ("lock", "entries", "key_created_ts")
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
-        self._entries: Dict[Hashable, VersionedEntrySet] = {}
+        self.lock = threading.RLock()
+        self.entries: Dict[Hashable, VersionedEntrySet] = {}
         #: Commit timestamp at which each index key first appeared.
-        self._key_created_ts: Dict[Hashable, int] = {}
+        self.key_created_ts: Dict[Hashable, int] = {}
+
+
+class _VersionedKeyedIndex:
+    """Shared machinery: a map from index key to a versioned entry set.
+
+    The map is partitioned into lock stripes by index key, so committers
+    tagging disjoint labels/properties/types never serialise on one index
+    lock.  ``stripes=1`` restores the seed's single-lock behaviour.
+    """
+
+    def __init__(self, stripes: int = 16) -> None:
+        if stripes < 1:
+            raise ValueError("a versioned index needs at least one lock stripe")
+        self._shards = [_IndexShard() for _ in range(stripes)]
+
+    def _shard_of(self, index_key: Hashable) -> _IndexShard:
+        return self._shards[hash(index_key) % len(self._shards)]
 
     def _add(self, index_key: Hashable, entity_id: int, commit_ts: int) -> None:
-        with self._lock:
-            if index_key not in self._key_created_ts:
-                self._key_created_ts[index_key] = commit_ts
-            self._entries.setdefault(index_key, VersionedEntrySet()).add(
+        shard = self._shard_of(index_key)
+        with shard.lock:
+            # Keep the *smallest* commit timestamp ever seen for the key:
+            # under the sharded pipeline two committers can tag the same key
+            # out of commit-timestamp order, and first-writer-wins would
+            # permanently hide the older committer's entries from snapshots
+            # between the two timestamps.
+            created = shard.key_created_ts.get(index_key)
+            if created is None or commit_ts < created:
+                shard.key_created_ts[index_key] = commit_ts
+            shard.entries.setdefault(index_key, VersionedEntrySet()).add(
                 entity_id, commit_ts
             )
 
     def _remove(self, index_key: Hashable, entity_id: int, commit_ts: int) -> None:
-        with self._lock:
-            entry = self._entries.get(index_key)
+        shard = self._shard_of(index_key)
+        with shard.lock:
+            entry = shard.entries.get(index_key)
             if entry is not None:
                 entry.mark_removed(entity_id, commit_ts)
 
     def _visible(self, index_key: Hashable, start_ts: int) -> Set[int]:
-        with self._lock:
-            created_ts = self._key_created_ts.get(index_key)
+        shard = self._shard_of(index_key)
+        with shard.lock:
+            created_ts = shard.key_created_ts.get(index_key)
             if created_ts is None or created_ts > start_ts:
                 # The label/property itself appeared after the snapshot: the
                 # whole entry list can be discarded without traversal.
                 return set()
-            entry = self._entries.get(index_key)
+            entry = shard.entries.get(index_key)
             return entry.visible(start_ts) if entry is not None else set()
 
     def _drop_entity(self, entity_id: int) -> None:
-        with self._lock:
-            for entry in self._entries.values():
-                entry.drop_entity(entity_id)
+        for shard in self._shards:
+            with shard.lock:
+                for entry in shard.entries.values():
+                    entry.drop_entity(entity_id)
 
     def purge(self, watermark: int) -> int:
         """Drop intervals invisible to every snapshot at or above ``watermark``."""
-        with self._lock:
-            return sum(entry.purge(watermark) for entry in self._entries.values())
+        removed = 0
+        for shard in self._shards:
+            with shard.lock:
+                removed += sum(
+                    entry.purge(watermark) for entry in shard.entries.values()
+                )
+        return removed
 
     def key_creation_ts(self, index_key: Hashable) -> Optional[int]:
         """When ``index_key`` was first used (``None`` if never)."""
-        with self._lock:
-            return self._key_created_ts.get(index_key)
+        shard = self._shard_of(index_key)
+        with shard.lock:
+            return shard.key_created_ts.get(index_key)
 
     def interval_count(self) -> int:
         """Total intervals across all keys (memory metric)."""
-        with self._lock:
-            return sum(entry.interval_count() for entry in self._entries.values())
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += sum(
+                    entry.interval_count() for entry in shard.entries.values()
+                )
+        return total
 
 
 class VersionedLabelIndex(_VersionedKeyedIndex):
@@ -250,60 +290,81 @@ class AdjacencyIndex:
     resolves it to the pre-delete version.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.RLock()
-        self._rels_by_node: Dict[int, Set[int]] = {}
+    def __init__(self, stripes: int = 16) -> None:
+        if stripes < 1:
+            raise ValueError("the adjacency index needs at least one lock stripe")
+        self._locks = [threading.RLock() for _ in range(stripes)]
+        self._shards: List[Dict[int, Set[int]]] = [{} for _ in range(stripes)]
+
+    def _shard_index(self, node_id: int) -> int:
+        return node_id % len(self._shards)
 
     def add(self, relationship: RelationshipData) -> None:
-        """Register a committed relationship under both endpoints."""
-        with self._lock:
-            self._rels_by_node.setdefault(relationship.start_node, set()).add(
-                relationship.rel_id
-            )
-            self._rels_by_node.setdefault(relationship.end_node, set()).add(
-                relationship.rel_id
-            )
+        """Register a committed relationship under both endpoints.
+
+        Each endpoint's entry lives in its own stripe and is updated
+        independently; readers of one node's candidates only need that node's
+        stripe to be consistent.
+        """
+        for node_id in {relationship.start_node, relationship.end_node}:
+            index = self._shard_index(node_id)
+            with self._locks[index]:
+                self._shards[index].setdefault(node_id, set()).add(relationship.rel_id)
 
     def discard(self, relationship: RelationshipData) -> None:
         """Remove a fully purged relationship from both endpoints."""
-        with self._lock:
-            for node_id in {relationship.start_node, relationship.end_node}:
-                members = self._rels_by_node.get(node_id)
+        for node_id in {relationship.start_node, relationship.end_node}:
+            index = self._shard_index(node_id)
+            with self._locks[index]:
+                members = self._shards[index].get(node_id)
                 if members is not None:
                     members.discard(relationship.rel_id)
                     if not members:
-                        del self._rels_by_node[node_id]
+                        del self._shards[index][node_id]
 
     def drop_node(self, node_id: int) -> None:
         """Forget a fully purged node."""
-        with self._lock:
-            self._rels_by_node.pop(node_id, None)
+        index = self._shard_index(node_id)
+        with self._locks[index]:
+            self._shards[index].pop(node_id, None)
 
     def candidate_rel_ids(self, node_id: int) -> Set[int]:
         """Candidate relationship ids touching ``node_id`` (copy)."""
-        with self._lock:
-            return set(self._rels_by_node.get(node_id, ()))
+        index = self._shard_index(node_id)
+        with self._locks[index]:
+            return set(self._shards[index].get(node_id, ()))
 
     def node_count(self) -> int:
         """Number of nodes with at least one candidate relationship."""
-        with self._lock:
-            return len(self._rels_by_node)
+        total = 0
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                total += len(shard)
+        return total
 
     def entry_count(self) -> int:
         """Total number of (node, relationship) entries."""
-        with self._lock:
-            return sum(len(members) for members in self._rels_by_node.values())
+        total = 0
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                total += sum(len(members) for members in shard.values())
+        return total
 
 
 class VersionedIndexSet:
-    """All multi-versioned indexes bundled together (what the engine owns)."""
+    """All multi-versioned indexes bundled together (what the engine owns).
 
-    def __init__(self) -> None:
-        self.node_labels = VersionedLabelIndex()
-        self.node_properties = VersionedPropertyIndex()
-        self.relationship_properties = VersionedPropertyIndex()
-        self.relationship_types = VersionedRelationshipTypeIndex()
-        self.adjacency = AdjacencyIndex()
+    ``stripes`` controls the lock striping of every member index; the engine
+    passes its commit-stripe count through so ``commit_stripes=1`` degenerates
+    the whole pipeline to the seed's fully-serialised behaviour.
+    """
+
+    def __init__(self, stripes: int = 16) -> None:
+        self.node_labels = VersionedLabelIndex(stripes)
+        self.node_properties = VersionedPropertyIndex(stripes)
+        self.relationship_properties = VersionedPropertyIndex(stripes)
+        self.relationship_types = VersionedRelationshipTypeIndex(stripes)
+        self.adjacency = AdjacencyIndex(stripes)
 
     def apply_node_change(
         self, old: Optional[NodeData], new: Optional[NodeData], commit_ts: int

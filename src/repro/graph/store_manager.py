@@ -64,6 +64,9 @@ class StoreManagerStats:
         self.relationship_deletes = 0
         self.batches_applied = 0
         self.batches_replayed = 0
+        self.group_flushes = 0
+        self.group_batches = 0
+        self.group_max_coalesced = 0
 
     def entity_writes(self) -> int:
         """Total number of logical entity writes flushed to the store."""
@@ -79,7 +82,22 @@ class StoreManagerStats:
             "batches_applied": self.batches_applied,
             "batches_replayed": self.batches_replayed,
             "entity_writes": self.entity_writes(),
+            "group_flushes": self.group_flushes,
+            "group_batches": self.group_batches,
+            "group_max_coalesced": self.group_max_coalesced,
         }
+
+
+class _PendingCommit:
+    """One committer's batch waiting in the group-commit queue."""
+
+    __slots__ = ("txn_id", "operations", "done", "error")
+
+    def __init__(self, txn_id: int, operations: List[StoreOperation]) -> None:
+        self.txn_id = txn_id
+        self.operations = operations
+        self.done = threading.Event()
+        self.error: Optional[BaseException] = None
 
 
 class StoreManager:
@@ -94,6 +112,7 @@ class StoreManager:
         wal_enabled: bool = True,
         wal_sync: bool = False,
         reuse_entity_ids: bool = True,
+        group_commit: bool = False,
     ) -> None:
         """Open (or create) a graph store.
 
@@ -105,10 +124,19 @@ class StoreManager:
         ``reuse_entity_ids`` is disabled by the multi-version engine so that
         node/relationship ids are never recycled while old versions of a
         deleted entity may still be readable by an open snapshot.
+
+        With ``group_commit`` concurrent :meth:`apply_batch` callers coalesce:
+        whichever committer reaches the store latch first drains the whole
+        queue and flushes every queued batch with one WAL append (and one
+        fsync, when ``wal_sync`` is on) — the classic group commit that makes
+        the sharded commit pipeline pay one disk round trip per *group*.
         """
         self._path = path
         self._lock = threading.RLock()
         self._closed = False
+        self._group_commit = group_commit
+        self._group_gate = threading.Lock()
+        self._group_pending: List[_PendingCommit] = []
         self.stats = StoreManagerStats()
         self.page_cache = PageCache(page_cache_pages, page_size)
 
@@ -209,15 +237,70 @@ class StoreManager:
         The write-ahead log entry is appended before any store file is
         touched, so a crash in the middle of application is repaired by
         replay on the next open.
+
+        Without group commit each batch takes the store latch on its own.
+        With group commit the batch joins the pending queue; the first
+        committer through the latch flushes the entire queue (its own batch
+        included) and later committers find their entry already flushed.
         """
         if not operations:
             return
-        with self._lock:
+        entry = _PendingCommit(txn_id, operations)
+        if not self._group_commit:
+            with self._lock:
+                self._flush_batches([entry])
+        else:
+            with self._group_gate:
+                self._group_pending.append(entry)
+            with self._lock:
+                if not entry.done.is_set():
+                    with self._group_gate:
+                        drained = self._group_pending
+                        self._group_pending = []
+                    self.stats.group_flushes += 1
+                    self.stats.group_batches += len(drained)
+                    self.stats.group_max_coalesced = max(
+                        self.stats.group_max_coalesced, len(drained)
+                    )
+                    self._flush_batches(drained)
+        if entry.error is not None:
+            raise entry.error
+
+    def _flush_batches(self, batch: List[_PendingCommit]) -> None:
+        """Apply a group of batches under the store latch (caller holds it).
+
+        Never raises directly: failures are recorded per entry and re-raised
+        in each owning committer's thread, so followers waiting on their
+        event are always released.  A failed WAL append fails the whole group
+        (nothing was made durable).  After a durable append the batches are
+        independent: each one is applied regardless of another batch's apply
+        failure and is attributed only its own error — skipping an innocent
+        follower's operations would leave the store behind its own durable
+        log entry.  As in the seed's single-batch path, an apply failure
+        after the durable append leaves the store to be repaired by WAL
+        replay on the next open.
+        """
+        try:
             if self._wal_enabled:
-                self.wal.append_commit(txn_id, operations_to_payloads(operations))
-            for operation in operations:
-                self._apply_operation(operation)
-            self.stats.batches_applied += 1
+                self.wal.append_commits(
+                    [
+                        (entry.txn_id, operations_to_payloads(entry.operations))
+                        for entry in batch
+                    ]
+                )
+        except BaseException as exc:  # noqa: BLE001 - re-raised in the owners
+            for entry in batch:
+                entry.error = exc
+                entry.done.set()
+            return
+        for entry in batch:
+            try:
+                for operation in entry.operations:
+                    self._apply_operation(operation)
+                self.stats.batches_applied += 1
+            except BaseException as exc:  # noqa: BLE001 - re-raised in the owner
+                entry.error = exc
+            entry.done.set()
 
     def _apply_operation(self, operation: StoreOperation) -> None:
         if isinstance(operation, WriteNodeOp):

@@ -21,7 +21,7 @@ import os
 import struct
 import threading
 import zlib
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import WalError
 
@@ -70,17 +70,35 @@ class WriteAheadLog:
 
     def append_commit(self, txn_id: int, operation_payloads: List[Dict[str, Any]]) -> None:
         """Durably record one committed batch of logical operations."""
-        frames = [self._frame(LogRecordType.BEGIN, txn_id, b"")]
-        for payload in operation_payloads:
-            encoded = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
-            frames.append(self._frame(LogRecordType.OPERATION, txn_id, encoded))
-        frames.append(self._frame(LogRecordType.COMMIT, txn_id, b""))
+        self.append_commits([(txn_id, operation_payloads)])
+
+    def append_commits(
+        self, batches: List[Tuple[int, List[Dict[str, Any]]]]
+    ) -> None:
+        """Durably record several committed batches with one write and fsync.
+
+        This is the group-commit entry point: each batch keeps its own
+        BEGIN/OPERATION/COMMIT framing (replay is unchanged), but the frames
+        of all batches are concatenated into a single append and covered by a
+        single fsync, amortising the disk round trip across the group.
+        """
+        if not batches:
+            return
+        frames: List[bytes] = []
+        for txn_id, operation_payloads in batches:
+            frames.append(self._frame(LogRecordType.BEGIN, txn_id, b""))
+            for payload in operation_payloads:
+                encoded = json.dumps(
+                    payload, separators=(",", ":"), sort_keys=True
+                ).encode("utf-8")
+                frames.append(self._frame(LogRecordType.OPERATION, txn_id, encoded))
+            frames.append(self._frame(LogRecordType.COMMIT, txn_id, b""))
         data = b"".join(frames)
         with self._lock:
             self._append_bytes(data)
             if self._sync_on_commit and self._fd is not None:
                 os.fsync(self._fd)
-            self.appended_batches += 1
+            self.appended_batches += len(batches)
 
     def checkpoint(self) -> None:
         """Mark everything so far as applied and reset the log.

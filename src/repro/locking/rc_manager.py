@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.engine import GraphEngine, IsolationLevel
@@ -18,23 +17,9 @@ from repro.graph.store_manager import StoreManager
 from repro.index.index_manager import IndexManager
 from repro.locking.lock_manager import LockManager
 from repro.locking.rc_transaction import ReadCommittedTransaction
+from repro.stats import EngineStats
 
-
-@dataclass
-class EngineStats:
-    """Transaction outcome counters shared by both engines."""
-
-    begun: int = 0
-    committed: int = 0
-    aborted: int = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        """Plain-dict view of the counters."""
-        return {
-            "begun": self.begun,
-            "committed": self.committed,
-            "aborted": self.aborted,
-        }
+__all__ = ["EngineStats", "ReadCommittedEngine"]
 
 
 class ReadCommittedEngine(GraphEngine):

@@ -1,0 +1,77 @@
+"""Engine-neutral statistics containers.
+
+Both transaction engines (the read-committed baseline and the paper's
+snapshot-isolation engine) report the same transaction outcome counters, so
+the container lives here rather than in either engine's package.  The
+historical import location ``repro.locking.rc_manager.EngineStats`` is kept as
+a re-export for backward compatibility.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class EngineStats:
+    """Transaction outcome counters shared by both engines."""
+
+    begun: int = 0
+    committed: int = 0
+    aborted: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view of the counters."""
+        return {
+            "begun": self.begun,
+            "committed": self.committed,
+            "aborted": self.aborted,
+        }
+
+
+class CommitPipelineStats:
+    """Counters for the sharded commit pipeline (snapshot-isolation engine).
+
+    ``stripe_waits`` counts stripe-lock acquisitions that had to block behind
+    another committer — the direct measure of commit-path contention that the
+    single global mutex made invisible (every commit waited).  Updates come
+    from concurrent committers, so they go through an internal lock: an
+    unsynchronised ``+=`` loses increments under exactly the contention these
+    counters exist to measure.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.stripe_acquisitions = 0
+        self.stripe_waits = 0
+        self.commit_pauses = 0
+        self.max_stripes_per_commit = 0
+
+    def record_commit(self, stripe_count: int, waits: int) -> None:
+        """Record one commit's stripe acquisitions in a single locked update.
+
+        One call per commit (not per stripe) keeps this shared lock off the
+        hot path the stripes exist to de-serialise.
+        """
+        with self._lock:
+            self.stripe_acquisitions += stripe_count
+            self.stripe_waits += waits
+            if stripe_count > self.max_stripes_per_commit:
+                self.max_stripes_per_commit = stripe_count
+
+    def record_pause(self) -> None:
+        """Record one stop-the-world commit pause."""
+        with self._lock:
+            self.commit_pauses += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view of the counters."""
+        with self._lock:
+            return {
+                "stripe_acquisitions": self.stripe_acquisitions,
+                "stripe_waits": self.stripe_waits,
+                "commit_pauses": self.commit_pauses,
+                "max_stripes_per_commit": self.max_stripes_per_commit,
+            }

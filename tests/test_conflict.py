@@ -16,28 +16,28 @@ class TestFirstUpdaterWins:
 
     def test_first_updater_gets_the_lock(self):
         detector = self.make()
-        detector.on_write(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=3)
+        detector.on_write(txn_id=1, start_ts=5, key=KEY, read_newest_committed_ts=lambda: 3)
         # Same transaction writing again is fine.
-        detector.on_write(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=3)
+        detector.on_write(txn_id=1, start_ts=5, key=KEY, read_newest_committed_ts=lambda: 3)
 
     def test_second_updater_aborts_immediately(self):
         detector = self.make()
-        detector.on_write(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=3)
+        detector.on_write(txn_id=1, start_ts=5, key=KEY, read_newest_committed_ts=lambda: 3)
         with pytest.raises(WriteWriteConflictError):
-            detector.on_write(txn_id=2, start_ts=5, key=KEY, newest_committed_ts=3)
+            detector.on_write(txn_id=2, start_ts=5, key=KEY, read_newest_committed_ts=lambda: 3)
         assert detector.stats.write_time_conflicts == 1
 
     def test_concurrent_committed_update_detected(self):
         detector = self.make()
         # Newest committed version is newer than this transaction's snapshot.
         with pytest.raises(WriteWriteConflictError):
-            detector.on_write(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=8)
+            detector.on_write(txn_id=1, start_ts=5, key=KEY, read_newest_committed_ts=lambda: 8)
 
     def test_lock_released_after_abort_allows_new_updater(self):
         detector = self.make()
-        detector.on_write(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=None)
+        detector.on_write(txn_id=1, start_ts=5, key=KEY, read_newest_committed_ts=lambda: None)
         detector.release_locks(1)
-        detector.on_write(txn_id=2, start_ts=5, key=KEY, newest_committed_ts=None)
+        detector.on_write(txn_id=2, start_ts=5, key=KEY, read_newest_committed_ts=lambda: None)
 
     def test_commit_validation_is_noop(self):
         detector = self.make()
@@ -51,8 +51,8 @@ class TestFirstCommitterWins:
 
     def test_write_time_never_conflicts(self):
         detector = self.make()
-        detector.on_write(txn_id=1, start_ts=5, key=KEY, newest_committed_ts=50)
-        detector.on_write(txn_id=2, start_ts=5, key=KEY, newest_committed_ts=50)
+        detector.on_write(txn_id=1, start_ts=5, key=KEY, read_newest_committed_ts=lambda: 50)
+        detector.on_write(txn_id=2, start_ts=5, key=KEY, read_newest_committed_ts=lambda: 50)
         assert detector.stats.write_time_conflicts == 0
 
     def test_commit_validation_detects_concurrent_commit(self):

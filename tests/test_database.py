@@ -68,6 +68,22 @@ class TestMaintenance:
         assert db.engine.gc.collections_run >= 1
         db.close()
 
+    def test_read_only_commits_never_trigger_gc(self):
+        db = GraphDatabase.in_memory(gc_every_n_commits=1)
+        with db.transaction() as tx:
+            node = tx.create_node(["Item"], {"v": 0})
+        passes_after_write = db.engine.gc.collections_run
+        # A read-heavy workload has nothing for GC to reclaim, so no-write
+        # commits must not count toward the trigger.
+        for _ in range(5):
+            with db.transaction(read_only=True) as tx:
+                tx.get_node(node.id)
+        assert db.engine.gc.collections_run == passes_after_write
+        with db.transaction() as tx:
+            tx.set_node_property(node.id, "v", 1)
+        assert db.engine.gc.collections_run == passes_after_write + 1
+        db.close()
+
 
 class TestPersistence:
     @pytest.mark.parametrize("isolation", [IsolationLevel.SNAPSHOT, IsolationLevel.READ_COMMITTED])

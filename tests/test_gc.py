@@ -59,6 +59,20 @@ class TestThreadedVersionList:
         gc_list.remove(version(1))
         assert len(gc_list) == 0
 
+    def test_out_of_order_append_inserts_in_sorted_position(self):
+        # Sharded commits can finish installing out of timestamp order; a
+        # newer version appended first must not block older reclaimable
+        # versions queued behind it.
+        gc_list = ThreadedVersionList()
+        newer, older, newest = version(6), version(5), version(7)
+        gc_list.append(newer, reclaim_ts=6)
+        gc_list.append(older, reclaim_ts=5)
+        gc_list.append(newest, reclaim_ts=7)
+        assert gc_list.peek_oldest() is older
+        assert gc_list.pop_reclaimable(watermark=5) == [older]
+        assert gc_list.pop_reclaimable(watermark=10) == [newer, newest]
+        assert len(gc_list) == 0
+
 
 class TestGarbageCollectorUnit:
     def make(self):

@@ -78,3 +78,57 @@ class TestTimestampOracle:
         oracle.issue_commit_timestamp()
         assert oracle.transactions_started == 1
         assert oracle.commits_issued == 1
+
+
+class TestOutOfOrderPublication:
+    """The sharded pipeline's publish protocol: watermark = contiguous prefix."""
+
+    def test_out_of_order_publish_waits_for_the_gap(self):
+        oracle = TimestampOracle()
+        first = oracle.issue_commit_timestamp()
+        second = oracle.issue_commit_timestamp()
+        # The younger commit finishes installing first.
+        oracle.publish_commit(102, second)
+        assert oracle.latest_commit_ts == 0
+        _, start_ts = oracle.begin_transaction()
+        assert start_ts == 0  # neither commit is coverable yet
+        assert oracle.pending_commit_count() == 1
+        # Closing the gap exposes both at once.
+        oracle.publish_commit(101, first)
+        assert oracle.latest_commit_ts == second
+        _, start_ts = oracle.begin_transaction()
+        assert start_ts == second
+        assert oracle.pending_commit_count() == 0
+
+    def test_stalled_commit_pins_snapshot_watermark(self):
+        oracle = TimestampOracle()
+        stalled = oracle.issue_commit_timestamp()
+        for txn_id in range(3):
+            ts = oracle.issue_commit_timestamp()
+            oracle.publish_commit(200 + txn_id, ts)
+        # Three younger commits are fully published, but the snapshot
+        # watermark must not pass the stalled commit.
+        assert oracle.latest_commit_ts == stalled - 1
+        assert oracle.pending_commit_count() >= 1
+        oracle.publish_commit(199, stalled)
+        assert oracle.latest_commit_ts == stalled + 3
+        assert oracle.pending_commit_count() == 0
+
+    def test_gc_watermark_never_passes_a_pending_commit(self):
+        oracle = TimestampOracle()
+        ts = oracle.issue_commit_timestamp()
+        later = oracle.issue_commit_timestamp()
+        oracle.publish_commit(300, later)
+        # No active transactions: the GC watermark equals the snapshot
+        # watermark, which the pending commit holds below both timestamps.
+        assert oracle.watermark() < ts
+        oracle.publish_commit(301, ts)
+        assert oracle.watermark() == later
+
+    def test_double_publish_is_idempotent(self):
+        oracle = TimestampOracle()
+        ts = oracle.issue_commit_timestamp()
+        oracle.publish_commit(400, ts)
+        oracle.publish_commit(400, ts)
+        assert oracle.latest_commit_ts == ts
+        assert oracle.pending_commit_count() == 0

@@ -90,6 +90,18 @@ class TestVersionedLabelIndex:
         index.drop_node(1)
         assert index.visible("Person", 5) == set()
 
+    def test_out_of_order_installs_keep_older_entries_visible(self):
+        # Under the sharded pipeline two committers can tag the same label
+        # out of commit-timestamp order; the key's creation timestamp must be
+        # the minimum seen, or the older entry is hidden from snapshots
+        # between the two timestamps.
+        index = VersionedLabelIndex()
+        index.apply_node_change(None, NodeData(2, {"Label"}), commit_ts=6)
+        index.apply_node_change(None, NodeData(1, {"Label"}), commit_ts=5)
+        assert index.key_creation_ts("Label") == 5
+        assert index.visible("Label", 5) == {1}
+        assert index.visible("Label", 6) == {1, 2}
+
 
 class TestVersionedPropertyIndex:
     def test_property_change_moves_entry(self):
