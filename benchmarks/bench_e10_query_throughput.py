@@ -1,0 +1,193 @@
+"""E10 — declarative query throughput under concurrent writers.
+
+The query subsystem compiles a Cypher-subset query and runs it entirely
+inside one transaction, so under snapshot isolation a long MATCH observes a
+single snapshot while committers run.  This experiment measures what that
+costs (and buys): four reader threads drain the weighted query mix from
+:mod:`repro.workload.queries` while four writer threads commit score bumps
+and new friendships, under both isolation levels.
+
+Per cell we record completed queries/second, write throughput, conflicts and
+the per-template query counts.  Results go to
+``BENCH_e10_query_throughput.json`` so future PRs can track the trajectory.
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_e10_query_throughput.py
+
+or through pytest (reduced duration)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e10_query_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import threading
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro import GraphDatabase, IsolationLevel, TransactionAbortedError
+from repro.workload import (
+    QueryMix,
+    READ_TEMPLATES,
+    WRITE_TEMPLATES,
+    build_social_graph,
+    person_names_of,
+)
+
+from bench_helpers import open_db, print_row, write_json
+
+PEOPLE = 200
+AVG_FRIENDS = 4
+READERS = 4
+WRITERS = 4
+
+
+def _run_cell(isolation: IsolationLevel, *, seconds: float, readers: int,
+              writers: int, seed: int = 7) -> Dict[str, object]:
+    """One isolation-level cell: readers drain the mix while writers commit."""
+    db = open_db(isolation)
+    build_social_graph(db, people=PEOPLE, avg_friends=AVG_FRIENDS, seed=seed)
+    names = person_names_of(db)
+    read_mix = QueryMix(names, READ_TEMPLATES)
+    write_mix = QueryMix(names, WRITE_TEMPLATES)
+
+    stop = threading.Event()
+    barrier = threading.Barrier(readers + writers + 1)
+    query_counts = [0] * readers
+    row_counts = [0] * readers
+    template_counts: List[Dict[str, int]] = [dict() for _ in range(readers)]
+    write_counts = [0] * writers
+    conflict_counts = [0] * writers
+
+    def reader(reader_id: int) -> None:
+        rng = random.Random(seed * 1_009 + reader_id)
+        barrier.wait()
+        while not stop.is_set():
+            template, params = read_mix.sample(rng)
+            with db.transaction(read_only=True) as tx:
+                result = tx.execute(template.text, params)
+                row_counts[reader_id] += len(result.records())
+            query_counts[reader_id] += 1
+            counts = template_counts[reader_id]
+            counts[template.name] = counts.get(template.name, 0) + 1
+
+    def writer(writer_id: int) -> None:
+        rng = random.Random(seed * 2_003 + writer_id)
+        barrier.wait()
+        while not stop.is_set():
+            template, params = write_mix.sample(rng)
+            try:
+                with db.transaction() as tx:
+                    tx.execute(template.text, params)
+                write_counts[writer_id] += 1
+            except TransactionAbortedError:
+                conflict_counts[writer_id] += 1
+
+    threads = [
+        threading.Thread(target=reader, args=(i,), daemon=True) for i in range(readers)
+    ] + [
+        threading.Thread(target=writer, args=(i,), daemon=True) for i in range(writers)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    time.sleep(seconds)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+
+    queries = sum(query_counts)
+    merged_templates: Dict[str, int] = {}
+    for counts in template_counts:
+        for name, count in counts.items():
+            merged_templates[name] = merged_templates.get(name, 0) + count
+    row: Dict[str, object] = {
+        "isolation": isolation.value,
+        "readers": readers,
+        "writers": writers,
+        "duration_seconds": round(duration, 3),
+        "queries": queries,
+        "queries_per_second": round(queries / duration, 1),
+        "rows_returned": sum(row_counts),
+        "writes_committed": sum(write_counts),
+        "writes_per_second": round(sum(write_counts) / duration, 1),
+        "write_conflicts": sum(conflict_counts),
+        "query_mix": merged_templates,
+    }
+    db.close()
+    return row
+
+
+def run_benchmark(*, seconds: float = 4.0, readers: int = READERS,
+                  writers: int = WRITERS, output: str = None) -> Dict[str, object]:
+    """Both isolation levels, one JSON result document."""
+    rows = []
+    for isolation in (IsolationLevel.SNAPSHOT, IsolationLevel.READ_COMMITTED):
+        row = _run_cell(isolation, seconds=seconds, readers=readers, writers=writers)
+        print_row("E10", {k: v for k, v in row.items() if k != "query_mix"})
+        rows.append(row)
+    payload: Dict[str, object] = {
+        "experiment": "e10_query_throughput",
+        "workload": {
+            "people": PEOPLE,
+            "avg_friends": AVG_FRIENDS,
+            "readers": readers,
+            "writers": writers,
+            "seconds_per_cell": seconds,
+            "read_templates": [t.name for t in READ_TEMPLATES],
+            "write_templates": [t.name for t in WRITE_TEMPLATES],
+        },
+        "series": rows,
+    }
+    if output is None:
+        output = "BENCH_e10_query_throughput.json"
+    write_json(output, payload)
+    si_row = rows[0]
+    print(
+        f"\n[E10] wrote {output}  "
+        f"si_queries_per_second={si_row['queries_per_second']} "
+        f"under {si_row['writers']} writers"
+    )
+    return payload
+
+
+def test_e10_query_throughput(tmp_path):
+    """Reduced duration for pytest runs: both engines serve the mix and emit JSON."""
+    output = str(tmp_path / "BENCH_e10_query_throughput.json")
+    payload = run_benchmark(seconds=1.0, output=output)
+    assert os.path.exists(output)
+    by_isolation = {row["isolation"]: row for row in payload["series"]}
+    snapshot = by_isolation["snapshot"]
+    assert snapshot["writers"] == 4
+    assert snapshot["queries"] > 0
+    assert snapshot["writes_committed"] > 0
+    assert by_isolation["read_committed"]["queries"] > 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seconds", type=float, default=4.0, help="measured duration per cell"
+    )
+    parser.add_argument("--readers", type=int, default=READERS)
+    parser.add_argument("--writers", type=int, default=WRITERS)
+    parser.add_argument(
+        "--output",
+        default="BENCH_e10_query_throughput.json",
+        help="where to write the result document",
+    )
+    args = parser.parse_args()
+    run_benchmark(
+        seconds=args.seconds,
+        readers=args.readers,
+        writers=args.writers,
+        output=args.output,
+    )

@@ -38,6 +38,7 @@ from repro.errors import (
     WriteWriteConflictError,
 )
 from repro.graph.entity import Direction
+from repro.query.result import QueryResult, QueryStatistics, Record
 
 __version__ = "1.0.0"
 
@@ -53,6 +54,9 @@ __all__ = [
     "Node",
     "NodeNotFoundError",
     "Path",
+    "QueryResult",
+    "QueryStatistics",
+    "Record",
     "Relationship",
     "RelationshipNotFoundError",
     "ReproError",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import ContextManager, Dict, Optional, Union
+from typing import ContextManager, Dict, Mapping, Optional, Union
 
 from repro.api.transaction import Transaction
 from repro.core.conflict import ConflictPolicy
@@ -155,6 +155,33 @@ class GraphDatabase:
         return self.begin(read_only=read_only)
 
     # ------------------------------------------------------------------
+    # declarative queries (Cypher subset)
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: str,
+        parameters: Optional[Mapping[str, object]] = None,
+        **params: object,
+    ):
+        """Run one query in its own transaction and return the drained result.
+
+        Commits on success, rolls back on error.  The result is fully
+        materialised (the transaction is closed by the time it returns); use
+        ``tx.execute(...)`` to stream a large result from a live snapshot.
+        """
+        self._ensure_open()
+        tx = self.begin()
+        try:
+            result = tx.execute(query, parameters, **params)
+            result.consume()
+            tx.commit()
+        except BaseException:
+            tx.rollback()
+            raise
+        return result
+
+    # ------------------------------------------------------------------
     # convenience reads
     # ------------------------------------------------------------------
 
@@ -212,7 +239,10 @@ class GraphDatabase:
             stats["engine"] = self.engine.statistics()
             stats["object_cache"] = self.engine.versions.cache.stats.as_dict()
         else:
-            stats["engine"] = {"transactions": self.engine.stats.as_dict()}
+            stats["engine"] = {
+                "transactions": self.engine.stats.as_dict(),
+                "cardinalities": self.engine.cardinalities(),
+            }
             stats["locks"] = self.engine.locks.stats.as_dict()
         return stats
 

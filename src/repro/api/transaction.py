@@ -13,7 +13,22 @@ methods that delegate mutations back to the transaction.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.query.result import QueryResult
 
 from repro.engine import EngineTransaction, TransactionState
 from repro.errors import (
@@ -332,6 +347,8 @@ class Transaction:
         by node id so repeated scans are comparable (the phantom experiment
         relies on that).
         """
+        if key is None and value is not None:
+            raise ValueError("find_nodes with a property value requires a key")
         if label is None and key is None:
             return sorted(self.nodes(), key=lambda node: node.id)
         if key is not None and value is None:
@@ -463,9 +480,31 @@ class Transaction:
         for data in self._txn.iter_relationships():
             yield Relationship(self, data)
 
-    def find_relationships(self, key: str, value: PropertyValue) -> List[Relationship]:
-        """Relationships with property ``key`` = ``value`` (sorted by id)."""
-        ids = self._txn.find_relationships_by_property(key, value)
+    def find_relationships(
+        self,
+        key: Optional[str] = None,
+        value: Optional[PropertyValue] = None,
+        *,
+        rel_type: Optional[str] = None,
+    ) -> List[Relationship]:
+        """Relationships matching a type and/or a property equality predicate.
+
+        Mirrors :meth:`find_nodes`: ``rel_type`` uses the relationship-type
+        index, ``key``/``value`` the relationship-property index, and giving
+        both intersects the two lookups.  Results are sorted by id.
+        """
+        if key is None and rel_type is None:
+            raise ValueError("find_relationships needs a property predicate or rel_type")
+        if key is not None and value is None:
+            raise ValueError("find_relationships with a property key requires a value")
+        if key is None and value is not None:
+            raise ValueError("find_relationships with a property value requires a key")
+        ids: Optional[Set[int]] = None
+        if rel_type is not None:
+            ids = self._txn.find_relationships_by_type(rel_type)
+        if key is not None:
+            property_ids = self._txn.find_relationships_by_property(key, value)
+            ids = property_ids if ids is None else ids & property_ids
         result = []
         for rel_id in sorted(ids):
             data = self._txn.read_relationship(rel_id)
@@ -540,6 +579,29 @@ class Transaction:
         rel_id = _rel_id(relationship)
         self._require_relationship_data(rel_id)
         self._txn.delete_relationship(rel_id)
+
+    # ------------------------------------------------------------------
+    # declarative queries (Cypher subset)
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: str,
+        parameters: Optional[Mapping[str, object]] = None,
+        **params: object,
+    ) -> "QueryResult":
+        """Run a Cypher-subset query inside this transaction.
+
+        Parameters may be passed as a mapping, as keyword arguments, or both
+        (keywords win).  Read-only queries return a lazy result that pulls
+        rows on demand from this transaction's snapshot; write queries and
+        ``EXPLAIN`` execute eagerly.  See :mod:`repro.query` for the language.
+        """
+        from repro.query import execute as _execute_query
+
+        merged = dict(parameters or {})
+        merged.update(params)
+        return _execute_query(self, self._engine, query, merged)
 
     # ------------------------------------------------------------------
     # counting helpers

@@ -319,6 +319,39 @@ class SnapshotIsolationEngine(GraphEngine):
             yield
 
     # ------------------------------------------------------------------
+    # cardinality fast paths (query planner estimates)
+    # ------------------------------------------------------------------
+
+    def count_nodes_with_label(self, label: str) -> int:
+        """Nodes currently carrying ``label`` in O(1) (open-interval counter)."""
+        return self.indexes.node_labels.count(label)
+
+    def count_nodes_with_property(self, key: str, value) -> int:
+        """Nodes currently holding ``key`` = ``value`` in O(1)."""
+        return self.indexes.node_properties.count(key, value)
+
+    def count_relationships_of_type(self, rel_type: str) -> int:
+        """Relationships currently of ``rel_type`` in O(1)."""
+        return self.indexes.relationship_types.count(rel_type)
+
+    def cardinalities(self) -> Dict[str, Dict[str, int]]:
+        """Per-label and per-type current cardinalities (stats surface)."""
+        return {
+            "node_labels": {
+                str(label): count
+                for label, count in sorted(
+                    self.indexes.node_labels.current_cardinalities().items()
+                )
+            },
+            "relationship_types": {
+                str(rel_type): count
+                for rel_type, count in sorted(
+                    self.indexes.relationship_types.current_cardinalities().items()
+                )
+            },
+        }
+
+    # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
 
@@ -347,6 +380,7 @@ class SnapshotIsolationEngine(GraphEngine):
                 self.commit_pipeline_stats.as_dict(),
                 stripes=len(self._commit_stripes),
             ),
+            "cardinalities": self.cardinalities(),
         }
 
     # ------------------------------------------------------------------

@@ -38,6 +38,10 @@ class VersionedEntrySet:
 
     def __init__(self) -> None:
         self._intervals: Dict[int, List[List[Optional[int]]]] = {}
+        #: Number of entities whose newest interval is still open.  Maintained
+        #: incrementally so current-cardinality reads are O(1) (no set copy) —
+        #: the query planner's cost estimates hit this on every MATCH.
+        self._open_count = 0
 
     def add(self, entity_id: int, commit_ts: int) -> None:
         """Record that the entity acquired this index key at ``commit_ts``.
@@ -50,6 +54,7 @@ class VersionedEntrySet:
         if intervals and intervals[-1][1] is _OPEN:
             return
         intervals.append([commit_ts, _OPEN])
+        self._open_count += 1
 
     def mark_removed(self, entity_id: int, commit_ts: int) -> None:
         """Record that the entity lost this index key at ``commit_ts``."""
@@ -59,6 +64,7 @@ class VersionedEntrySet:
         for interval in reversed(intervals):
             if interval[1] is _OPEN:
                 interval[1] = commit_ts
+                self._open_count -= 1
                 return
 
     def visible(self, start_ts: int) -> Set[int]:
@@ -79,6 +85,11 @@ class VersionedEntrySet:
                 members.add(entity_id)
         return members
 
+    @property
+    def open_count(self) -> int:
+        """Number of current members, without materialising the set (O(1))."""
+        return self._open_count
+
     def purge(self, watermark: int) -> int:
         """Drop closed intervals no snapshot at or above ``watermark`` can see."""
         removed = 0
@@ -97,7 +108,9 @@ class VersionedEntrySet:
 
     def drop_entity(self, entity_id: int) -> None:
         """Remove every interval of one entity (full purge of a deleted entity)."""
-        self._intervals.pop(entity_id, None)
+        intervals = self._intervals.pop(entity_id, None)
+        if intervals and intervals[-1][1] is _OPEN:
+            self._open_count -= 1
 
     def is_empty(self) -> bool:
         """Whether no entity has any interval left."""
@@ -185,6 +198,30 @@ class _VersionedKeyedIndex:
                 )
         return removed
 
+    def count_current(self, index_key: Hashable) -> int:
+        """Current cardinality of one index key in O(1) (no set copy).
+
+        This is the planner's cardinality-estimate fast path: it reads the
+        entry's incrementally-maintained open-interval counter instead of
+        materialising the membership set.  The count reflects the *latest*
+        committed state rather than any particular snapshot, which is exactly
+        what a cost estimate needs.
+        """
+        shard = self._shard_of(index_key)
+        with shard.lock:
+            entry = shard.entries.get(index_key)
+            return entry.open_count if entry is not None else 0
+
+    def current_cardinalities(self) -> Dict[Hashable, int]:
+        """Current cardinality of every non-empty key (stats/EXPLAIN surface)."""
+        result: Dict[Hashable, int] = {}
+        for shard in self._shards:
+            with shard.lock:
+                for index_key, entry in shard.entries.items():
+                    if entry.open_count:
+                        result[index_key] = entry.open_count
+        return result
+
     def key_creation_ts(self, index_key: Hashable) -> Optional[int]:
         """When ``index_key`` was first used (``None`` if never)."""
         shard = self._shard_of(index_key)
@@ -221,6 +258,10 @@ class VersionedLabelIndex(_VersionedKeyedIndex):
         """Node ids carrying ``label`` in the snapshot at ``start_ts``."""
         return self._visible(label, start_ts)
 
+    def count(self, label: str) -> int:
+        """Number of nodes currently carrying ``label`` (O(1), no set copy)."""
+        return self.count_current(label)
+
     def drop_node(self, node_id: int) -> None:
         """Forget a fully purged node."""
         self._drop_entity(node_id)
@@ -251,6 +292,10 @@ class VersionedPropertyIndex(_VersionedKeyedIndex):
         """Entity ids with ``key`` = ``value`` in the snapshot at ``start_ts``."""
         return self._visible((key, hashable_value(value)), start_ts)
 
+    def count(self, key: str, value: PropertyValue) -> int:
+        """Number of entities currently holding ``key`` = ``value`` (O(1))."""
+        return self.count_current((key, hashable_value(value)))
+
     def drop_entity(self, entity_id: int) -> None:
         """Forget a fully purged entity."""
         self._drop_entity(entity_id)
@@ -274,6 +319,10 @@ class VersionedRelationshipTypeIndex(_VersionedKeyedIndex):
     def visible(self, rel_type: str, start_ts: int) -> Set[int]:
         """Relationship ids of ``rel_type`` in the snapshot at ``start_ts``."""
         return self._visible(rel_type, start_ts)
+
+    def count(self, rel_type: str) -> int:
+        """Number of relationships currently of ``rel_type`` (O(1))."""
+        return self.count_current(rel_type)
 
     def drop_relationship(self, rel_id: int) -> None:
         """Forget a fully purged relationship."""

@@ -107,6 +107,10 @@ class EngineTransaction(abc.ABC):
         """Ids of visible relationships with property ``key`` = ``value``."""
 
     @abc.abstractmethod
+    def find_relationships_by_type(self, rel_type: str) -> Set[int]:
+        """Ids of visible relationships of type ``rel_type``."""
+
+    @abc.abstractmethod
     def relationships_of(
         self,
         node_id: int,

@@ -136,7 +136,7 @@ class ReservedNameError(GraphModelError):
 # ---------------------------------------------------------------------------
 
 class QueryError(ReproError):
-    """Base class for Cypher-lite errors."""
+    """Base class for query-language errors (see :mod:`repro.query`)."""
 
 
 class QuerySyntaxError(QueryError):

@@ -9,7 +9,7 @@ by scanning the persistent store.
 from __future__ import annotations
 
 import threading
-from typing import Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.graph.entity import NodeData, RelationshipData
 from repro.graph.properties import PropertyValue
@@ -93,6 +93,32 @@ class IndexManager:
     def relationships_of_type(self, rel_type: str) -> Set[int]:
         """Relationship ids of type ``rel_type``."""
         return self.relationship_types.get(rel_type)
+
+    # -- cardinality fast paths ------------------------------------------------
+
+    def count_nodes_with_label(self, label: str) -> int:
+        """Number of nodes carrying ``label`` in O(1) (no set copy)."""
+        return self.labels.count(label)
+
+    def count_nodes_with_property(self, key: str, value: PropertyValue) -> int:
+        """Number of nodes with ``key`` = ``value`` in O(1) (no set copy)."""
+        return self.node_properties.count(key, value)
+
+    def count_relationships_of_type(self, rel_type: str) -> int:
+        """Number of relationships of ``rel_type`` in O(1) (no set copy)."""
+        return self.relationship_types.count(rel_type)
+
+    def cardinalities(self) -> Dict[str, Dict[str, int]]:
+        """Per-label and per-type cardinalities (the stats/EXPLAIN surface)."""
+        return {
+            "node_labels": {
+                label: self.labels.count(label) for label in self.labels.labels()
+            },
+            "relationship_types": {
+                rel_type: self.relationship_types.count(rel_type)
+                for rel_type in sorted(self.relationship_types.types())
+            },
+        }
 
     # -- startup ---------------------------------------------------------------
 

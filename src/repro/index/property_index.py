@@ -62,6 +62,11 @@ class PropertyIndex:
         with self._lock:
             return set(self._nodes_by_entry.get((key, hashable_value(value)), ()))
 
+    def count(self, key: str, value: PropertyValue) -> int:
+        """Number of nodes with property ``key`` = ``value`` (O(1), no set copy)."""
+        with self._lock:
+            return len(self._nodes_by_entry.get((key, hashable_value(value)), ()))
+
     def get_by_key(self, key: str) -> Set[int]:
         """Node ids that have *any* value for ``key``."""
         with self._lock:

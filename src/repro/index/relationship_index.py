@@ -58,6 +58,11 @@ class RelationshipPropertyIndex:
         with self._lock:
             return set(self._rels_by_entry.get((key, hashable_value(value)), ()))
 
+    def count(self, key: str, value: PropertyValue) -> int:
+        """Number of relationships with ``key`` = ``value`` (O(1), no set copy)."""
+        with self._lock:
+            return len(self._rels_by_entry.get((key, hashable_value(value)), ()))
+
     def remove_relationship(
         self, rel_id: int, properties: Mapping[str, PropertyValue]
     ) -> None:

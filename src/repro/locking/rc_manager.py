@@ -70,6 +70,24 @@ class ReadCommittedEngine(GraphEngine):
         self.locks.release_all(txn.txn_id)
         self.stats.aborted += 1
 
+    # -- cardinality fast paths (query planner estimates) ---------------------
+
+    def count_nodes_with_label(self, label: str) -> int:
+        """Nodes currently carrying ``label`` in O(1) (no set copy)."""
+        return self.indexes.count_nodes_with_label(label)
+
+    def count_nodes_with_property(self, key: str, value) -> int:
+        """Nodes currently holding ``key`` = ``value`` in O(1)."""
+        return self.indexes.count_nodes_with_property(key, value)
+
+    def count_relationships_of_type(self, rel_type: str) -> int:
+        """Relationships currently of ``rel_type`` in O(1)."""
+        return self.indexes.count_relationships_of_type(rel_type)
+
+    def cardinalities(self) -> Dict[str, Dict[str, int]]:
+        """Per-label and per-type cardinalities (stats surface)."""
+        return self.indexes.cardinalities()
+
     # -- ids ------------------------------------------------------------------
 
     def allocate_node_id(self) -> int:

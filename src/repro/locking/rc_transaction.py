@@ -106,21 +106,28 @@ class ReadCommittedTransaction(EngineTransaction):
     def find_relationships_by_property(self, key: str, value: PropertyValue) -> Set[int]:
         self.ensure_open()
         result = self._engine.indexes.relationships_with_property(key, value)
-        for entity_key, data in self._writes.items():
-            if entity_key.kind is not EntityKind.RELATIONSHIP:
-                continue
-            if data is None:
-                result.discard(entity_key.entity_id)
-            elif data.properties.get(key) == value:
-                result.add(entity_key.entity_id)
-            else:
-                result.discard(entity_key.entity_id)
-        return result
+        return self._merge_relationship_predicate(
+            result, lambda rel: rel.properties.get(key) == value
+        )
+
+    def find_relationships_by_type(self, rel_type: str) -> Set[int]:
+        self.ensure_open()
+        result = self._engine.indexes.relationships_of_type(rel_type)
+        return self._merge_relationship_predicate(
+            result, lambda rel: rel.rel_type == rel_type
+        )
 
     def _merge_node_predicate(self, result: Set[int], predicate) -> Set[int]:
         """Overlay this transaction's own node writes onto an index result."""
+        return self._merge_predicate(result, predicate, EntityKind.NODE)
+
+    def _merge_relationship_predicate(self, result: Set[int], predicate) -> Set[int]:
+        """Overlay this transaction's own relationship writes onto an index result."""
+        return self._merge_predicate(result, predicate, EntityKind.RELATIONSHIP)
+
+    def _merge_predicate(self, result: Set[int], predicate, kind: EntityKind) -> Set[int]:
         for entity_key, data in self._writes.items():
-            if entity_key.kind is not EntityKind.NODE:
+            if entity_key.kind is not kind:
                 continue
             if data is None:
                 result.discard(entity_key.entity_id)

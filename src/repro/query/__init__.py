@@ -1,0 +1,78 @@
+"""Declarative query subsystem: a Cypher-subset compiled per transaction.
+
+Four stages, one module each:
+
+* :mod:`repro.query.lexer` + :mod:`repro.query.parser` — tokens and a
+  recursive-descent parser producing the typed AST in :mod:`repro.query.ast`,
+* :mod:`repro.query.planner` — a cardinality-aware logical planner that picks
+  the cheapest start point per ``MATCH`` pattern (property-index seek, label
+  scan or all-nodes scan) using the engines' O(1) count fast paths, and
+  orders expansions by estimated fan-out,
+* :mod:`repro.query.executor` — a pull-based iterator executor whose reads
+  all flow through one transaction (one snapshot under snapshot isolation),
+  with expand operators built on :mod:`repro.api.traversal`,
+* :mod:`repro.query.result` — lazily-pulled records, mutation statistics and
+  the ``EXPLAIN`` plan with estimated vs. actual rows.
+
+Use it through ``tx.execute(...)`` / ``db.execute(...)``; this module's
+:func:`execute` is the engine-level entry point those wrap.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Mapping, Optional
+
+from repro.query import ast
+from repro.query.parser import parse
+from repro.query.planner import Plan, PlannerStatistics, plan_query
+from repro.query.result import QueryResult, QueryStatistics, Record
+
+
+@functools.lru_cache(maxsize=512)
+def parse_cached(text: str) -> ast.Query:
+    """Parse with a process-wide cache (ASTs are immutable and shareable)."""
+    return parse(text)
+
+
+def execute(tx, engine, text: str,
+            parameters: Optional[Mapping[str, object]] = None) -> QueryResult:
+    """Parse, plan and execute one query inside ``tx``.
+
+    ``tx`` is the user-facing :class:`repro.api.transaction.Transaction`;
+    ``engine`` the :class:`repro.engine.GraphEngine` behind it (the planner
+    reads its cardinality counters).  Read-only queries return a lazy result;
+    write queries and ``PROFILE`` are drained before returning.  ``EXPLAIN``
+    only plans — it never executes, so it is always safe on a write query.
+    """
+    from repro.query.executor import ExecutionContext, run_plan
+
+    params = dict(parameters or {})
+    query = parse_cached(text)
+    plan = plan_query(query, PlannerStatistics(engine), params)
+    context = ExecutionContext(tx, params, QueryStatistics())
+    if query.explain:
+        return QueryResult(plan.columns, iter(()), context.stats, plan=plan)
+    rows = run_plan(plan, context)
+    result = QueryResult(
+        plan.columns, rows, context.stats,
+        plan=plan if query.profile else None,
+    )
+    if query.has_writes or query.profile:
+        # Writes are eager (Cypher semantics) and PROFILE needs the actual
+        # row counts, so both drain the pipeline before returning.
+        result.consume()
+    return result
+
+
+__all__ = [
+    "Plan",
+    "PlannerStatistics",
+    "QueryResult",
+    "QueryStatistics",
+    "Record",
+    "execute",
+    "parse",
+    "parse_cached",
+    "plan_query",
+]

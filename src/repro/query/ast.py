@@ -1,0 +1,354 @@
+"""Typed abstract syntax tree for the Cypher-subset query language.
+
+The parser (:mod:`repro.query.parser`) produces exactly these nodes and the
+planner (:mod:`repro.query.planner`) consumes them; nothing downstream ever
+looks at query text again.  Every node is a frozen dataclass so plans can be
+cached and shared between executions without defensive copying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: int, float, str, bool or ``None`` (Cypher ``null``)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A ``$name`` placeholder bound at execution time."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A reference to a bound pattern variable or projection alias."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PropertyAccess:
+    """``variable.key`` — a property read on a bound entity."""
+
+    entity: "Expression"
+    key: str
+
+
+@dataclass(frozen=True)
+class ListLiteral:
+    """``[e1, e2, ...]``."""
+
+    items: Tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A binary predicate: ``=``, ``<>``, ``<``, ``<=``, ``>``, ``>=``,
+    ``IN``, ``STARTS WITH``, ``ENDS WITH``, ``CONTAINS``."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``expr IS NULL`` / ``expr IS NOT NULL``."""
+
+    operand: "Expression"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BooleanOp:
+    """``AND`` / ``OR`` over two or more operands."""
+
+    op: str
+    operands: Tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class Not:
+    """``NOT expr``."""
+
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Arithmetic:
+    """``+ - * / %`` over two operands."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class Negate:
+    """Unary minus."""
+
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A function or aggregate call.
+
+    Scalar functions: ``id``, ``labels``, ``type``, ``size``, ``coalesce``.
+    Aggregates: ``count``, ``sum``, ``min``, ``max``, ``avg``, ``collect``.
+    ``count(*)`` is represented with ``star=True`` and no arguments.
+    """
+
+    name: str
+    args: Tuple["Expression", ...] = ()
+    distinct: bool = False
+    star: bool = False
+
+
+Expression = Union[
+    Literal,
+    Parameter,
+    Variable,
+    PropertyAccess,
+    ListLiteral,
+    Comparison,
+    IsNull,
+    BooleanOp,
+    Not,
+    Arithmetic,
+    Negate,
+    FunctionCall,
+]
+
+#: Aggregate function names (lower-cased).
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "min", "max", "avg", "collect"})
+
+
+def render_expression(expression: Expression) -> str:
+    """A canonical textual form of an expression (aliases, EXPLAIN details)."""
+    if isinstance(expression, Literal):
+        if expression.value is None:
+            return "null"
+        if isinstance(expression.value, bool):
+            return "true" if expression.value else "false"
+        if isinstance(expression.value, str):
+            return repr(expression.value)
+        return str(expression.value)
+    if isinstance(expression, Parameter):
+        return f"${expression.name}"
+    if isinstance(expression, Variable):
+        return expression.name
+    if isinstance(expression, PropertyAccess):
+        return f"{render_expression(expression.entity)}.{expression.key}"
+    if isinstance(expression, ListLiteral):
+        return "[" + ", ".join(render_expression(item) for item in expression.items) + "]"
+    if isinstance(expression, Comparison):
+        return (
+            f"{render_expression(expression.left)} {expression.op} "
+            f"{render_expression(expression.right)}"
+        )
+    if isinstance(expression, IsNull):
+        suffix = "IS NOT NULL" if expression.negated else "IS NULL"
+        return f"{render_expression(expression.operand)} {suffix}"
+    if isinstance(expression, BooleanOp):
+        joiner = f" {expression.op} "
+        return "(" + joiner.join(render_expression(op) for op in expression.operands) + ")"
+    if isinstance(expression, Not):
+        return f"NOT {render_expression(expression.operand)}"
+    if isinstance(expression, Arithmetic):
+        return (
+            f"{render_expression(expression.left)} {expression.op} "
+            f"{render_expression(expression.right)}"
+        )
+    if isinstance(expression, Negate):
+        return f"-{render_expression(expression.operand)}"
+    if isinstance(expression, FunctionCall):
+        if expression.star:
+            return f"{expression.name}(*)"
+        inner = ", ".join(render_expression(arg) for arg in expression.args)
+        if expression.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expression.name}({inner})"
+    return repr(expression)
+
+
+def contains_aggregate(expression: Expression) -> bool:
+    """Whether the expression tree contains an aggregate call."""
+    if isinstance(expression, FunctionCall):
+        if expression.name in AGGREGATE_FUNCTIONS:
+            return True
+        return any(contains_aggregate(arg) for arg in expression.args)
+    if isinstance(expression, (Comparison, Arithmetic)):
+        return contains_aggregate(expression.left) or contains_aggregate(expression.right)
+    if isinstance(expression, BooleanOp):
+        return any(contains_aggregate(operand) for operand in expression.operands)
+    if isinstance(expression, (Not, Negate)):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, IsNull):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, PropertyAccess):
+        return contains_aggregate(expression.entity)
+    if isinstance(expression, ListLiteral):
+        return any(contains_aggregate(item) for item in expression.items)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """``(variable:Label1:Label2 {key: expr, ...})`` — all parts optional."""
+
+    variable: Optional[str] = None
+    labels: Tuple[str, ...] = ()
+    properties: Tuple[Tuple[str, Expression], ...] = ()
+
+
+@dataclass(frozen=True)
+class RelPattern:
+    """``-[variable:TYPE1|TYPE2 *min..max {key: expr}]->`` and friends.
+
+    ``direction`` is ``"OUT"`` (``-...->``), ``"IN"`` (``<-...-``) or
+    ``"BOTH"`` (``-...-``).  A fixed single hop has ``min_hops == max_hops
+    == 1`` and ``var_length=False``; a variable-length pattern binds its
+    variable to the *list* of traversed relationships.
+    """
+
+    variable: Optional[str] = None
+    types: Tuple[str, ...] = ()
+    properties: Tuple[Tuple[str, Expression], ...] = ()
+    direction: str = "BOTH"
+    min_hops: int = 1
+    max_hops: Optional[int] = 1
+    var_length: bool = False
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """An alternating chain: ``nodes[0] rels[0] nodes[1] rels[1] ...``."""
+
+    nodes: Tuple[NodePattern, ...]
+    rels: Tuple[RelPattern, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Clauses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatchClause:
+    """``MATCH pattern, pattern [WHERE expr]``."""
+
+    patterns: Tuple[PathPattern, ...]
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class CreateClause:
+    """``CREATE pattern, pattern``."""
+
+    patterns: Tuple[PathPattern, ...]
+
+
+@dataclass(frozen=True)
+class SetProperty:
+    """``SET variable.key = expr`` (``= null`` removes the property)."""
+
+    variable: str
+    key: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class SetLabels:
+    """``SET variable:Label1:Label2``."""
+
+    variable: str
+    labels: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SetClause:
+    """``SET item, item``."""
+
+    items: Tuple[Union[SetProperty, SetLabels], ...]
+
+
+@dataclass(frozen=True)
+class DeleteClause:
+    """``[DETACH] DELETE variable, variable``."""
+
+    variables: Tuple[str, ...]
+    detach: bool = False
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    """One projection: ``expression [AS alias]``."""
+
+    expression: Expression
+    alias: str
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` key with its direction."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class ProjectionClause:
+    """``RETURN`` or ``WITH``: items plus the trailing sub-clauses.
+
+    ``WITH`` may carry a ``WHERE`` (applied after the projection, Cypher
+    semantics); ``RETURN`` never does.
+    """
+
+    items: Tuple[ReturnItem, ...]
+    distinct: bool = False
+    order_by: Tuple[OrderItem, ...] = ()
+    skip: Optional[Expression] = None
+    limit: Optional[Expression] = None
+    where: Optional[Expression] = None
+    is_return: bool = True
+
+
+Clause = Union[MatchClause, CreateClause, SetClause, DeleteClause, ProjectionClause]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A whole query: ordered clauses plus the ``EXPLAIN``/``PROFILE`` mode.
+
+    ``EXPLAIN`` plans without executing (Cypher semantics — it must never
+    mutate the graph); ``PROFILE`` executes and records actual row counts.
+    """
+
+    clauses: Tuple[Clause, ...]
+    explain: bool = False
+    profile: bool = False
+
+    @property
+    def has_writes(self) -> bool:
+        """Whether any clause mutates the graph (forces eager execution)."""
+        return any(
+            isinstance(clause, (CreateClause, SetClause, DeleteClause))
+            for clause in self.clauses
+        )

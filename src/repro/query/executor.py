@@ -1,0 +1,775 @@
+"""Pull-based query executor.
+
+Each plan operator becomes a Python generator over *rows* (variable → value
+dicts); pulling the root pulls exactly as much of the tree as needed, so
+``LIMIT 10`` over a million-node scan touches ~10 nodes.  Every read goes
+through the :class:`repro.api.transaction.Transaction` the query was started
+in — and the expand operators run on :mod:`repro.api.traversal` — so a whole
+query, however long it takes to iterate, observes a single snapshot under
+snapshot isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import (
+    NodeNotFoundError,
+    QueryExecutionError,
+    RelationshipNotFoundError,
+)
+from repro.api.transaction import Node, Relationship, Transaction
+from repro.api.traversal import Order, Path, TraversalDescription, Uniqueness
+from repro.query import ast
+from repro.query.planner import (
+    Aggregate,
+    AllNodesScan,
+    Argument,
+    CreateOp,
+    DeleteOp,
+    Distinct,
+    Expand,
+    Filter,
+    LabelScan,
+    Limit,
+    OrderBy,
+    Plan,
+    ProduceResults,
+    Projection,
+    PropertyIndexSeek,
+    SetOp,
+    Skip,
+    SOURCE_ROW_KEY,
+)
+from repro.query.result import QueryStatistics
+
+Row = Dict[str, object]
+
+
+class ExecutionContext:
+    """Everything operators need at runtime: the transaction, parameters, stats."""
+
+    def __init__(self, tx: Transaction, parameters: Mapping[str, object],
+                 stats: QueryStatistics) -> None:
+        self.tx = tx
+        self.parameters = parameters
+        self.stats = stats
+
+
+def run_plan(plan: Plan, ctx: ExecutionContext) -> Iterator[List[object]]:
+    """Run a plan, yielding result rows as value lists (lazy)."""
+    root = plan.root
+    columns = root.columns
+    for row in _run(root, ctx):
+        if columns:
+            yield [row.get(column) for column in columns]
+
+
+# ---------------------------------------------------------------------------
+# Operator dispatch
+# ---------------------------------------------------------------------------
+
+
+def _run(op, ctx: ExecutionContext) -> Iterator[Row]:
+    """Instantiate one operator's generator, counting rows into the plan node."""
+    runner = _RUNNERS[type(op)]
+    op.actual_rows = 0
+
+    def counted() -> Iterator[Row]:
+        for row in runner(op, ctx):
+            op.actual_rows += 1
+            yield row
+
+    return counted()
+
+
+def _run_argument(op: Argument, ctx: ExecutionContext) -> Iterator[Row]:
+    yield {}
+
+
+def _run_produce(op: ProduceResults, ctx: ExecutionContext) -> Iterator[Row]:
+    for row in _run(op.child, ctx):
+        yield row
+
+
+# -- scans -------------------------------------------------------------------
+
+
+def _run_all_nodes_scan(op: AllNodesScan, ctx: ExecutionContext) -> Iterator[Row]:
+    for row in _run(op.child, ctx):
+        for node in ctx.tx.nodes():
+            if _node_matches(node, op.pattern, row, ctx):
+                yield _bind(row, op.variable, node)
+
+
+def _run_label_scan(op: LabelScan, ctx: ExecutionContext) -> Iterator[Row]:
+    for row in _run(op.child, ctx):
+        for node in ctx.tx.find_nodes(label=op.label):
+            if _node_matches(node, op.pattern, row, ctx):
+                yield _bind(row, op.variable, node)
+
+
+def _run_property_seek(op: PropertyIndexSeek, ctx: ExecutionContext) -> Iterator[Row]:
+    for row in _run(op.child, ctx):
+        value = evaluate(op.value, row, ctx)
+        if value is None:
+            continue
+        for node in ctx.tx.find_nodes(label=op.label, key=op.key, value=value):
+            if _node_matches(node, op.pattern, row, ctx):
+                yield _bind(row, op.variable, node)
+
+
+# -- expand ------------------------------------------------------------------
+
+
+def _run_expand(op: Expand, ctx: ExecutionContext) -> Iterator[Row]:
+    rel = op.rel
+    for row in _run(op.child, ctx):
+        source = row.get(op.from_var)
+        if source is None:
+            continue
+        if not isinstance(source, Node):
+            raise QueryExecutionError(
+                f"cannot expand from {op.from_var!r}: not a node"
+            )
+        excluded = _excluded_rel_ids(op.exclude_rel_vars, row)
+        target: Optional[Node] = None
+        if op.into:
+            bound_target = row.get(op.to_var)
+            if not isinstance(bound_target, Node):
+                continue
+            target = bound_target
+        description = TraversalDescription(
+            order=Order.DEPTH_FIRST,
+            direction=op.direction,
+            rel_types=rel.types or None,
+            max_depth=rel.max_hops,
+            min_depth=rel.min_hops,
+            uniqueness=Uniqueness.NONE,
+            evaluator=_make_evaluator(op, row, ctx, excluded),
+        )
+        for path in description.traverse(ctx.tx, source):
+            end = path.end_node
+            if target is not None and end.id != target.id:
+                continue
+            if not _node_matches(end, op.to_pattern, row, ctx):
+                continue
+            rel_value: object
+            if rel.var_length:
+                rel_value = list(path.relationships)
+            else:
+                rel_value = path.relationships[-1]
+            new_row = _bind(row, op.rel_var, rel_value)
+            if not op.into:
+                new_row[op.to_var] = end
+            yield new_row
+
+
+def _make_evaluator(op: Expand, row: Row, ctx: ExecutionContext,
+                    excluded: frozenset):
+    rel_pattern = op.rel
+
+    def evaluator(path: Path) -> Tuple[bool, bool]:
+        if path.length == 0:
+            return rel_pattern.min_hops == 0, True
+        last = path.relationships[-1]
+        if last.id in excluded:
+            return False, False
+        # Cypher's relationship isomorphism within one pattern: a path may
+        # not traverse the same relationship twice (Uniqueness.NONE only
+        # stops immediate backtracking, not longer cycles).
+        seen = set()
+        for relationship in path.relationships:
+            if relationship.id in seen:
+                return False, False
+            seen.add(relationship.id)
+        for key, expression in rel_pattern.properties:
+            wanted = evaluate(expression, row, ctx)
+            if wanted is None or last.get(key) != wanted:
+                return False, False
+        return True, True
+
+    return evaluator
+
+
+def _excluded_rel_ids(variables: Sequence[str], row: Row) -> frozenset:
+    excluded = set()
+    for variable in variables:
+        value = row.get(variable)
+        if isinstance(value, Relationship):
+            excluded.add(value.id)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, Relationship):
+                    excluded.add(item.id)
+    return frozenset(excluded)
+
+
+# -- filters and projections -------------------------------------------------
+
+
+def _run_filter(op: Filter, ctx: ExecutionContext) -> Iterator[Row]:
+    for row in _run(op.child, ctx):
+        scope = _order_scope(row)
+        if _is_truthy(evaluate(op.predicate, scope, ctx)):
+            yield row
+
+
+def _run_projection(op: Projection, ctx: ExecutionContext) -> Iterator[Row]:
+    for row in _run(op.child, ctx):
+        projected: Row = {}
+        for item in op.items:
+            projected[item.alias] = evaluate(item.expression, row, ctx)
+        if op.keep_source:
+            projected[SOURCE_ROW_KEY] = row
+        yield projected
+
+
+def _run_distinct(op: Distinct, ctx: ExecutionContext) -> Iterator[Row]:
+    seen = set()
+    for row in _run(op.child, ctx):
+        key = tuple(_freeze(row.get(column)) for column in op.columns)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield row
+
+
+def _run_order_by(op: OrderBy, ctx: ExecutionContext) -> Iterator[Row]:
+    rows = list(_run(op.child, ctx))
+    # Stable multi-key sort: apply keys right-to-left.
+    for item in reversed(op.order_items):
+        rows.sort(
+            key=lambda row, expression=item.expression: _sort_key(
+                evaluate(expression, _order_scope(row), ctx)
+            ),
+            reverse=not item.ascending,
+        )
+    for row in rows:
+        if SOURCE_ROW_KEY in row:
+            row = {k: v for k, v in row.items() if k != SOURCE_ROW_KEY}
+        yield row
+
+
+def _order_scope(row: Row) -> Row:
+    """ORDER BY / WHERE scope: aliases overlay the pre-projection bindings."""
+    source = row.get(SOURCE_ROW_KEY)
+    if isinstance(source, dict):
+        merged = dict(source)
+        merged.update(row)
+        merged.pop(SOURCE_ROW_KEY, None)
+        return merged
+    return row
+
+
+def _run_skip(op: Skip, ctx: ExecutionContext) -> Iterator[Row]:
+    count = _require_non_negative_int(evaluate(op.count, {}, ctx), "SKIP")
+    for index, row in enumerate(_run(op.child, ctx)):
+        if index >= count:
+            yield row
+
+
+def _run_limit(op: Limit, ctx: ExecutionContext) -> Iterator[Row]:
+    count = _require_non_negative_int(evaluate(op.count, {}, ctx), "LIMIT")
+    if count == 0:
+        return
+    produced = 0
+    for row in _run(op.child, ctx):
+        yield row
+        produced += 1
+        if produced >= count:
+            return
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+class _Accumulator:
+    """One aggregate function instance for one group."""
+
+    def __init__(self, call: ast.FunctionCall) -> None:
+        self.call = call
+        self.count = 0
+        self.total = 0
+        self.minimum = None
+        self.maximum = None
+        self.collected: List[object] = []
+        self.distinct_seen = set()
+
+    def update(self, row: Row, ctx: ExecutionContext) -> None:
+        call = self.call
+        if call.star:
+            self.count += 1
+            return
+        value = evaluate(call.args[0], row, ctx)
+        if value is None:
+            return
+        if call.distinct:
+            key = _freeze(value)
+            if key in self.distinct_seen:
+                return
+            self.distinct_seen.add(key)
+        self.count += 1
+        if call.name in ("sum", "avg"):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise QueryExecutionError(
+                    f"{call.name}() requires numeric input, got {value!r}"
+                )
+            self.total += value
+        elif call.name == "min":
+            if self.minimum is None or _sort_key(value) < _sort_key(self.minimum):
+                self.minimum = value
+        elif call.name == "max":
+            if self.maximum is None or _sort_key(value) > _sort_key(self.maximum):
+                self.maximum = value
+        elif call.name == "collect":
+            self.collected.append(value)
+
+    def result(self) -> object:
+        name = self.call.name
+        if name == "count":
+            return self.count
+        if name == "sum":
+            return self.total
+        if name == "avg":
+            return self.total / self.count if self.count else None
+        if name == "min":
+            return self.minimum
+        if name == "max":
+            return self.maximum
+        if name == "collect":
+            return self.collected
+        raise QueryExecutionError(f"unknown aggregate {name!r}")
+
+
+def _run_aggregate(op: Aggregate, ctx: ExecutionContext) -> Iterator[Row]:
+    groups: Dict[Tuple, Tuple[Row, List[_Accumulator]]] = {}
+    for row in _run(op.child, ctx):
+        key_values = [evaluate(item.expression, row, ctx) for item in op.group_items]
+        key = tuple(_freeze(value) for value in key_values)
+        entry = groups.get(key)
+        if entry is None:
+            accumulators = [_Accumulator(item.expression) for item in op.agg_items]
+            group_row = {
+                item.alias: value
+                for item, value in zip(op.group_items, key_values)
+            }
+            entry = (group_row, accumulators)
+            groups[key] = entry
+        for accumulator in entry[1]:
+            accumulator.update(row, ctx)
+    if not groups and not op.group_items:
+        # Aggregation over zero rows still produces one row (count = 0 etc).
+        accumulators = [_Accumulator(item.expression) for item in op.agg_items]
+        groups[()] = ({}, accumulators)
+    for group_row, accumulators in groups.values():
+        out = dict(group_row)
+        for item, accumulator in zip(op.agg_items, accumulators):
+            out[item.alias] = accumulator.result()
+        yield out
+
+
+# -- writes --------------------------------------------------------------------
+
+
+def _run_create(op: CreateOp, ctx: ExecutionContext) -> Iterator[Row]:
+    for row in _run(op.child, ctx):
+        row = dict(row)
+        for pattern in op.clause.patterns:
+            handles: List[Node] = []
+            for node_pattern in pattern.nodes:
+                handles.append(_create_or_reuse_node(node_pattern, row, ctx))
+            for index, rel_pattern in enumerate(pattern.rels):
+                if rel_pattern.direction == "OUT":
+                    start, end = handles[index], handles[index + 1]
+                else:
+                    start, end = handles[index + 1], handles[index]
+                properties = _evaluate_property_map(rel_pattern.properties, row, ctx)
+                relationship = ctx.tx.create_relationship(
+                    start, end, rel_pattern.types[0], properties
+                )
+                ctx.stats.relationships_created += 1
+                ctx.stats.properties_set += len(properties)
+                if rel_pattern.variable is not None:
+                    row[rel_pattern.variable] = relationship
+        yield row
+
+
+def _create_or_reuse_node(node_pattern: ast.NodePattern, row: Row,
+                          ctx: ExecutionContext) -> Node:
+    if node_pattern.variable is not None and node_pattern.variable in row:
+        existing = row[node_pattern.variable]
+        if not isinstance(existing, Node):
+            raise QueryExecutionError(
+                f"CREATE expected {node_pattern.variable!r} to be a node"
+            )
+        return existing
+    properties = _evaluate_property_map(node_pattern.properties, row, ctx)
+    node = ctx.tx.create_node(node_pattern.labels, properties)
+    ctx.stats.nodes_created += 1
+    ctx.stats.labels_added += len(node_pattern.labels)
+    ctx.stats.properties_set += len(properties)
+    if node_pattern.variable is not None:
+        row[node_pattern.variable] = node
+    return node
+
+
+def _evaluate_property_map(entries, row: Row, ctx: ExecutionContext) -> Dict[str, object]:
+    properties: Dict[str, object] = {}
+    for key, expression in entries:
+        value = evaluate(expression, row, ctx)
+        if value is not None:
+            properties[key] = value
+    return properties
+
+
+def _run_set(op: SetOp, ctx: ExecutionContext) -> Iterator[Row]:
+    for row in _run(op.child, ctx):
+        row = dict(row)
+        for item in op.clause.items:
+            target = row.get(item.variable)
+            if target is None:
+                continue
+            if isinstance(item, ast.SetProperty):
+                if not isinstance(target, (Node, Relationship)):
+                    raise QueryExecutionError(
+                        f"SET target {item.variable!r} is not a node or relationship"
+                    )
+                value = evaluate(item.value, row, ctx)
+                if value is None:
+                    refreshed = target.remove_property(item.key)
+                else:
+                    refreshed = target.set_property(item.key, value)
+                ctx.stats.properties_set += 1
+            else:
+                if not isinstance(target, Node):
+                    raise QueryExecutionError(
+                        f"SET label target {item.variable!r} is not a node"
+                    )
+                refreshed = target
+                for label in item.labels:
+                    refreshed = refreshed.add_label(label)
+                    ctx.stats.labels_added += 1
+            _rebind_entity(row, refreshed)
+        yield row
+
+
+def _rebind_entity(row: Row, refreshed) -> None:
+    """Replace *every* binding of the refreshed entity with the new handle.
+
+    Handles cache immutable entity state, and two variables can name the same
+    node (``MATCH (a), (b) ... SET a.x = 1 RETURN b.x``); updating only the
+    assigned variable would leave the siblings reading stale values.
+    """
+    kind = Node if isinstance(refreshed, Node) else Relationship
+    for variable, value in row.items():
+        if isinstance(value, kind) and value.id == refreshed.id:
+            row[variable] = refreshed
+        elif isinstance(value, list):
+            row[variable] = [
+                refreshed
+                if isinstance(item, kind) and item.id == refreshed.id
+                else item
+                for item in value
+            ]
+
+
+def _run_delete(op: DeleteOp, ctx: ExecutionContext) -> Iterator[Row]:
+    detach = op.clause.detach
+    for row in _run(op.child, ctx):
+        for variable in op.clause.variables:
+            value = row.get(variable)
+            for entity in _flatten_entities(value):
+                if isinstance(entity, Node):
+                    try:
+                        attached = len(ctx.tx.relationships_of(entity)) if detach else 0
+                        ctx.tx.delete_node(entity, detach=detach)
+                    except NodeNotFoundError:
+                        continue
+                    ctx.stats.nodes_deleted += 1
+                    ctx.stats.relationships_deleted += attached
+                elif isinstance(entity, Relationship):
+                    try:
+                        ctx.tx.delete_relationship(entity)
+                    except RelationshipNotFoundError:
+                        continue
+                    ctx.stats.relationships_deleted += 1
+                else:
+                    raise QueryExecutionError(
+                        f"DELETE target {variable!r} is not a node or relationship"
+                    )
+        yield row
+
+
+def _flatten_entities(value: object):
+    if value is None:
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _flatten_entities(item)
+    else:
+        yield value
+
+
+# ---------------------------------------------------------------------------
+# Pattern matching helpers
+# ---------------------------------------------------------------------------
+
+
+def _bind(row: Row, variable: str, value: object) -> Row:
+    new_row = dict(row)
+    new_row[variable] = value
+    return new_row
+
+
+def _node_matches(node: Node, pattern: ast.NodePattern, row: Row,
+                  ctx: ExecutionContext) -> bool:
+    for label in pattern.labels:
+        if not node.has_label(label):
+            return False
+    for key, expression in pattern.properties:
+        wanted = evaluate(expression, row, ctx)
+        if wanted is None or node.get(key) != wanted:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate(expression: ast.Expression, row: Row, ctx: ExecutionContext) -> object:
+    """Evaluate an expression in the scope of one row (Cypher null semantics)."""
+    if isinstance(expression, ast.Literal):
+        return expression.value
+    if isinstance(expression, ast.Parameter):
+        if expression.name not in ctx.parameters:
+            raise QueryExecutionError(f"missing parameter ${expression.name}")
+        return ctx.parameters[expression.name]
+    if isinstance(expression, ast.Variable):
+        if expression.name not in row:
+            raise QueryExecutionError(f"unbound variable {expression.name!r}")
+        return row[expression.name]
+    if isinstance(expression, ast.PropertyAccess):
+        entity = evaluate(expression.entity, row, ctx)
+        if entity is None:
+            return None
+        if isinstance(entity, (Node, Relationship)):
+            return entity.get(expression.key)
+        raise QueryExecutionError(
+            f"cannot read property {expression.key!r} of {type(entity).__name__}"
+        )
+    if isinstance(expression, ast.ListLiteral):
+        return [evaluate(item, row, ctx) for item in expression.items]
+    if isinstance(expression, ast.Comparison):
+        return _compare(
+            expression.op,
+            evaluate(expression.left, row, ctx),
+            evaluate(expression.right, row, ctx),
+        )
+    if isinstance(expression, ast.IsNull):
+        value = evaluate(expression.operand, row, ctx)
+        return (value is not None) if expression.negated else (value is None)
+    if isinstance(expression, ast.BooleanOp):
+        if expression.op == "AND":
+            result: object = True
+            for operand in expression.operands:
+                value = evaluate(operand, row, ctx)
+                if value is None:
+                    result = None
+                elif not _is_truthy(value):
+                    return False
+            return result
+        result = False
+        for operand in expression.operands:
+            value = evaluate(operand, row, ctx)
+            if value is None:
+                result = None
+            elif _is_truthy(value):
+                return True
+        return result
+    if isinstance(expression, ast.Not):
+        value = evaluate(expression.operand, row, ctx)
+        if value is None:
+            return None
+        return not _is_truthy(value)
+    if isinstance(expression, ast.Arithmetic):
+        return _arithmetic(
+            expression.op,
+            evaluate(expression.left, row, ctx),
+            evaluate(expression.right, row, ctx),
+        )
+    if isinstance(expression, ast.Negate):
+        value = evaluate(expression.operand, row, ctx)
+        if value is None:
+            return None
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise QueryExecutionError(f"cannot negate {value!r}")
+        return -value
+    if isinstance(expression, ast.FunctionCall):
+        return _call_function(expression, row, ctx)
+    raise QueryExecutionError(f"cannot evaluate {expression!r}")
+
+
+def _compare(op: str, left: object, right: object) -> Optional[bool]:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return None
+    if op == "IN":
+        if not isinstance(right, (list, tuple)):
+            raise QueryExecutionError("IN requires a list on its right-hand side")
+        return left in right
+    if op in ("STARTS WITH", "ENDS WITH", "CONTAINS"):
+        if not isinstance(left, str) or not isinstance(right, str):
+            return None
+        if op == "STARTS WITH":
+            return left.startswith(right)
+        if op == "ENDS WITH":
+            return left.endswith(right)
+        return right in left
+    raise QueryExecutionError(f"unknown comparison operator {op!r}")
+
+
+def _arithmetic(op: str, left: object, right: object) -> object:
+    if left is None or right is None:
+        return None
+    if op == "+":
+        if isinstance(left, str) and isinstance(right, str):
+            return left + right
+        if isinstance(left, list) and isinstance(right, list):
+            return left + right
+    if not isinstance(left, (int, float)) or not isinstance(right, (int, float)) \
+            or isinstance(left, bool) or isinstance(right, bool):
+        raise QueryExecutionError(
+            f"cannot apply {op!r} to {left!r} and {right!r}"
+        )
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                # Cypher integer division truncates toward zero; stay in
+                # integer arithmetic (float round-tripping loses precision
+                # above 2**53).
+                quotient = left // right
+                if quotient < 0 and quotient * right != left:
+                    quotient += 1
+                return quotient
+            return left / right
+        if op == "%":
+            return left % right
+    except ZeroDivisionError:
+        raise QueryExecutionError("division by zero") from None
+    raise QueryExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+def _call_function(call: ast.FunctionCall, row: Row, ctx: ExecutionContext) -> object:
+    name = call.name
+    if name in ast.AGGREGATE_FUNCTIONS:
+        raise QueryExecutionError(
+            f"aggregate {name}() is only allowed in RETURN or WITH items"
+        )
+    args = [evaluate(arg, row, ctx) for arg in call.args]
+    if name == "coalesce":
+        for value in args:
+            if value is not None:
+                return value
+        return None
+    if len(args) != 1:
+        raise QueryExecutionError(f"{name}() takes exactly one argument")
+    value = args[0]
+    if value is None:
+        return None
+    if name == "id":
+        if isinstance(value, (Node, Relationship)):
+            return value.id
+        raise QueryExecutionError("id() requires a node or relationship")
+    if name == "labels":
+        if isinstance(value, Node):
+            return sorted(value.labels)
+        raise QueryExecutionError("labels() requires a node")
+    if name == "type":
+        if isinstance(value, Relationship):
+            return value.type
+        raise QueryExecutionError("type() requires a relationship")
+    if name == "size":
+        if isinstance(value, (str, list, tuple)):
+            return len(value)
+        raise QueryExecutionError("size() requires a string or list")
+    raise QueryExecutionError(f"unknown function {name!r}")
+
+
+def _is_truthy(value: object) -> bool:
+    return value is not None and bool(value)
+
+
+def _freeze(value: object) -> object:
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+_TYPE_ORDER_NUMBER = 0
+_TYPE_ORDER_STRING = 1
+_TYPE_ORDER_OTHER = 2
+_TYPE_ORDER_NULL = 3
+
+
+def _sort_key(value: object):
+    """A total order over mixed-type values (numbers < strings < rest < null)."""
+    if value is None:
+        return (_TYPE_ORDER_NULL, 0)
+    if isinstance(value, bool):
+        return (_TYPE_ORDER_NUMBER, float(value))
+    if isinstance(value, (int, float)):
+        return (_TYPE_ORDER_NUMBER, float(value))
+    if isinstance(value, str):
+        return (_TYPE_ORDER_STRING, value)
+    if isinstance(value, (Node, Relationship)):
+        return (_TYPE_ORDER_OTHER, str(value.id))
+    return (_TYPE_ORDER_OTHER, repr(value))
+
+
+def _require_non_negative_int(value: object, what: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise QueryExecutionError(f"{what} requires a non-negative integer")
+    return value
+
+
+_RUNNERS = {
+    Argument: _run_argument,
+    ProduceResults: _run_produce,
+    AllNodesScan: _run_all_nodes_scan,
+    LabelScan: _run_label_scan,
+    PropertyIndexSeek: _run_property_seek,
+    Expand: _run_expand,
+    Filter: _run_filter,
+    Projection: _run_projection,
+    Distinct: _run_distinct,
+    OrderBy: _run_order_by,
+    Skip: _run_skip,
+    Limit: _run_limit,
+    Aggregate: _run_aggregate,
+    CreateOp: _run_create,
+    SetOp: _run_set,
+    DeleteOp: _run_delete,
+}

@@ -1,0 +1,284 @@
+"""Tokeniser for the Cypher-subset query language.
+
+Hand-written single-pass scanner.  Keywords are case-insensitive (matching
+Cypher); identifiers, string literals and parameter names keep their case.
+Multi-character operators (``<=``, ``>=``, ``<>``, ``..``, ``->``, ``<-``)
+are fused here *except* the pattern arrows: ``-`` ``>`` and ``<`` ``-`` are
+left as single-character tokens because ``a < -1`` must stay an arithmetic
+comparison — the parser fuses arrows only inside pattern context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import QuerySyntaxError
+
+#: Reserved words, stored upper-case.
+KEYWORDS = frozenset(
+    {
+        "MATCH", "WHERE", "RETURN", "WITH", "AS", "DISTINCT", "ORDER", "BY",
+        "ASC", "DESC", "SKIP", "LIMIT", "CREATE", "SET", "DELETE", "DETACH",
+        "AND", "OR", "NOT", "IN", "STARTS", "ENDS", "CONTAINS", "IS",
+        "TRUE", "FALSE", "NULL", "EXPLAIN", "PROFILE",
+    }
+)
+
+#: Token kinds produced by the lexer.
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+INTEGER = "INTEGER"
+FLOAT = "FLOAT"
+STRING = "STRING"
+PARAMETER = "PARAMETER"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+#: Two-character punctuation fused by the lexer (longest match first).
+_TWO_CHAR = ("<=", ">=", "<>", "..", "+=")
+
+#: Single-character punctuation.
+_ONE_CHAR = "()[]{}:,.|*+-/%<>=^"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    kind: str
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword (case-insensitive)."""
+        return self.kind == KEYWORD and self.text.upper() == word
+
+    def is_punct(self, text: str) -> bool:
+        """Whether this token is the given punctuation."""
+        return self.kind == PUNCT and self.text == text
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise a query string; raises :class:`QuerySyntaxError` on bad input."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "/" and text[index : index + 2] == "//":
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char.isdigit():
+            index = _scan_number(text, index, tokens)
+            continue
+        if char == "'" or char == '"':
+            index = _scan_string(text, index, tokens)
+            continue
+        if char == "$":
+            index = _scan_parameter(text, index, tokens)
+            continue
+        if char == "`":
+            index = _scan_quoted_identifier(text, index, tokens)
+            continue
+        if char.isalpha() or char == "_":
+            index = _scan_word(text, index, tokens)
+            continue
+        two = text[index : index + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(PUNCT, two, index))
+            index += 2
+            continue
+        if char in _ONE_CHAR:
+            tokens.append(Token(PUNCT, char, index))
+            index += 1
+            continue
+        raise QuerySyntaxError(f"unexpected character {char!r}", index)
+    tokens.append(Token(EOF, "", length))
+    return tokens
+
+
+def _scan_number(text: str, index: int, tokens: List[Token]) -> int:
+    start = index
+    length = len(text)
+    while index < length and text[index].isdigit():
+        index += 1
+    is_float = False
+    # A '.' continues the number only when followed by a digit, so the
+    # var-length range token `1..3` lexes as INTEGER '..' INTEGER.
+    if index + 1 < length and text[index] == "." and text[index + 1].isdigit():
+        is_float = True
+        index += 1
+        while index < length and text[index].isdigit():
+            index += 1
+    if index < length and text[index] in "eE":
+        peek = index + 1
+        if peek < length and text[peek] in "+-":
+            peek += 1
+        if peek < length and text[peek].isdigit():
+            is_float = True
+            index = peek
+            while index < length and text[index].isdigit():
+                index += 1
+    kind = FLOAT if is_float else INTEGER
+    tokens.append(Token(kind, text[start:index], start))
+    return index
+
+
+def _scan_string(text: str, index: int, tokens: List[Token]) -> int:
+    quote = text[index]
+    start = index
+    index += 1
+    parts: List[str] = []
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\\":
+            if index + 1 >= length:
+                break
+            escape = text[index + 1]
+            parts.append({"n": "\n", "t": "\t", "\\": "\\", quote: quote}.get(escape, escape))
+            index += 2
+            continue
+        if char == quote:
+            tokens.append(Token(STRING, "".join(parts), start))
+            return index + 1
+        parts.append(char)
+        index += 1
+    raise QuerySyntaxError("unterminated string literal", start)
+
+
+def _scan_parameter(text: str, index: int, tokens: List[Token]) -> int:
+    start = index
+    index += 1
+    word_start = index
+    length = len(text)
+    while index < length and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    if index == word_start:
+        raise QuerySyntaxError("'$' must be followed by a parameter name", start)
+    tokens.append(Token(PARAMETER, text[word_start:index], start))
+    return index
+
+
+def _scan_quoted_identifier(text: str, index: int, tokens: List[Token]) -> int:
+    start = index
+    end = text.find("`", index + 1)
+    if end < 0:
+        raise QuerySyntaxError("unterminated backtick identifier", start)
+    tokens.append(Token(IDENT, text[index + 1 : end], start))
+    return end + 1
+
+
+def _scan_word(text: str, index: int, tokens: List[Token]) -> int:
+    start = index
+    length = len(text)
+    while index < length and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    word = text[start:index]
+    if word.upper() in KEYWORDS:
+        # Keywords keep their original spelling: in name positions (labels,
+        # relationship types, property keys) they are plain identifiers.
+        tokens.append(Token(KEYWORD, word, start))
+    else:
+        tokens.append(Token(IDENT, word, start))
+    return index
+
+
+class TokenStream:
+    """Cursor over the token list with the lookahead helpers parsers need."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def current(self) -> Token:
+        """The token at the cursor."""
+        return self._tokens[self._index]
+
+    def peek(self, offset: int = 1) -> Token:
+        """The token ``offset`` places past the cursor (EOF-saturating)."""
+        target = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[target]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        token = self._tokens[self._index]
+        if token.kind != EOF:
+            self._index += 1
+        return token
+
+    def accept_keyword(self, word: str) -> Optional[Token]:
+        """Consume the keyword if present, else return ``None``."""
+        if self.current.is_keyword(word):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, word: str) -> Token:
+        """Consume the keyword or raise."""
+        if not self.current.is_keyword(word):
+            raise QuerySyntaxError(
+                f"expected {word}, found {self._describe(self.current)}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def accept_punct(self, text: str) -> Optional[Token]:
+        """Consume the punctuation if present, else return ``None``."""
+        if self.current.is_punct(text):
+            return self.advance()
+        return None
+
+    def expect_punct(self, text: str) -> Token:
+        """Consume the punctuation or raise."""
+        if not self.current.is_punct(text):
+            raise QuerySyntaxError(
+                f"expected {text!r}, found {self._describe(self.current)}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_identifier(self, what: str = "identifier") -> Token:
+        """Consume an identifier (keywords are not identifiers) or raise."""
+        if self.current.kind != IDENT:
+            raise QuerySyntaxError(
+                f"expected {what}, found {self._describe(self.current)}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_name(self, what: str = "name") -> Token:
+        """Consume a *name* — an identifier or a keyword used as one.
+
+        Labels, relationship types and property keys live in their own
+        namespaces, so Cypher allows reserved words there (``-[:IN]->``,
+        ``{limit: 3}``); the token keeps its original spelling.
+        """
+        if self.current.kind not in (IDENT, KEYWORD):
+            raise QuerySyntaxError(
+                f"expected {what}, found {self._describe(self.current)}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def at_end(self) -> bool:
+        """Whether the cursor is at EOF."""
+        return self.current.kind == EOF
+
+    def error(self, message: str) -> QuerySyntaxError:
+        """A syntax error anchored at the current token."""
+        return QuerySyntaxError(
+            f"{message}, found {self._describe(self.current)}",
+            self.current.position,
+        )
+
+    @staticmethod
+    def _describe(token: Token) -> str:
+        if token.kind == EOF:
+            return "end of query"
+        return f"{token.text!r}"

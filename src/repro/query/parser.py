@@ -1,0 +1,469 @@
+"""Recursive-descent parser for the Cypher-subset query language.
+
+One function per grammar production, all driven off a
+:class:`~repro.query.lexer.TokenStream`.  The parser performs purely
+syntactic validation (clause order, directed relationships in ``CREATE``);
+semantic checks such as unbound variables are the planner's job, because they
+depend on what earlier clauses bind.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import QuerySyntaxError
+from repro.query import ast
+from repro.query.lexer import (
+    FLOAT,
+    IDENT,
+    INTEGER,
+    KEYWORD,
+    PARAMETER,
+    STRING,
+    TokenStream,
+    tokenize,
+)
+
+#: Scalar (non-aggregate) functions known to the executor.
+SCALAR_FUNCTIONS = frozenset({"id", "labels", "type", "size", "coalesce"})
+
+
+def parse(text: str) -> ast.Query:
+    """Parse a query string into an :class:`~repro.query.ast.Query`."""
+    if not isinstance(text, str) or not text.strip():
+        raise QuerySyntaxError("empty query")
+    stream = TokenStream(tokenize(text))
+    explain = bool(stream.accept_keyword("EXPLAIN"))
+    profile = False if explain else bool(stream.accept_keyword("PROFILE"))
+    clauses: List[ast.Clause] = []
+    while not stream.at_end():
+        clauses.append(_parse_clause(stream))
+    if not clauses:
+        raise QuerySyntaxError("query has no clauses")
+    _validate_clause_order(clauses)
+    return ast.Query(clauses=tuple(clauses), explain=explain, profile=profile)
+
+
+def _validate_clause_order(clauses: List[ast.Clause]) -> None:
+    for index, clause in enumerate(clauses):
+        is_last = index == len(clauses) - 1
+        if isinstance(clause, ast.ProjectionClause) and clause.is_return and not is_last:
+            raise QuerySyntaxError("RETURN must be the final clause")
+        if isinstance(clause, ast.ProjectionClause) and not clause.is_return and is_last:
+            raise QuerySyntaxError("a query cannot end with WITH")
+    last = clauses[-1]
+    if isinstance(last, ast.MatchClause):
+        raise QuerySyntaxError("a MATCH query needs a RETURN or a write clause")
+
+
+def _parse_clause(stream: TokenStream) -> ast.Clause:
+    token = stream.current
+    if token.is_keyword("MATCH"):
+        return _parse_match(stream)
+    if token.is_keyword("CREATE"):
+        return _parse_create(stream)
+    if token.is_keyword("SET"):
+        return _parse_set(stream)
+    if token.is_keyword("DELETE") or token.is_keyword("DETACH"):
+        return _parse_delete(stream)
+    if token.is_keyword("RETURN"):
+        return _parse_projection(stream, is_return=True)
+    if token.is_keyword("WITH"):
+        return _parse_projection(stream, is_return=False)
+    raise stream.error("expected a clause (MATCH, CREATE, SET, DELETE, WITH, RETURN)")
+
+
+# ---------------------------------------------------------------------------
+# MATCH / CREATE
+# ---------------------------------------------------------------------------
+
+
+def _parse_match(stream: TokenStream) -> ast.MatchClause:
+    stream.expect_keyword("MATCH")
+    patterns = [_parse_path_pattern(stream)]
+    while stream.accept_punct(","):
+        patterns.append(_parse_path_pattern(stream))
+    where = None
+    if stream.accept_keyword("WHERE"):
+        where = _parse_expression(stream)
+    return ast.MatchClause(patterns=tuple(patterns), where=where)
+
+
+def _parse_create(stream: TokenStream) -> ast.CreateClause:
+    stream.expect_keyword("CREATE")
+    patterns = [_parse_path_pattern(stream)]
+    while stream.accept_punct(","):
+        patterns.append(_parse_path_pattern(stream))
+    for pattern in patterns:
+        for rel in pattern.rels:
+            if rel.direction == "BOTH":
+                raise QuerySyntaxError(
+                    "CREATE requires a directed relationship (-[:TYPE]-> or <-[:TYPE]-)"
+                )
+            if len(rel.types) != 1:
+                raise QuerySyntaxError(
+                    "CREATE requires exactly one relationship type"
+                )
+            if rel.var_length:
+                raise QuerySyntaxError("CREATE cannot use variable-length patterns")
+    return ast.CreateClause(patterns=tuple(patterns))
+
+
+def _parse_path_pattern(stream: TokenStream) -> ast.PathPattern:
+    nodes = [_parse_node_pattern(stream)]
+    rels: List[ast.RelPattern] = []
+    while stream.current.is_punct("-") or stream.current.is_punct("<"):
+        rels.append(_parse_rel_pattern(stream))
+        nodes.append(_parse_node_pattern(stream))
+    return ast.PathPattern(nodes=tuple(nodes), rels=tuple(rels))
+
+
+def _parse_node_pattern(stream: TokenStream) -> ast.NodePattern:
+    stream.expect_punct("(")
+    variable = None
+    if stream.current.kind == IDENT and not stream.current.is_punct(")"):
+        variable = stream.advance().text
+    labels: List[str] = []
+    while stream.accept_punct(":"):
+        labels.append(stream.expect_name("label").text)
+    properties = _parse_property_map(stream) if stream.current.is_punct("{") else ()
+    stream.expect_punct(")")
+    return ast.NodePattern(
+        variable=variable, labels=tuple(labels), properties=properties
+    )
+
+
+def _parse_rel_pattern(stream: TokenStream) -> ast.RelPattern:
+    incoming = False
+    if stream.accept_punct("<"):
+        incoming = True
+    stream.expect_punct("-")
+    variable = None
+    types: List[str] = []
+    properties: Tuple[Tuple[str, ast.Expression], ...] = ()
+    min_hops, max_hops, var_length = 1, 1, False
+    if stream.accept_punct("["):
+        if stream.current.kind == IDENT:
+            variable = stream.advance().text
+        if stream.accept_punct(":"):
+            types.append(stream.expect_name("relationship type").text)
+            while stream.accept_punct("|"):
+                stream.accept_punct(":")
+                types.append(stream.expect_name("relationship type").text)
+        if stream.accept_punct("*"):
+            var_length = True
+            min_hops, max_hops = _parse_hop_range(stream)
+        if stream.current.is_punct("{"):
+            properties = _parse_property_map(stream)
+        stream.expect_punct("]")
+    stream.expect_punct("-")
+    outgoing = bool(stream.accept_punct(">"))
+    if incoming and outgoing:
+        raise QuerySyntaxError("a relationship pattern cannot point both ways")
+    direction = "IN" if incoming else ("OUT" if outgoing else "BOTH")
+    return ast.RelPattern(
+        variable=variable,
+        types=tuple(types),
+        properties=properties,
+        direction=direction,
+        min_hops=min_hops,
+        max_hops=max_hops,
+        var_length=var_length,
+    )
+
+
+def _parse_hop_range(stream: TokenStream) -> Tuple[int, Optional[int]]:
+    """The ``*``, ``*n``, ``*n..m``, ``*..m`` and ``*n..`` forms."""
+    min_hops: int = 1
+    max_hops: Optional[int] = None
+    if stream.current.kind == INTEGER:
+        min_hops = int(stream.advance().text)
+        max_hops = min_hops
+    if stream.accept_punct(".."):
+        max_hops = None
+        if stream.current.kind == INTEGER:
+            max_hops = int(stream.advance().text)
+    if max_hops is not None and max_hops < min_hops:
+        raise QuerySyntaxError(
+            f"variable-length range *{min_hops}..{max_hops} is empty"
+        )
+    return min_hops, max_hops
+
+
+def _parse_property_map(stream: TokenStream) -> Tuple[Tuple[str, ast.Expression], ...]:
+    stream.expect_punct("{")
+    entries: List[Tuple[str, ast.Expression]] = []
+    if not stream.current.is_punct("}"):
+        while True:
+            key = stream.expect_name("property key").text
+            stream.expect_punct(":")
+            entries.append((key, _parse_expression(stream)))
+            if not stream.accept_punct(","):
+                break
+    stream.expect_punct("}")
+    return tuple(entries)
+
+
+# ---------------------------------------------------------------------------
+# SET / DELETE
+# ---------------------------------------------------------------------------
+
+
+def _parse_set(stream: TokenStream) -> ast.SetClause:
+    stream.expect_keyword("SET")
+    items: List[Union[ast.SetProperty, ast.SetLabels]] = []
+    while True:
+        variable = stream.expect_identifier("variable").text
+        if stream.accept_punct("."):
+            key = stream.expect_name("property key").text
+            stream.expect_punct("=")
+            items.append(ast.SetProperty(variable, key, _parse_expression(stream)))
+        elif stream.current.is_punct(":"):
+            labels: List[str] = []
+            while stream.accept_punct(":"):
+                labels.append(stream.expect_name("label").text)
+            items.append(ast.SetLabels(variable, tuple(labels)))
+        else:
+            raise stream.error("expected '.' or ':' after SET variable")
+        if not stream.accept_punct(","):
+            break
+    return ast.SetClause(items=tuple(items))
+
+
+def _parse_delete(stream: TokenStream) -> ast.DeleteClause:
+    detach = bool(stream.accept_keyword("DETACH"))
+    stream.expect_keyword("DELETE")
+    variables = [stream.expect_identifier("variable").text]
+    while stream.accept_punct(","):
+        variables.append(stream.expect_identifier("variable").text)
+    return ast.DeleteClause(variables=tuple(variables), detach=detach)
+
+
+# ---------------------------------------------------------------------------
+# RETURN / WITH
+# ---------------------------------------------------------------------------
+
+
+def _parse_projection(stream: TokenStream, *, is_return: bool) -> ast.ProjectionClause:
+    stream.expect_keyword("RETURN" if is_return else "WITH")
+    distinct = bool(stream.accept_keyword("DISTINCT"))
+    items = [_parse_return_item(stream)]
+    while stream.accept_punct(","):
+        items.append(_parse_return_item(stream))
+    order_by: List[ast.OrderItem] = []
+    if stream.accept_keyword("ORDER"):
+        stream.expect_keyword("BY")
+        while True:
+            expression = _parse_expression(stream)
+            ascending = True
+            if stream.accept_keyword("DESC"):
+                ascending = False
+            else:
+                stream.accept_keyword("ASC")
+            order_by.append(ast.OrderItem(expression=expression, ascending=ascending))
+            if not stream.accept_punct(","):
+                break
+    skip = _parse_expression(stream) if stream.accept_keyword("SKIP") else None
+    limit = _parse_expression(stream) if stream.accept_keyword("LIMIT") else None
+    where = None
+    if not is_return and stream.accept_keyword("WHERE"):
+        where = _parse_expression(stream)
+    return ast.ProjectionClause(
+        items=tuple(items),
+        distinct=distinct,
+        order_by=tuple(order_by),
+        skip=skip,
+        limit=limit,
+        where=where,
+        is_return=is_return,
+    )
+
+
+def _parse_return_item(stream: TokenStream) -> ast.ReturnItem:
+    expression = _parse_expression(stream)
+    if stream.accept_keyword("AS"):
+        alias = stream.expect_identifier("alias").text
+    else:
+        alias = ast.render_expression(expression)
+    return ast.ReturnItem(expression=expression, alias=alias)
+
+
+# ---------------------------------------------------------------------------
+# Expressions (precedence climbing)
+# ---------------------------------------------------------------------------
+
+
+def _parse_expression(stream: TokenStream) -> ast.Expression:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> ast.Expression:
+    operands = [_parse_and(stream)]
+    while stream.accept_keyword("OR"):
+        operands.append(_parse_and(stream))
+    if len(operands) == 1:
+        return operands[0]
+    return ast.BooleanOp(op="OR", operands=tuple(operands))
+
+
+def _parse_and(stream: TokenStream) -> ast.Expression:
+    operands = [_parse_not(stream)]
+    while stream.accept_keyword("AND"):
+        operands.append(_parse_not(stream))
+    if len(operands) == 1:
+        return operands[0]
+    return ast.BooleanOp(op="AND", operands=tuple(operands))
+
+
+def _parse_not(stream: TokenStream) -> ast.Expression:
+    if stream.accept_keyword("NOT"):
+        return ast.Not(operand=_parse_not(stream))
+    return _parse_comparison(stream)
+
+
+_COMPARISON_PUNCT = ("<=", ">=", "<>", "=", "<", ">")
+
+
+def _parse_comparison(stream: TokenStream) -> ast.Expression:
+    left = _parse_additive(stream)
+    token = stream.current
+    for op in _COMPARISON_PUNCT:
+        if token.is_punct(op):
+            stream.advance()
+            return ast.Comparison(op=op, left=left, right=_parse_additive(stream))
+    if token.is_keyword("IN"):
+        stream.advance()
+        return ast.Comparison(op="IN", left=left, right=_parse_additive(stream))
+    if token.is_keyword("STARTS"):
+        stream.advance()
+        stream.expect_keyword("WITH")
+        return ast.Comparison(op="STARTS WITH", left=left, right=_parse_additive(stream))
+    if token.is_keyword("ENDS"):
+        stream.advance()
+        stream.expect_keyword("WITH")
+        return ast.Comparison(op="ENDS WITH", left=left, right=_parse_additive(stream))
+    if token.is_keyword("CONTAINS"):
+        stream.advance()
+        return ast.Comparison(op="CONTAINS", left=left, right=_parse_additive(stream))
+    if token.is_keyword("IS"):
+        stream.advance()
+        negated = bool(stream.accept_keyword("NOT"))
+        stream.expect_keyword("NULL")
+        return ast.IsNull(operand=left, negated=negated)
+    return left
+
+
+def _parse_additive(stream: TokenStream) -> ast.Expression:
+    left = _parse_multiplicative(stream)
+    while True:
+        if stream.accept_punct("+"):
+            left = ast.Arithmetic(op="+", left=left, right=_parse_multiplicative(stream))
+        elif stream.accept_punct("-"):
+            left = ast.Arithmetic(op="-", left=left, right=_parse_multiplicative(stream))
+        else:
+            return left
+
+
+def _parse_multiplicative(stream: TokenStream) -> ast.Expression:
+    left = _parse_unary(stream)
+    while True:
+        if stream.accept_punct("*"):
+            left = ast.Arithmetic(op="*", left=left, right=_parse_unary(stream))
+        elif stream.accept_punct("/"):
+            left = ast.Arithmetic(op="/", left=left, right=_parse_unary(stream))
+        elif stream.accept_punct("%"):
+            left = ast.Arithmetic(op="%", left=left, right=_parse_unary(stream))
+        else:
+            return left
+
+
+def _parse_unary(stream: TokenStream) -> ast.Expression:
+    if stream.accept_punct("-"):
+        return ast.Negate(operand=_parse_unary(stream))
+    if stream.accept_punct("+"):
+        return _parse_unary(stream)
+    return _parse_postfix(stream)
+
+
+def _parse_postfix(stream: TokenStream) -> ast.Expression:
+    expression = _parse_atom(stream)
+    # Property keys are names: keywords are allowed after the dot (n.limit).
+    while stream.current.is_punct(".") and stream.peek().kind in (IDENT, KEYWORD):
+        stream.advance()
+        key = stream.advance().text
+        expression = ast.PropertyAccess(entity=expression, key=key)
+    return expression
+
+
+def _parse_atom(stream: TokenStream) -> ast.Expression:
+    token = stream.current
+    if token.kind == INTEGER:
+        stream.advance()
+        return ast.Literal(int(token.text))
+    if token.kind == FLOAT:
+        stream.advance()
+        return ast.Literal(float(token.text))
+    if token.kind == STRING:
+        stream.advance()
+        return ast.Literal(token.text)
+    if token.kind == PARAMETER:
+        stream.advance()
+        return ast.Parameter(token.text)
+    if token.is_keyword("TRUE"):
+        stream.advance()
+        return ast.Literal(True)
+    if token.is_keyword("FALSE"):
+        stream.advance()
+        return ast.Literal(False)
+    if token.is_keyword("NULL"):
+        stream.advance()
+        return ast.Literal(None)
+    if token.is_punct("("):
+        stream.advance()
+        inner = _parse_expression(stream)
+        stream.expect_punct(")")
+        return inner
+    if token.is_punct("["):
+        stream.advance()
+        items: List[ast.Expression] = []
+        if not stream.current.is_punct("]"):
+            while True:
+                items.append(_parse_expression(stream))
+                if not stream.accept_punct(","):
+                    break
+        stream.expect_punct("]")
+        return ast.ListLiteral(items=tuple(items))
+    if token.kind == IDENT:
+        if stream.peek().is_punct("("):
+            return _parse_function_call(stream)
+        stream.advance()
+        return ast.Variable(token.text)
+    raise stream.error("expected an expression")
+
+
+def _parse_function_call(stream: TokenStream) -> ast.FunctionCall:
+    name_token = stream.advance()
+    name = name_token.text.lower()
+    if name not in ast.AGGREGATE_FUNCTIONS and name not in SCALAR_FUNCTIONS:
+        raise QuerySyntaxError(
+            f"unknown function {name_token.text!r}", name_token.position
+        )
+    stream.expect_punct("(")
+    if stream.accept_punct("*"):
+        stream.expect_punct(")")
+        if name != "count":
+            raise QuerySyntaxError(f"{name}(*) is not valid", name_token.position)
+        return ast.FunctionCall(name=name, star=True)
+    distinct = bool(stream.accept_keyword("DISTINCT"))
+    args: List[ast.Expression] = []
+    if not stream.current.is_punct(")"):
+        while True:
+            args.append(_parse_expression(stream))
+            if not stream.accept_punct(","):
+                break
+    stream.expect_punct(")")
+    if name in ast.AGGREGATE_FUNCTIONS and len(args) != 1:
+        raise QuerySyntaxError(
+            f"aggregate {name}() takes exactly one argument", name_token.position
+        )
+    return ast.FunctionCall(name=name, args=tuple(args), distinct=distinct)

@@ -9,9 +9,12 @@ EXPERIMENTS.md are driven by the utilities here:
   reads, property updates, two-step traversals, label scans, transfers),
 * :mod:`repro.workload.anomaly` — in-transaction checkers for unrepeatable
   reads, phantom reads, lost updates and write skew,
-* :mod:`repro.workload.metrics` — latency/throughput aggregation, and
+* :mod:`repro.workload.metrics` — latency/throughput aggregation,
 * :mod:`repro.workload.runner` — a multi-threaded workload runner that runs
-  the same workload against either isolation level.
+  the same workload against either isolation level, and
+* :mod:`repro.workload.queries` — a weighted Cypher-subset query mix
+  (point lookups, scans, traversals, aggregates) for the declarative query
+  subsystem, driven by ``bench_e10``.
 """
 
 from repro.workload.anomaly import AnomalyCounters
@@ -22,16 +25,30 @@ from repro.workload.generators import (
     build_social_graph,
 )
 from repro.workload.metrics import LatencyRecorder, WorkloadResult
+from repro.workload.queries import (
+    READ_TEMPLATES,
+    WRITE_TEMPLATES,
+    QueryMix,
+    QueryTemplate,
+    person_names_of,
+    query_mix_work_fn,
+)
 from repro.workload.runner import ConcurrentWorkloadRunner, WorkerOutcome
 
 __all__ = [
     "AnomalyCounters",
     "ConcurrentWorkloadRunner",
     "LatencyRecorder",
+    "QueryMix",
+    "QueryTemplate",
+    "READ_TEMPLATES",
+    "WRITE_TEMPLATES",
     "WorkerOutcome",
     "WorkloadResult",
     "build_account_graph",
     "build_chain_graph",
     "build_grid_graph",
     "build_social_graph",
+    "person_names_of",
+    "query_mix_work_fn",
 ]

@@ -1,0 +1,153 @@
+"""Query-mix workload generation for the declarative query subsystem.
+
+A :class:`QueryMix` samples parameterised Cypher-subset queries over a graph
+built by :func:`repro.workload.generators.build_social_graph`, weighted the
+way a read-mostly social workload looks: cheap indexed point reads dominate,
+with a tail of scans, traversals and aggregates.  The mix plugs straight
+into :class:`repro.workload.runner.ConcurrentWorkloadRunner` through
+:func:`query_mix_work_fn`, and is what ``bench_e10`` drives against both
+isolation levels while writer threads commit concurrently.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.database import GraphDatabase
+from repro.workload.runner import WorkerOutcome
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One parameterised query: text, a parameter sampler and its weight."""
+
+    name: str
+    text: str
+    params: Callable[[random.Random, List[str]], Dict[str, object]]
+    weight: float = 1.0
+
+
+def _person_param(rng: random.Random, names: List[str]) -> Dict[str, object]:
+    return {"name": rng.choice(names)}
+
+
+def _age_param(rng: random.Random, names: List[str]) -> Dict[str, object]:
+    return {"min_age": rng.randint(20, 80)}
+
+
+def _two_people(rng: random.Random, names: List[str]) -> Dict[str, object]:
+    left, right = rng.sample(names, 2)
+    return {"left": left, "right": right}
+
+
+#: The default read mix (weights sum to 1.0 for readability, not necessity).
+READ_TEMPLATES: Tuple[QueryTemplate, ...] = (
+    QueryTemplate(
+        "point_lookup",
+        "MATCH (p:Person {name: $name}) RETURN p.name, p.age",
+        _person_param,
+        weight=0.35,
+    ),
+    QueryTemplate(
+        "filtered_scan",
+        "MATCH (p:Person) WHERE p.age >= $min_age "
+        "RETURN p.name ORDER BY p.age DESC LIMIT 10",
+        _age_param,
+        weight=0.15,
+    ),
+    QueryTemplate(
+        "friends",
+        "MATCH (p:Person {name: $name})-[:KNOWS]-(f:Person) "
+        "RETURN f.name ORDER BY f.name",
+        _person_param,
+        weight=0.20,
+    ),
+    QueryTemplate(
+        "friends_of_friends",
+        "MATCH (p:Person {name: $name})-[:KNOWS*1..2]-(f:Person) "
+        "WHERE f.name <> $name RETURN DISTINCT f.name",
+        _person_param,
+        weight=0.15,
+    ),
+    QueryTemplate(
+        "city_rollup",
+        "MATCH (p:Person)-[:LIVES_IN]->(c:City) "
+        "RETURN c.name AS city, count(p) AS residents ORDER BY residents DESC",
+        lambda rng, names: {},
+        weight=0.10,
+    ),
+    QueryTemplate(
+        "degree_rank",
+        "MATCH (p:Person)-[r:KNOWS]-() WITH p, count(r) AS degree "
+        "RETURN p.name, degree ORDER BY degree DESC LIMIT 5",
+        lambda rng, names: {},
+        weight=0.05,
+    ),
+)
+
+#: Write templates used by the benchmark's writer threads.
+WRITE_TEMPLATES: Tuple[QueryTemplate, ...] = (
+    QueryTemplate(
+        "bump_score",
+        "MATCH (p:Person {name: $name}) SET p.score = p.score + 1",
+        _person_param,
+        weight=0.7,
+    ),
+    QueryTemplate(
+        "befriend",
+        "MATCH (a:Person {name: $left}), (b:Person {name: $right}) "
+        "CREATE (a)-[:KNOWS {since: 2016}]->(b)",
+        _two_people,
+        weight=0.3,
+    ),
+)
+
+
+class QueryMix:
+    """Weighted sampler over query templates, bound to one generated graph."""
+
+    def __init__(
+        self,
+        person_names: Sequence[str],
+        templates: Tuple[QueryTemplate, ...] = READ_TEMPLATES,
+    ) -> None:
+        if not person_names:
+            raise ValueError("a query mix needs at least one person name")
+        self.person_names = list(person_names)
+        self.templates = templates
+        self._weights = [template.weight for template in templates]
+
+    def sample(self, rng: random.Random) -> Tuple[QueryTemplate, Dict[str, object]]:
+        """One (template, parameters) draw from the weighted mix."""
+        template = rng.choices(self.templates, weights=self._weights, k=1)[0]
+        return template, template.params(rng, self.person_names)
+
+
+def person_names_of(db: GraphDatabase) -> List[str]:
+    """The ``name`` of every ``Person`` (to parameterise the mix)."""
+    with db.begin(read_only=True) as tx:
+        return [node.get("name") for node in tx.find_nodes(label="Person")]
+
+
+def query_mix_work_fn(mix: QueryMix, *, read_only: bool = True):
+    """A :class:`ConcurrentWorkloadRunner` work function running one query per call.
+
+    Each invocation opens its own transaction, samples one query from the
+    mix, drains it and reports the template name and row count through the
+    outcome's ``extra`` counters (``query:<name>`` and ``rows``).
+    """
+
+    def work(db: GraphDatabase, rng: random.Random, worker_id: int,
+             iteration: int) -> WorkerOutcome:
+        template, params = mix.sample(rng)
+        with db.transaction(read_only=read_only) as tx:
+            result = tx.execute(template.text, params)
+            rows = len(result.records())
+        return WorkerOutcome(
+            committed=True,
+            extra={f"query:{template.name}": 1.0, "rows": float(rows)},
+        )
+
+    return work

@@ -1,0 +1,78 @@
+"""`Transaction.find_relationships` parity: rel_type= alongside properties."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def edges(any_db):
+    """Two KNOWS edges (since 2010/2012) and one LIKES edge (since 2010)."""
+    with any_db.transaction() as tx:
+        a = tx.create_node(["P"], {"name": "a"})
+        b = tx.create_node(["P"], {"name": "b"})
+        c = tx.create_node(["P"], {"name": "c"})
+        k1 = tx.create_relationship(a, b, "KNOWS", {"since": 2010})
+        k2 = tx.create_relationship(b, c, "KNOWS", {"since": 2012})
+        l1 = tx.create_relationship(a, c, "LIKES", {"since": 2010})
+    return any_db, (k1.id, k2.id, l1.id)
+
+
+class TestFindRelationships:
+    def test_by_type(self, edges):
+        db, (k1, k2, l1) = edges
+        with db.begin(read_only=True) as tx:
+            assert [r.id for r in tx.find_relationships(rel_type="KNOWS")] == [k1, k2]
+            assert [r.id for r in tx.find_relationships(rel_type="LIKES")] == [l1]
+            assert tx.find_relationships(rel_type="ADMIRES") == []
+
+    def test_by_property_still_works(self, edges):
+        db, (k1, _k2, l1) = edges
+        with db.begin(read_only=True) as tx:
+            assert [r.id for r in tx.find_relationships("since", 2010)] == [k1, l1]
+
+    def test_type_and_property_intersect(self, edges):
+        db, (k1, _k2, _l1) = edges
+        with db.begin(read_only=True) as tx:
+            found = tx.find_relationships("since", 2010, rel_type="KNOWS")
+            assert [r.id for r in found] == [k1]
+
+    def test_requires_some_predicate(self, edges):
+        db, _ids = edges
+        with db.begin(read_only=True) as tx:
+            with pytest.raises(ValueError):
+                tx.find_relationships()
+            with pytest.raises(ValueError):
+                tx.find_relationships("since")
+            with pytest.raises(ValueError):
+                tx.find_relationships(value=2010, rel_type="KNOWS")
+
+    def test_sees_own_uncommitted_writes(self, any_db):
+        with any_db.transaction() as tx:
+            a = tx.create_node(["P"])
+            b = tx.create_node(["P"])
+            created = tx.create_relationship(a, b, "KNOWS")
+            assert [r.id for r in tx.find_relationships(rel_type="KNOWS")] == [
+                created.id
+            ]
+            tx.delete_relationship(created)
+            assert tx.find_relationships(rel_type="KNOWS") == []
+
+    def test_uncommitted_writes_invisible_to_others(self, any_db):
+        with any_db.transaction() as setup:
+            a = setup.create_node(["P"])
+            b = setup.create_node(["P"])
+        writer = any_db.begin()
+        try:
+            writer.create_relationship(a.id, b.id, "KNOWS")
+            with any_db.begin(read_only=True) as reader:
+                assert reader.find_relationships(rel_type="KNOWS") == []
+        finally:
+            writer.rollback()
+
+    def test_deleted_type_entry_disappears(self, edges):
+        db, (k1, k2, _l1) = edges
+        with db.transaction() as tx:
+            tx.delete_relationship(k1)
+        with db.begin(read_only=True) as tx:
+            assert [r.id for r in tx.find_relationships(rel_type="KNOWS")] == [k2]

@@ -1,0 +1,392 @@
+"""End-to-end executor tests, parametrised over both engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Node, Relationship
+from repro.errors import QueryExecutionError
+
+
+@pytest.fixture
+def social(any_db):
+    """A small fixed social graph: 4 people, a city, and KNOWS edges."""
+    db = any_db
+    db.execute(
+        "CREATE (a:Person {name: 'alice', age: 30}),"
+        " (b:Person {name: 'bob', age: 40}),"
+        " (c:Person {name: 'carol', age: 50}),"
+        " (d:Person {name: 'dave', age: 60}),"
+        " (m:City {name: 'madrid'})"
+    )
+    db.execute(
+        "MATCH (a:Person {name:'alice'}), (b:Person {name:'bob'}) "
+        "CREATE (a)-[:KNOWS {since: 2010}]->(b)"
+    )
+    db.execute(
+        "MATCH (b:Person {name:'bob'}), (c:Person {name:'carol'}) "
+        "CREATE (b)-[:KNOWS {since: 2012}]->(c)"
+    )
+    db.execute(
+        "MATCH (c:Person {name:'carol'}), (d:Person {name:'dave'}) "
+        "CREATE (c)-[:KNOWS {since: 2014}]->(d)"
+    )
+    db.execute(
+        "MATCH (p:Person), (m:City) CREATE (p)-[:LIVES_IN]->(m)"
+    )
+    return db
+
+
+class TestReadQueries:
+    def test_match_all_with_order(self, social):
+        rows = social.execute(
+            "MATCH (p:Person) RETURN p.name ORDER BY p.name"
+        ).rows()
+        assert rows == [["alice"], ["bob"], ["carol"], ["dave"]]
+
+    def test_where_filters(self, social):
+        rows = social.execute(
+            "MATCH (p:Person) WHERE p.age >= 40 AND p.name <> 'dave' "
+            "RETURN p.name ORDER BY p.name"
+        ).rows()
+        assert rows == [["bob"], ["carol"]]
+
+    def test_directed_expand(self, social):
+        rows = social.execute(
+            "MATCH (a:Person {name: 'bob'})-[:KNOWS]->(b) RETURN b.name"
+        ).rows()
+        assert rows == [["carol"]]
+
+    def test_incoming_expand(self, social):
+        rows = social.execute(
+            "MATCH (a:Person {name: 'bob'})<-[:KNOWS]-(b) RETURN b.name"
+        ).rows()
+        assert rows == [["alice"]]
+
+    def test_undirected_expand(self, social):
+        rows = social.execute(
+            "MATCH (a:Person {name: 'bob'})-[:KNOWS]-(b) "
+            "RETURN b.name ORDER BY b.name"
+        ).rows()
+        assert rows == [["alice"], ["carol"]]
+
+    def test_relationship_properties(self, social):
+        rows = social.execute(
+            "MATCH (:Person {name:'alice'})-[r:KNOWS]->() RETURN r.since"
+        ).rows()
+        assert rows == [[2010]]
+
+    def test_relationship_property_pattern_filter(self, social):
+        rows = social.execute(
+            "MATCH (a)-[:KNOWS {since: 2012}]->(b) RETURN a.name, b.name"
+        ).rows()
+        assert rows == [["bob", "carol"]]
+
+    def test_var_length_path(self, social):
+        rows = social.execute(
+            "MATCH (a:Person {name:'alice'})-[:KNOWS*1..3]->(x) "
+            "RETURN x.name ORDER BY x.name"
+        ).rows()
+        assert rows == [["bob"], ["carol"], ["dave"]]
+
+    def test_var_length_binds_relationship_list(self, social):
+        record = social.execute(
+            "MATCH (a:Person {name:'alice'})-[r:KNOWS*2..2]->(x) RETURN r, x.name"
+        ).single()
+        rels = record["r"]
+        assert isinstance(rels, list) and len(rels) == 2
+        assert all(isinstance(rel, Relationship) for rel in rels)
+        assert record["x.name"] == "carol"
+
+    def test_two_hop_chain_pattern(self, social):
+        rows = social.execute(
+            "MATCH (a)-[:KNOWS]->(b)-[:KNOWS]->(c) "
+            "RETURN a.name, c.name ORDER BY a.name"
+        ).rows()
+        assert rows == [["alice", "carol"], ["bob", "dave"]]
+
+    def test_cycle_pattern_requires_distinct_relationships(self, social):
+        # a-[r1]-b-[r2]-a would need r1 == r2; isomorphism forbids it.
+        rows = social.execute(
+            "MATCH (a:Person {name:'alice'})-[:KNOWS]-(b)-[:KNOWS]-(a) RETURN b.name"
+        ).rows()
+        assert rows == []
+
+    def test_multiple_patterns_cartesian(self, social):
+        rows = social.execute(
+            "MATCH (a:Person {name:'alice'}), (c:City) RETURN a.name, c.name"
+        ).rows()
+        assert rows == [["alice", "madrid"]]
+
+    def test_node_handles_in_results(self, social):
+        record = social.execute(
+            "MATCH (p:Person {name: 'alice'}) RETURN p"
+        ).single()
+        node = record["p"]
+        assert isinstance(node, Node)
+        assert node.get("name") == "alice"
+
+    def test_parameters_mapping_and_kwargs(self, social):
+        by_mapping = social.execute(
+            "MATCH (p:Person {name: $who}) RETURN p.age", {"who": "bob"}
+        ).value()
+        by_kwargs = social.execute(
+            "MATCH (p:Person {name: $who}) RETURN p.age", who="bob"
+        ).value()
+        assert by_mapping == by_kwargs == 40
+
+    def test_missing_parameter(self, social):
+        with pytest.raises(QueryExecutionError):
+            social.execute("MATCH (p:Person {name: $who}) RETURN p")
+
+    def test_skip_limit(self, social):
+        rows = social.execute(
+            "MATCH (p:Person) RETURN p.name ORDER BY p.age SKIP 1 LIMIT 2"
+        ).rows()
+        assert rows == [["bob"], ["carol"]]
+
+    def test_order_by_non_returned_expression(self, social):
+        rows = social.execute(
+            "MATCH (p:Person) RETURN p.name ORDER BY p.age DESC LIMIT 2"
+        ).rows()
+        assert rows == [["dave"], ["carol"]]
+
+    def test_distinct(self, social):
+        rows = social.execute(
+            "MATCH (:Person)-[:LIVES_IN]->(c:City) RETURN DISTINCT c.name"
+        ).rows()
+        assert rows == [["madrid"]]
+
+    def test_with_pipeline(self, social):
+        rows = social.execute(
+            "MATCH (p:Person) WITH p.name AS name, p.age AS age "
+            "WHERE age > 35 RETURN name ORDER BY name"
+        ).rows()
+        assert rows == [["bob"], ["carol"], ["dave"]]
+
+    def test_functions(self, social):
+        record = social.execute(
+            "MATCH (p:Person {name:'alice'})-[r:KNOWS]->() "
+            "RETURN id(p), labels(p), type(r), size(p.name), "
+            "coalesce(p.missing, 'fallback')"
+        ).single()
+        assert isinstance(record[0], int)
+        assert record[1] == ["Person"]
+        assert record[2] == "KNOWS"
+        assert record[3] == 5
+        assert record[4] == "fallback"
+
+    def test_null_semantics(self, social):
+        assert social.execute(
+            "MATCH (p:Person) WHERE p.missing = 1 RETURN count(*)"
+        ).value() == 0
+        assert social.execute(
+            "MATCH (p:Person) WHERE p.missing IS NULL RETURN count(*)"
+        ).value() == 4
+
+    def test_integer_division_is_exact_beyond_float_precision(self, any_db):
+        value = any_db.execute("RETURN 36028797018963969 / 3").value()
+        assert value == 12009599006321323
+        assert any_db.execute("RETURN -7 / 2").value() == -3  # truncate to zero
+
+    def test_arithmetic(self, social):
+        record = social.execute(
+            "MATCH (p:Person {name:'alice'}) "
+            "RETURN p.age + 1, p.age * 2, p.age / 7, p.age % 7, -p.age"
+        ).single()
+        assert record.values() == [31, 60, 4, 2, -30]
+
+    def test_string_operators(self, social):
+        rows = social.execute(
+            "MATCH (p:Person) WHERE p.name STARTS WITH 'c' OR p.name CONTAINS 'av' "
+            "RETURN p.name ORDER BY p.name"
+        ).rows()
+        assert rows == [["carol"], ["dave"]]
+
+
+class TestAggregates:
+    def test_count_star_and_grouping(self, social):
+        rows = social.execute(
+            "MATCH (p:Person)-[:LIVES_IN]->(c:City) "
+            "RETURN c.name AS city, count(*) AS n"
+        ).rows()
+        assert rows == [["madrid", 4]]
+
+    def test_grouped_aggregate(self, social):
+        rows = social.execute(
+            "MATCH (p:Person)-[r:KNOWS]-() WITH p, count(r) AS degree "
+            "RETURN p.name, degree ORDER BY degree DESC, p.name LIMIT 2"
+        ).rows()
+        assert rows == [["bob", 2], ["carol", 2]]
+
+    def test_numeric_aggregates(self, social):
+        record = social.execute(
+            "MATCH (p:Person) RETURN sum(p.age), min(p.age), max(p.age), avg(p.age)"
+        ).single()
+        assert record.values() == [180, 30, 60, 45.0]
+
+    def test_collect(self, social):
+        value = social.execute(
+            "MATCH (p:Person) WHERE p.age < 45 RETURN collect(p.name)"
+        ).value()
+        assert sorted(value) == ["alice", "bob"]
+
+    def test_order_by_aggregate_expression(self, social):
+        # The canonical top-N idiom: sorting by the aggregate itself, not an
+        # alias; the planner rewrites it to the Aggregate output column.
+        rows = social.execute(
+            "MATCH (p:Person)-[r:KNOWS]-() "
+            "RETURN p.name, count(r) ORDER BY count(r) DESC, p.name LIMIT 2"
+        ).rows()
+        assert rows == [["bob", 2], ["carol", 2]]
+
+    def test_order_by_unprojected_aggregate_rejected(self, social):
+        from repro.errors import QuerySyntaxError
+
+        with pytest.raises(QuerySyntaxError):
+            social.execute(
+                "MATCH (p:Person) RETURN p.name ORDER BY count(*) DESC"
+            )
+
+    def test_order_by_group_key_expression(self, social):
+        rows = social.execute(
+            "MATCH (p:Person)-[:LIVES_IN]->(c:City) "
+            "RETURN c.name, count(p) ORDER BY c.name"
+        ).rows()
+        assert rows == [["madrid", 4]]
+
+    def test_count_distinct(self, social):
+        value = social.execute(
+            "MATCH (:Person)-[:LIVES_IN]->(c) RETURN count(DISTINCT c)"
+        ).value()
+        assert value == 1
+
+    def test_aggregate_over_empty_input(self, social):
+        record = social.execute(
+            "MATCH (p:Person {name: 'nobody'}) RETURN count(p), sum(p.age)"
+        ).single()
+        assert record.values() == [0, 0]
+
+
+class TestWriteQueries:
+    def test_create_returns_stats(self, any_db):
+        result = any_db.execute(
+            "CREATE (a:Thing {x: 1})-[:REL {w: 2}]->(b:Thing {x: 2})"
+        )
+        assert result.stats.nodes_created == 2
+        assert result.stats.relationships_created == 1
+        assert result.stats.properties_set == 3
+        assert result.stats.labels_added == 2
+        assert result.stats.contains_updates
+
+    def test_match_create(self, social):
+        social.execute(
+            "MATCH (a:Person {name:'dave'}), (b:Person {name:'alice'}) "
+            "CREATE (a)-[:KNOWS {since: 2016}]->(b)"
+        )
+        assert social.execute(
+            "MATCH (:Person {name:'dave'})-[r:KNOWS]->(:Person {name:'alice'}) "
+            "RETURN r.since"
+        ).value() == 2016
+
+    def test_set_property_and_label(self, social):
+        result = social.execute(
+            "MATCH (p:Person {name:'alice'}) SET p.age = 31, p:VIP RETURN p.age"
+        )
+        assert result.value() == 31
+        assert result.stats.properties_set == 1
+        assert result.stats.labels_added == 1
+        assert social.execute("MATCH (p:VIP) RETURN p.name").value() == "alice"
+
+    def test_set_null_removes_property(self, social):
+        social.execute("MATCH (p:Person {name:'alice'}) SET p.age = null")
+        assert social.execute(
+            "MATCH (p:Person {name:'alice'}) RETURN p.age IS NULL"
+        ).value() is True
+
+    def test_set_refreshes_sibling_bindings_of_same_node(self, any_db):
+        any_db.execute("CREATE (:P {n: 'a'})")
+        record = any_db.execute(
+            "MATCH (a:P {n: 'a'}), (b:P {n: 'a'}) SET a.x = 5 RETURN b.x, a.x"
+        ).single()
+        assert record.values() == [5, 5]
+
+    def test_set_computed_from_own_property(self, social):
+        social.execute("MATCH (p:Person) SET p.age = p.age + 100")
+        rows = social.execute(
+            "MATCH (p:Person) RETURN p.age ORDER BY p.age"
+        ).rows()
+        assert rows == [[130], [140], [150], [160]]
+
+    def test_delete_relationship(self, social):
+        result = social.execute(
+            "MATCH (:Person {name:'alice'})-[r:KNOWS]->() DELETE r"
+        )
+        assert result.stats.relationships_deleted == 1
+        assert social.execute(
+            "MATCH (:Person {name:'alice'})-[r:KNOWS]->() RETURN count(r)"
+        ).value() == 0
+
+    def test_delete_node_with_relationships_requires_detach(self, social):
+        from repro.errors import ConstraintViolationError
+
+        with pytest.raises(ConstraintViolationError):
+            social.execute("MATCH (p:Person {name:'bob'}) DELETE p")
+
+    def test_detach_delete(self, social):
+        result = social.execute(
+            "MATCH (p:Person {name:'bob'}) DETACH DELETE p"
+        )
+        assert result.stats.nodes_deleted == 1
+        assert result.stats.relationships_deleted == 3  # 2 KNOWS + LIVES_IN
+        assert social.execute("MATCH (p:Person) RETURN count(*)").value() == 3
+
+    def test_create_per_matched_row(self, social):
+        result = social.execute(
+            "MATCH (p:Person) CREATE (s:Shadow {of: p.name})"
+        )
+        assert result.stats.nodes_created == 4
+        assert social.execute("MATCH (s:Shadow) RETURN count(*)").value() == 4
+
+
+class TestResultApi:
+    def test_record_access(self, social):
+        record = social.execute(
+            "MATCH (p:Person {name:'alice'}) RETURN p.name AS name, p.age AS age"
+        ).single()
+        assert record["name"] == "alice"
+        assert record[1] == 30
+        assert record.as_dict() == {"name": "alice", "age": 30}
+        assert record.keys() == ["name", "age"]
+        with pytest.raises(KeyError):
+            record["nope"]
+
+    def test_values_column(self, social):
+        names = social.execute(
+            "MATCH (p:Person) RETURN p.name ORDER BY p.name"
+        ).values()
+        assert names == ["alice", "bob", "carol", "dave"]
+
+    def test_single_raises_on_many(self, social):
+        with pytest.raises(ValueError):
+            social.execute("MATCH (p:Person) RETURN p").single()
+
+    def test_lazy_result_can_be_partially_consumed(self, social):
+        with social.begin(read_only=True) as tx:
+            result = tx.execute("MATCH (p:Person) RETURN p.name ORDER BY p.name")
+            iterator = iter(result)
+            first = next(iterator)
+            assert first["p.name"] == "alice"
+            rest = [record["p.name"] for record in iterator]
+            assert rest == ["bob", "carol", "dave"]
+
+    def test_tx_execute_sees_own_writes(self, any_db):
+        with any_db.transaction() as tx:
+            tx.execute("CREATE (n:Tmp {v: 1})")
+            assert tx.execute("MATCH (n:Tmp) RETURN count(*)").value() == 1
+        assert any_db.execute("MATCH (n:Tmp) RETURN count(*)").value() == 1
+
+    def test_db_execute_rolls_back_on_error(self, any_db):
+        with pytest.raises(QueryExecutionError):
+            any_db.execute("CREATE (n:Oops {v: 1}) RETURN n.v / 0")
+        assert any_db.execute("MATCH (n:Oops) RETURN count(*)").value() == 0

@@ -1,0 +1,236 @@
+"""Lexer and parser tests for the Cypher-subset query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query import ast
+from repro.query.lexer import tokenize
+from repro.query.parser import parse
+
+
+class TestLexer:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("match RETURN wHeRe")
+        assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+        assert tokens[0].is_keyword("MATCH")
+        assert tokens[1].is_keyword("RETURN")
+        assert tokens[2].is_keyword("WHERE")
+        # Keywords keep their spelling so they can serve as names.
+        assert [t.text for t in tokens[:-1]] == ["match", "RETURN", "wHeRe"]
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("Person KNOWS myVar")
+        assert [t.text for t in tokens[:-1]] == ["Person", "KNOWS", "myVar"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 1e3 2.5e-1")
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [
+            ("INTEGER", "42"),
+            ("FLOAT", "3.14"),
+            ("FLOAT", "1e3"),
+            ("FLOAT", "2.5e-1"),
+        ]
+
+    def test_range_does_not_eat_float(self):
+        tokens = tokenize("*1..3")
+        assert [t.text for t in tokens[:-1]] == ["*", "1", "..", "3"]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("'it\\'s' \"two\"")
+        assert tokens[0].text == "it's"
+        assert tokens[1].text == "two"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("'oops")
+
+    def test_parameters(self):
+        tokens = tokenize("$name $p_2")
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [
+            ("PARAMETER", "name"),
+            ("PARAMETER", "p_2"),
+        ]
+
+    def test_bad_parameter(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("$ name")
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("MATCH // a comment\nRETURN")
+        assert [t.text for t in tokens[:-1]] == ["MATCH", "RETURN"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("MATCH ~")
+
+
+class TestParser:
+    def test_simple_match_return(self):
+        query = parse("MATCH (n:Person) RETURN n")
+        assert len(query.clauses) == 2
+        match, projection = query.clauses
+        assert isinstance(match, ast.MatchClause)
+        node = match.patterns[0].nodes[0]
+        assert node.variable == "n"
+        assert node.labels == ("Person",)
+        assert isinstance(projection, ast.ProjectionClause)
+        assert projection.items[0].alias == "n"
+
+    def test_property_map_and_parameters(self):
+        query = parse("MATCH (n:Person {name: $who, age: 30}) RETURN n.name")
+        node = query.clauses[0].patterns[0].nodes[0]
+        assert node.properties[0] == ("name", ast.Parameter("who"))
+        assert node.properties[1] == ("age", ast.Literal(30))
+
+    def test_relationship_directions(self):
+        out = parse("MATCH (a)-[:KNOWS]->(b) RETURN a").clauses[0].patterns[0]
+        assert out.rels[0].direction == "OUT"
+        inc = parse("MATCH (a)<-[:KNOWS]-(b) RETURN a").clauses[0].patterns[0]
+        assert inc.rels[0].direction == "IN"
+        both = parse("MATCH (a)-[:KNOWS]-(b) RETURN a").clauses[0].patterns[0]
+        assert both.rels[0].direction == "BOTH"
+
+    def test_relationship_type_alternatives(self):
+        pattern = parse("MATCH (a)-[r:KNOWS|LIKES]->(b) RETURN r").clauses[0].patterns[0]
+        assert pattern.rels[0].types == ("KNOWS", "LIKES")
+        assert pattern.rels[0].variable == "r"
+
+    def test_bare_relationship(self):
+        pattern = parse("MATCH (a)--(b) RETURN a").clauses[0].patterns[0]
+        assert pattern.rels[0].types == ()
+        assert pattern.rels[0].direction == "BOTH"
+        arrow = parse("MATCH (a)-->(b) RETURN a").clauses[0].patterns[0]
+        assert arrow.rels[0].direction == "OUT"
+
+    def test_var_length_ranges(self):
+        def hops(text):
+            rel = parse(f"MATCH (a)-[:T{text}]->(b) RETURN a").clauses[0].patterns[0].rels[0]
+            return rel.min_hops, rel.max_hops, rel.var_length
+
+        assert hops("*") == (1, None, True)
+        assert hops("*2") == (2, 2, True)
+        assert hops("*1..3") == (1, 3, True)
+        assert hops("*..3") == (1, 3, True)
+        assert hops("*2..") == (2, None, True)
+        assert hops("") == (1, 1, False)
+
+    def test_empty_var_length_range_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("MATCH (a)-[:T*3..1]->(b) RETURN a")
+
+    def test_where_precedence(self):
+        query = parse("MATCH (n) WHERE n.a = 1 OR n.b = 2 AND NOT n.c = 3 RETURN n")
+        where = query.clauses[0].where
+        assert isinstance(where, ast.BooleanOp) and where.op == "OR"
+        right = where.operands[1]
+        assert isinstance(right, ast.BooleanOp) and right.op == "AND"
+        assert isinstance(right.operands[1], ast.Not)
+
+    def test_string_predicates(self):
+        query = parse(
+            "MATCH (n) WHERE n.name STARTS WITH 'a' AND n.name ENDS WITH 'z' "
+            "AND n.name CONTAINS 'm' RETURN n"
+        )
+        ops = [c.op for c in query.clauses[0].where.operands]
+        assert ops == ["STARTS WITH", "ENDS WITH", "CONTAINS"]
+
+    def test_is_null(self):
+        where = parse("MATCH (n) WHERE n.x IS NULL RETURN n").clauses[0].where
+        assert isinstance(where, ast.IsNull) and not where.negated
+        where = parse("MATCH (n) WHERE n.x IS NOT NULL RETURN n").clauses[0].where
+        assert where.negated
+
+    def test_return_modifiers(self):
+        query = parse(
+            "MATCH (n) RETURN DISTINCT n.name AS name "
+            "ORDER BY n.age DESC, n.name SKIP 2 LIMIT 5"
+        )
+        projection = query.clauses[-1]
+        assert projection.distinct
+        assert projection.items[0].alias == "name"
+        assert not projection.order_by[0].ascending
+        assert projection.order_by[1].ascending
+        assert projection.skip == ast.Literal(2)
+        assert projection.limit == ast.Literal(5)
+
+    def test_aggregates(self):
+        query = parse("MATCH (n) RETURN count(*), count(DISTINCT n.city), avg(n.age)")
+        items = query.clauses[-1].items
+        assert items[0].expression.star
+        assert items[1].expression.distinct
+        assert items[2].expression.name == "avg"
+        assert ast.contains_aggregate(items[2].expression)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("MATCH (n) RETURN shenanigans(n)")
+
+    def test_with_where(self):
+        query = parse("MATCH (n) WITH n.age AS age WHERE age > 30 RETURN age")
+        with_clause = query.clauses[1]
+        assert not with_clause.is_return
+        assert with_clause.where is not None
+
+    def test_create_requires_direction(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("CREATE (a)-[:T]-(b)")
+
+    def test_create_requires_single_type(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("CREATE (a)-[:T|U]->(b)")
+
+    def test_delete_and_detach(self):
+        clause = parse("MATCH (n) DETACH DELETE n").clauses[-1]
+        assert isinstance(clause, ast.DeleteClause)
+        assert clause.detach and clause.variables == ("n",)
+
+    def test_set_items(self):
+        clause = parse("MATCH (n) SET n.age = 40, n:VIP:Gold").clauses[-1]
+        prop, labels = clause.items
+        assert isinstance(prop, ast.SetProperty) and prop.key == "age"
+        assert isinstance(labels, ast.SetLabels) and labels.labels == ("VIP", "Gold")
+
+    def test_explain_and_profile_prefixes(self):
+        explained = parse("EXPLAIN MATCH (n) RETURN n")
+        assert explained.explain and not explained.profile
+        profiled = parse("PROFILE MATCH (n) RETURN n")
+        assert profiled.profile and not profiled.explain
+        plain = parse("MATCH (n) RETURN n")
+        assert not plain.explain and not plain.profile
+
+    def test_clause_order_validation(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("RETURN 1 MATCH (n) RETURN n")
+        with pytest.raises(QuerySyntaxError):
+            parse("MATCH (n) WITH n")
+        with pytest.raises(QuerySyntaxError):
+            parse("MATCH (n)")
+        with pytest.raises(QuerySyntaxError):
+            parse("")
+
+    def test_arithmetic_vs_arrow_ambiguity(self):
+        # '<' followed by '-' must stay a comparison with unary minus.
+        where = parse("MATCH (n) WHERE n.x < -1 RETURN n").clauses[0].where
+        assert where.op == "<"
+        assert isinstance(where.right, ast.Negate)
+
+    def test_keywords_as_names(self):
+        # Labels, relationship types and property keys have their own
+        # namespaces: reserved words are fine there (e.g. a LIVES `IN` edge).
+        query = parse(
+            "MATCH (a:Match {limit: 1})-[:IN]->(b) SET a.skip = b.order"
+        )
+        node = query.clauses[0].patterns[0].nodes[0]
+        assert node.labels == ("Match",)
+        assert node.properties[0][0] == "limit"
+        assert query.clauses[0].patterns[0].rels[0].types == ("IN",)
+        item = query.clauses[1].items[0]
+        assert item.key == "skip"
+        assert item.value == ast.PropertyAccess(ast.Variable("b"), "order")
+
+    def test_parse_is_pure(self):
+        first = parse("MATCH (n:Person) RETURN n.name")
+        second = parse("MATCH (n:Person) RETURN n.name")
+        assert first == second

@@ -1,0 +1,228 @@
+"""Planner tests: access-path choice, expansion ordering, EXPLAIN output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+
+
+def _plan_names(db, query, **params):
+    result = db.execute("EXPLAIN " + query, **params)
+    assert result.plan is not None
+    return result.plan.operator_names()
+
+
+def _seed_people(db, count=20):
+    with db.transaction() as tx:
+        for index in range(count):
+            tx.create_node(
+                ["Person"], {"name": f"p{index}", "age": 20 + index}
+            )
+
+
+class TestAccessPathChoice:
+    def test_property_index_seek_beats_all_nodes_scan(self, any_db):
+        _seed_people(any_db)
+        names = _plan_names(any_db, "MATCH (p:Person {name: 'p3'}) RETURN p.age")
+        assert "PropertyIndexSeek" in names
+        assert "AllNodesScan" not in names
+        assert "LabelScan" not in names
+
+    def test_property_seek_via_parameter(self, any_db):
+        _seed_people(any_db)
+        names = _plan_names(
+            any_db, "MATCH (p:Person {name: $who}) RETURN p.age", who="p3"
+        )
+        assert "PropertyIndexSeek" in names
+
+    def test_label_scan_without_property(self, any_db):
+        _seed_people(any_db)
+        names = _plan_names(any_db, "MATCH (p:Person) RETURN p.name")
+        assert "LabelScan" in names
+        assert "AllNodesScan" not in names
+
+    def test_label_scan_beats_wide_property_entry(self, any_db):
+        # 2 :Rare nodes vs 40 nodes sharing flag=true: scanning the label and
+        # filtering the property residually is the cheaper access path.
+        with any_db.transaction() as tx:
+            for index in range(40):
+                labels = ["Rare", "Common"] if index < 2 else ["Common"]
+                tx.create_node(labels, {"flag": True, "i": index})
+        result = any_db.execute(
+            "PROFILE MATCH (n:Rare {flag: true}) RETURN n.i ORDER BY n.i"
+        )
+        names = result.plan.operator_names()
+        assert "LabelScan" in names
+        assert "PropertyIndexSeek" not in names
+        assert result.values() == [0, 1]
+
+    def test_all_nodes_scan_as_fallback(self, any_db):
+        _seed_people(any_db)
+        names = _plan_names(any_db, "MATCH (n) RETURN id(n)")
+        assert "AllNodesScan" in names
+
+    def test_profile_shows_estimates_and_actuals(self, any_db):
+        _seed_people(any_db)
+        result = any_db.execute("PROFILE MATCH (p:Person) RETURN p.name")
+        rendered = result.render_plan()
+        assert "est=" in rendered and "actual=" in rendered
+        scan = next(
+            op for op in result.plan.root.walk() if op.name == "LabelScan"
+        )
+        assert scan.estimated_rows == pytest.approx(20, abs=1)
+        assert scan.actual_rows == 20
+
+    def test_profile_still_returns_rows(self, any_db):
+        _seed_people(any_db, count=3)
+        result = any_db.execute("PROFILE MATCH (p:Person) RETURN p.name")
+        assert len(result.records()) == 3
+
+    def test_explain_does_not_execute(self, any_db):
+        _seed_people(any_db, count=3)
+        result = any_db.execute("EXPLAIN MATCH (p:Person) RETURN p.name")
+        assert result.records() == []
+        scan = next(
+            op for op in result.plan.root.walk() if op.name == "LabelScan"
+        )
+        assert scan.actual_rows is None
+        assert "actual=-" in result.render_plan()
+
+    def test_explain_never_mutates(self, any_db):
+        # Cypher semantics: EXPLAIN of a write query must not run the writes.
+        result = any_db.execute("EXPLAIN CREATE (g:Ghost {name: 'boo'})")
+        assert "Create" in result.plan.operator_names()
+        assert result.stats.nodes_created == 0
+        assert any_db.execute("MATCH (g:Ghost) RETURN count(*)").value() == 0
+
+
+class TestStartAndExpansionOrder:
+    def test_starts_from_smaller_label(self, any_db):
+        with any_db.transaction() as tx:
+            hub = tx.create_node(["Rare"], {"name": "hub"})
+            for index in range(30):
+                node = tx.create_node(["Common"], {"i": index})
+                tx.create_relationship(node, hub, "POINTS_AT")
+        result = any_db.execute(
+            "PROFILE MATCH (c:Common)-[:POINTS_AT]->(r:Rare) RETURN count(*)"
+        )
+        names = result.plan.operator_names()
+        # The scan starts at the single :Rare node, not the 30 :Common ones.
+        scans = [op for op in result.plan.root.walk() if op.name == "LabelScan"]
+        assert len(scans) == 1 and scans[0].label == "Rare"
+        assert result.records()[0]["count(*)"] == 30
+        assert "Expand" in names
+
+    def test_expands_lower_fanout_side_first(self, any_db):
+        # mid sits between a RARE edge (1) and many COMMON edges (20); the
+        # planner should cover the RARE hop before fanning out over COMMON.
+        with any_db.transaction() as tx:
+            mid = tx.create_node(["Mid"], {"name": "mid"})
+            rare = tx.create_node(["End"], {"name": "rare"})
+            tx.create_relationship(mid, rare, "RARE")
+            for index in range(20):
+                node = tx.create_node(["End"], {"i": index})
+                tx.create_relationship(mid, node, "COMMON")
+        result = any_db.execute(
+            "PROFILE MATCH (a)<-[:COMMON]-(m:Mid)-[:RARE]->(b) RETURN count(*)"
+        )
+        expands = [
+            op for op in result.plan.root.walk() if op.name.startswith("Expand")
+        ]
+        # Two hops; the first one executed (deepest in the tree) is RARE.
+        assert expands[-1].rel.types == ("RARE",)
+        assert result.records()[0]["count(*)"] == 20
+
+    def test_bound_variable_is_free_start(self, any_db):
+        _seed_people(any_db, count=5)
+        names = _plan_names(
+            any_db,
+            "MATCH (p:Person {name: 'p0'}) WITH p MATCH (p)-[:KNOWS]->(q) RETURN q",
+        )
+        # The second MATCH must not rescan: one seek for p, then an expand.
+        assert names.count("PropertyIndexSeek") == 1
+        assert "AllNodesScan" not in names
+
+    def test_estimates_shrink_with_limit(self, any_db):
+        _seed_people(any_db)
+        result = any_db.execute(
+            "EXPLAIN MATCH (p:Person) RETURN p.name LIMIT 3"
+        )
+        limit = next(op for op in result.plan.root.walk() if op.name == "Limit")
+        assert limit.estimated_rows <= 3
+
+    def test_estimates_shrink_with_skip(self, any_db):
+        _seed_people(any_db)
+        result = any_db.execute(
+            "EXPLAIN MATCH (p:Person) RETURN p.name SKIP 15"
+        )
+        skip = next(op for op in result.plan.root.walk() if op.name == "Skip")
+        assert skip.estimated_rows == pytest.approx(5, abs=1)
+
+
+class TestPlannerValidation:
+    def test_unbound_variable_in_where(self, any_db):
+        with pytest.raises(QuerySyntaxError):
+            any_db.execute("MATCH (n) WHERE m.x = 1 RETURN n")
+
+    def test_unbound_variable_in_return(self, any_db):
+        with pytest.raises(QuerySyntaxError):
+            any_db.execute("MATCH (n) RETURN m")
+
+    def test_unbound_set_target(self, any_db):
+        with pytest.raises(QuerySyntaxError):
+            any_db.execute("MATCH (n) SET m.x = 1")
+
+    def test_unbound_delete_target(self, any_db):
+        with pytest.raises(QuerySyntaxError):
+            any_db.execute("MATCH (n) DELETE m")
+
+    def test_rebound_relationship_variable(self, any_db):
+        with pytest.raises(QuerySyntaxError):
+            any_db.execute("MATCH (a)-[r]->(b)-[r]->(c) RETURN a")
+
+    def test_aggregate_must_be_top_level(self, any_db):
+        with pytest.raises(QuerySyntaxError):
+            any_db.execute("MATCH (n) RETURN count(*) + 1")
+
+    def test_with_where_sees_only_aliases(self, any_db):
+        with pytest.raises(QuerySyntaxError):
+            any_db.execute("MATCH (n) WITH n.age AS age WHERE n.age > 1 RETURN age")
+
+
+class TestCardinalityFastPaths:
+    def test_counts_track_changes(self, any_db):
+        engine = any_db.engine
+        assert engine.count_nodes_with_label("Person") == 0
+        _seed_people(any_db, count=7)
+        assert engine.count_nodes_with_label("Person") == 7
+        assert engine.count_nodes_with_property("name", "p0") == 1
+        with any_db.transaction() as tx:
+            node = tx.find_nodes(label="Person", key="name", value="p0")[0]
+            tx.delete_node(node)
+        assert engine.count_nodes_with_label("Person") == 6
+        assert engine.count_nodes_with_property("name", "p0") == 0
+
+    def test_relationship_type_counts(self, any_db):
+        engine = any_db.engine
+        with any_db.transaction() as tx:
+            a = tx.create_node(["X"])
+            b = tx.create_node(["X"])
+            r = tx.create_relationship(a, b, "KNOWS")
+            tx.create_relationship(b, a, "KNOWS")
+            tx.create_relationship(a, b, "LIKES")
+        assert engine.count_relationships_of_type("KNOWS") == 2
+        assert engine.count_relationships_of_type("LIKES") == 1
+        with any_db.transaction() as tx:
+            tx.delete_relationship(r.id)
+        assert engine.count_relationships_of_type("KNOWS") == 1
+
+    def test_cardinalities_in_statistics(self, any_db):
+        _seed_people(any_db, count=4)
+        with any_db.transaction() as tx:
+            people = tx.find_nodes(label="Person")
+            tx.create_relationship(people[0], people[1], "KNOWS")
+        stats = any_db.statistics()
+        cardinalities = stats["engine"]["cardinalities"]
+        assert cardinalities["node_labels"]["Person"] == 4
+        assert cardinalities["relationship_types"]["KNOWS"] == 1
