@@ -70,9 +70,14 @@ def _run_cell(isolation: IsolationLevel, *, seconds: float, readers: int,
         barrier.wait()
         while not stop.is_set():
             template, params = read_mix.sample(rng)
-            with db.transaction(read_only=True) as tx:
-                result = tx.execute(template.text, params)
-                row_counts[reader_id] += len(result.records())
+            try:
+                with db.transaction(read_only=True) as tx:
+                    result = tx.execute(template.text, params)
+                    row_counts[reader_id] += len(result.records())
+            except TransactionAbortedError:
+                # An RC reader can lose a conservative deadlock check against
+                # a writer's long locks; retry instead of dying mid-cell.
+                continue
             query_counts[reader_id] += 1
             counts = template_counts[reader_id]
             counts[template.name] = counts.get(template.name, 0) + 1

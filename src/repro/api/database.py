@@ -24,6 +24,7 @@ from repro.api.transaction import Transaction
 from repro.core.conflict import ConflictPolicy
 from repro.core.gc import GcStats
 from repro.core.si_manager import DEFAULT_COMMIT_STRIPES, SnapshotIsolationEngine
+from repro.query.cache import DEFAULT_QUERY_CACHE_SIZE
 from repro.core.vacuum import VacuumCollector
 from repro.engine import GraphEngine, IsolationLevel
 from repro.errors import ReproError
@@ -73,6 +74,9 @@ class GraphDatabase:
         gc_every_n_commits: int = 0,
         commit_stripes: int = DEFAULT_COMMIT_STRIPES,
         group_commit: bool = False,
+        snapshot_read_cache: bool = True,
+        query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
+        rc_eager_read_unlock: bool = True,
     ) -> None:
         """Open (or create) a database.
 
@@ -86,6 +90,14 @@ class GraphDatabase:
         the fully-serialised behaviour).  ``group_commit`` coalesces the store
         persistence of concurrent committers into one WAL append (one fsync
         under ``wal_sync``) per group.
+
+        Read-path knobs: ``snapshot_read_cache`` enables the SI engine's
+        per-transaction caches of resolved payloads and adjacency lists;
+        ``query_cache_size`` sizes the per-database query parse and plan
+        caches (0 disables them — see ``statistics()["query_cache"]``);
+        ``rc_eager_read_unlock`` routes read-committed point reads through
+        the lock manager's short shared guard instead of a full
+        acquire/release pair (``False`` restores the seed behaviour).
         """
         self._isolation = _coerce_isolation(isolation)
         self._closed = False
@@ -109,9 +121,16 @@ class GraphDatabase:
                 version_cache_capacity=version_cache_capacity,
                 gc_every_n_commits=gc_every_n_commits,
                 commit_stripes=commit_stripes,
+                snapshot_read_cache=snapshot_read_cache,
+                query_cache_size=query_cache_size,
             )
         else:
-            self.engine = ReadCommittedEngine(self.store, lock_manager=locks)
+            self.engine = ReadCommittedEngine(
+                self.store,
+                lock_manager=locks,
+                eager_read_unlock=rc_eager_read_unlock,
+                query_cache_size=query_cache_size,
+            )
 
     # ------------------------------------------------------------------
     # constructors
@@ -234,6 +253,10 @@ class GraphDatabase:
             "isolation": self._isolation.value,
             "store": self.store.stats.as_dict(),
             "page_cache": self.store.page_cache.stats.as_dict(),
+            "query_cache": dict(
+                self.engine.query_caches.stats(),
+                stats_epoch=self.engine.stats_epoch.as_dict(),
+            ),
         }
         if isinstance(self.engine, SnapshotIsolationEngine):
             stats["engine"] = self.engine.statistics()

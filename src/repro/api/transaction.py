@@ -13,6 +13,7 @@ methods that delegate mutations back to the transaction.
 
 from __future__ import annotations
 
+import sys
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -60,7 +61,9 @@ def _validate_label(label: str) -> str:
         raise ReservedNameError(
             f"label {label!r} uses the reserved prefix {RESERVED_PROPERTY_PREFIX!r}"
         )
-    return label
+    # One canonical string per label spelling: frozenset membership tests on
+    # hot read paths then short-circuit on object identity.
+    return sys.intern(label) if type(label) is str else label
 
 
 class Node:
@@ -446,6 +449,7 @@ class Transaction:
         """Create a relationship of ``rel_type`` from ``start`` to ``end``."""
         if not isinstance(rel_type, str) or not rel_type:
             raise ValueError("relationship types must be non-empty strings")
+        rel_type = sys.intern(rel_type)
         start_id = _node_id(start)
         end_id = _node_id(end)
         self._require_node_data(start_id)

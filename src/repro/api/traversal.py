@@ -11,6 +11,14 @@ Everything here runs inside one transaction, so under snapshot isolation a
 multi-step traversal observes one consistent snapshot — the exact property
 whose absence under read committed (a traversed path disappearing mid-
 algorithm) the paper's introduction calls out.
+
+Performance note: every expansion funnels through ``tx.expand`` →
+``tx.relationships_of`` → the engine transaction, which under snapshot
+isolation serves repeat visits from its snapshot-local adjacency and payload
+caches (safe because a snapshot is immutable).  A traversal that touches the
+same neighbourhood from several directions — ``friends_of_friends``, cycle
+detection, shortest-path frontiers — resolves each version chain once, not
+once per visit.
 """
 
 from __future__ import annotations

@@ -207,7 +207,15 @@ class GarbageCollector:
     # -- internal -------------------------------------------------------------------
 
     def _reclaim(self, version: Version, stats: GcStats) -> int:
-        """Remove one reclaimable version from its chain; purge emptied entities."""
+        """Remove one reclaimable version from its chain; purge emptied entities.
+
+        ``chain.remove`` swaps in a fresh immutable tuple rather than mutating
+        the published one, so a concurrent reader that already resolved
+        against the pre-reclaim chain keeps a consistent view; GC only ever
+        removes versions no active snapshot can select (watermark rule), so
+        that stale view can never surface a reclaimed version to a reader
+        that should not see it.
+        """
         chain = self.version_store.get_chain(version.key)
         if chain is None:
             return 0

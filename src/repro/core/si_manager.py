@@ -48,7 +48,8 @@ from repro.graph.operations import (
 from repro.graph.properties import RESERVED_PROPERTY_PREFIX
 from repro.graph.store_manager import StoreManager
 from repro.locking.lock_manager import LockManager
-from repro.stats import CommitPipelineStats, EngineStats
+from repro.query.cache import DEFAULT_QUERY_CACHE_SIZE, QueryCaches
+from repro.stats import CardinalityEpoch, CommitPipelineStats, EngineStats
 
 #: Reserved property carrying the commit timestamp of the persisted version
 #: (the extra property the paper adds to nodes and relationships).
@@ -72,6 +73,8 @@ class SnapshotIsolationEngine(GraphEngine):
         version_cache_capacity: int = 200_000,
         gc_every_n_commits: int = 0,
         commit_stripes: int = DEFAULT_COMMIT_STRIPES,
+        snapshot_read_cache: bool = True,
+        query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
     ) -> None:
         """Create an engine over an open store.
 
@@ -85,6 +88,11 @@ class SnapshotIsolationEngine(GraphEngine):
         structural neighbourhood it validates), so commits on disjoint key
         sets proceed concurrently.  ``commit_stripes=1`` restores the seed's
         fully-serialised single-mutex behaviour.
+
+        ``snapshot_read_cache`` enables the per-transaction caches of resolved
+        payloads and adjacency lists (safe because a snapshot is immutable);
+        ``query_cache_size`` sizes the per-database parse and plan caches
+        (0 disables them).
         """
         if commit_stripes < 1:
             raise ValueError("the engine needs at least one commit stripe")
@@ -94,7 +102,12 @@ class SnapshotIsolationEngine(GraphEngine):
         self.versions = VersionStore(
             cache_capacity=version_cache_capacity, stripes=commit_stripes
         )
-        self.indexes = VersionedIndexSet(stripes=commit_stripes)
+        self.stats_epoch = CardinalityEpoch()
+        self.indexes = VersionedIndexSet(
+            stripes=commit_stripes, stats_epoch=self.stats_epoch
+        )
+        self.snapshot_read_cache = snapshot_read_cache
+        self.query_caches = QueryCaches(query_cache_size)
         self.conflicts = ConflictDetector(self.locks, conflict_policy)
         self.gc = GarbageCollector(
             self.versions, self.oracle, self.indexes, ThreadedVersionList()
@@ -322,6 +335,10 @@ class SnapshotIsolationEngine(GraphEngine):
     # cardinality fast paths (query planner estimates)
     # ------------------------------------------------------------------
 
+    def cardinality_epoch(self) -> int:
+        """Current statistics epoch (the plan cache's invalidation key)."""
+        return self.stats_epoch.epoch
+
     def count_nodes_with_label(self, label: str) -> int:
         """Nodes currently carrying ``label`` in O(1) (open-interval counter)."""
         return self.indexes.node_labels.count(label)
@@ -462,14 +479,19 @@ class SnapshotIsolationEngine(GraphEngine):
         writes: Dict[EntityKey, Optional[object]],
         commit_ts: int,
     ) -> Dict[EntityKey, Optional[object]]:
-        """Install committed versions into the chains; returns superseded payloads."""
+        """Install committed versions into the chains; returns superseded payloads.
+
+        Installs go through :meth:`VersionStore.install_committed`, which runs
+        under the key's stripe lock and re-inserts the chain — never through
+        the lock-free read hit path, whose un-promoted chains can be evicted
+        mid-install (see that method's docstring).
+        """
         old_states: Dict[EntityKey, Optional[object]] = {}
         for key, payload in writes.items():
-            chain = self.versions.get_or_load(key, lambda k=key: self._load_persisted(k))
-            if chain is None:
-                chain = self.versions.ensure_chain(key)
             version = Version(key, payload, commit_ts)
-            superseded = chain.add_committed(version)
+            superseded = self.versions.install_committed(
+                key, version, lambda k=key: self._load_persisted(k)
+            )
             old_states[key] = (
                 superseded.payload
                 if superseded is not None and not superseded.is_tombstone

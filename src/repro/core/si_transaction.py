@@ -9,11 +9,20 @@ via the engine's conflict detector).
 Unlike the read-committed transaction it never takes read locks: the paper
 removes Neo4j's short read locks entirely because the version chains make
 them unnecessary.
+
+Because a snapshot is immutable, everything a transaction resolves from the
+*committed* state — point-lookup payloads and per-node adjacency lists — can
+be cached for the transaction's lifetime without any invalidation protocol:
+no commit, GC pass or chain swap can change what this snapshot sees.  The
+caches hold only committed resolutions; the private write set is overlaid on
+every read, so read-your-own-writes still holds for entities the transaction
+itself touches.  ``friends_of_friends``-style traversals, which revisit the
+same nodes across hops, stop re-resolving the same chains entirely.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.snapshot import Snapshot
 from repro.core.versioned_iterator import SnapshotIterator
@@ -27,6 +36,14 @@ from repro.graph.entity import (
     RelationshipData,
 )
 from repro.graph.properties import PropertyValue
+
+#: Sentinel distinguishing "cached as absent" from "not cached".
+_MISSING = object()
+
+#: Upper bound on entries per snapshot-local cache; a transaction that reads
+#: more distinct entities than this simply stops inserting (hits keep
+#: working), so a whole-store scan cannot balloon a long transaction.
+SNAPSHOT_CACHE_LIMIT = 65_536
 
 
 class SnapshotTransaction(EngineTransaction):
@@ -42,6 +59,16 @@ class SnapshotTransaction(EngineTransaction):
         self._created: Set[EntityKey] = set()
         #: Number of reads served (used by experiments).
         self.reads_performed = 0
+        #: Snapshot-local caches (safe because the snapshot is immutable);
+        #: ``None`` when the engine was opened with the cache disabled.
+        enabled = getattr(engine, "snapshot_read_cache", True)
+        self._payload_cache: Optional[Dict[EntityKey, object]] = {} if enabled else None
+        self._adjacency_cache: Optional[Dict[int, Tuple[RelationshipData, ...]]] = (
+            {} if enabled else None
+        )
+        #: Cache effectiveness counters (surfaced by bench_e11 and tests).
+        self.snapshot_cache_hits = 0
+        self.snapshot_cache_misses = 0
 
     @property
     def start_ts(self) -> int:
@@ -53,11 +80,37 @@ class SnapshotTransaction(EngineTransaction):
     # ------------------------------------------------------------------
 
     def _resolve(self, key: EntityKey) -> Optional[object]:
-        """Read path shared by point reads, scans and index lookups."""
+        """Read path shared by point reads, scans and index lookups.
+
+        Own writes win; committed resolutions are memoised per snapshot
+        (``None`` — absent or invisible — is cached too, since within one
+        snapshot that answer can never change).
+        """
         self.reads_performed += 1
         if key in self._writes:
             return self._writes[key]
-        return self._engine.read_committed_version(key, self.snapshot.start_ts)
+        return self._resolve_committed(key)
+
+    def _resolve_committed(self, key: EntityKey) -> Optional[object]:
+        """Committed-state resolution through the snapshot-local payload cache.
+
+        Shared by point reads (:meth:`_resolve`, after the own-writes check)
+        and the adjacency path (:meth:`_committed_adjacency`), so a chain
+        resolved while expanding a node is never re-resolved by a later
+        point read of the same entity — and vice versa.
+        """
+        cache = self._payload_cache
+        if cache is None:
+            return self._engine.read_committed_version(key, self.snapshot.start_ts)
+        cached = cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            self.snapshot_cache_hits += 1
+            return cached
+        resolved = self._engine.read_committed_version(key, self.snapshot.start_ts)
+        self.snapshot_cache_misses += 1
+        if len(cache) < SNAPSHOT_CACHE_LIMIT:
+            cache[key] = resolved
+        return resolved
 
     def read_node(self, node_id: int) -> Optional[NodeData]:
         self.ensure_open()
@@ -143,6 +196,40 @@ class SnapshotTransaction(EngineTransaction):
 
     # -- traversal reads -------------------------------------------------------------
 
+    def _committed_adjacency(self, node_id: int) -> Tuple[RelationshipData, ...]:
+        """Snapshot-visible committed relationships of one node, by rel id.
+
+        Safe to cache for the transaction's lifetime: a candidate added to
+        the global adjacency index by a later committer resolves to a version
+        newer than this snapshot (invisible), and GC never reclaims a version
+        an active snapshot can still select — so the resolved list is a pure
+        function of (node, snapshot).
+        """
+        cache = self._adjacency_cache
+        if cache is not None:
+            cached = cache.get(node_id)
+            if cached is not None:
+                self.snapshot_cache_hits += 1
+                # Keep the experiments' read counter consistent with the
+                # payload cache, which counts hits as served reads too.
+                self.reads_performed += len(cached)
+                return cached
+        candidates = self._engine.indexes.adjacency.candidate_rel_ids(node_id)
+        resolved: List[RelationshipData] = []
+        for rel_id in sorted(candidates):
+            # Through the shared payload cache: a relationship resolved here
+            # is free for later point reads of the same id (and vice versa).
+            payload = self._resolve_committed(EntityKey.relationship(rel_id))
+            if isinstance(payload, RelationshipData):
+                resolved.append(payload)
+        self.reads_performed += len(candidates)
+        result = tuple(resolved)
+        if cache is not None:
+            self.snapshot_cache_misses += 1
+            if len(cache) < SNAPSHOT_CACHE_LIMIT:
+                cache[node_id] = result
+        return result
+
     def relationships_of(
         self,
         node_id: int,
@@ -150,17 +237,30 @@ class SnapshotTransaction(EngineTransaction):
         rel_types: Optional[Sequence[str]] = None,
     ) -> List[RelationshipData]:
         self.ensure_open()
-        candidates = self._engine.indexes.adjacency.candidate_rel_ids(node_id)
-        for key, data in self._writes.items():
-            if key.kind is EntityKind.RELATIONSHIP and data is not None:
-                if data.touches(node_id):
-                    candidates.add(key.entity_id)
+        committed = self._committed_adjacency(node_id)
+        # Overlay the private write set: relationship endpoints are immutable,
+        # so an own write either replaces a committed entry (property update),
+        # adds a new one (create) or removes one (delete).
+        relationships: Sequence[RelationshipData] = committed
+        if self._writes:
+            merged: Dict[int, RelationshipData] = {
+                relationship.rel_id: relationship for relationship in committed
+            }
+            changed = False
+            for key, data in self._writes.items():
+                if key.kind is not EntityKind.RELATIONSHIP:
+                    continue
+                if data is None:
+                    if merged.pop(key.entity_id, None) is not None:
+                        changed = True
+                elif data.touches(node_id):
+                    merged[key.entity_id] = data
+                    changed = True
+            if changed:
+                relationships = [merged[rel_id] for rel_id in sorted(merged)]
         wanted_types = set(rel_types) if rel_types else None
         result: List[RelationshipData] = []
-        for rel_id in sorted(candidates):
-            relationship = self.read_relationship(rel_id)
-            if relationship is None:
-                continue
+        for relationship in relationships:
             if not direction.matches(node_id, relationship.start_node, relationship.end_node):
                 continue
             if wanted_types is not None and relationship.rel_type not in wanted_types:
@@ -252,3 +352,16 @@ class SnapshotTransaction(EngineTransaction):
     def has_writes(self) -> bool:
         """Whether the transaction buffered any write."""
         return bool(self._writes)
+
+    # ------------------------------------------------------------------
+    # snapshot-local cache introspection
+    # ------------------------------------------------------------------
+
+    def snapshot_cache_stats(self) -> Dict[str, int]:
+        """Effectiveness counters of the snapshot-local read caches."""
+        return {
+            "hits": self.snapshot_cache_hits,
+            "misses": self.snapshot_cache_misses,
+            "payload_entries": len(self._payload_cache or ()),
+            "adjacency_entries": len(self._adjacency_cache or ()),
+        }

@@ -99,13 +99,15 @@ class VacuumCollector:
         """Examine every version of every chain (the expensive part)."""
         for key, chain in self.version_store.chains():
             stats.chains_scanned += 1
-            versions = chain.versions()
+            versions = chain.snapshot()
             stats.versions_examined += len(versions)
             # Examine oldest-first so that superseded versions are judged while
             # the newer version (or tombstone) that obsoletes them is still in
-            # the chain.
+            # the chain.  Each removal publishes a fresh tuple (copy-on-write),
+            # so obsolescence is re-judged against the chain's *current*
+            # snapshot, not the one captured before this pass started.
             for version in reversed(versions):
-                if self._is_obsolete(chain, version, stats.watermark):
+                if self._is_obsolete(chain.snapshot(), version, stats.watermark):
                     if chain.remove(version):
                         stats.versions_collected += 1
                         self._maybe_purge(chain, version, stats)
@@ -120,9 +122,11 @@ class VacuumCollector:
             stats.store_records_scanned += 1
 
     @staticmethod
-    def _is_obsolete(chain: VersionChain, version: Version, watermark: int) -> bool:
-        """Obsolescence test evaluated from scratch for every version."""
-        versions = chain.versions()  # newest first
+    def _is_obsolete(versions, version: Version, watermark: int) -> bool:
+        """Obsolescence test evaluated from scratch for every version.
+
+        ``versions`` is the chain's current published tuple, newest first.
+        """
         if version.is_tombstone:
             newest = versions[0] if versions else None
             return newest is version and version.commit_ts <= watermark

@@ -33,8 +33,8 @@ ChainLoader = Callable[[], Optional[Tuple[VersionPayload, int]]]
 
 def _chain_evictable(_key: EntityKey, chain: VersionChain) -> bool:
     """Eviction predicate handed to the object cache (see module docstring)."""
-    newest = chain.newest()
-    return len(chain) == 1 and newest is not None and not newest.is_tombstone
+    published = chain.snapshot()
+    return len(published) == 1 and not published[0].is_tombstone
 
 
 def stripe_of(key: EntityKey, stripes: int) -> int:
@@ -78,7 +78,17 @@ class VersionStore:
 
         ``loader`` reads the persistent store; when it returns ``None`` the
         entity does not exist anywhere and no chain is created.
+
+        The hit path is lock-free: a cached chain is returned from a plain
+        dict probe without touching the stripe lock or the cache's LRU lock
+        (chains read often but written rarely may therefore age out under
+        pressure — harmless, because only single-version chains whose state
+        the persistent store also holds are evictable).  Only a miss takes
+        the stripe lock, re-checks, and runs the loader.
         """
+        chain = self._cache.peek(key)
+        if chain is not None:
+            return chain
         with self._lock_for(key):
             chain = self._cache.get(key)
             if chain is not None:
@@ -100,6 +110,37 @@ class VersionStore:
                 chain = VersionChain(key)
                 self._cache.put(key, chain)
             return chain
+
+    # -- commit path ------------------------------------------------------------
+
+    def install_committed(
+        self, key: EntityKey, version: Version, loader: ChainLoader
+    ) -> Optional[Version]:
+        """Install a committed version into the resident chain; returns the
+        superseded version (the previous newest), if any.
+
+        Runs entirely under the key's stripe lock — the same lock the
+        miss-path loader takes — so the install always lands in the chain
+        the cache actually holds.  The lock-free :meth:`get_or_load` hit
+        path must NOT be used for installs: a peeked chain carries no LRU
+        protection and can be concurrently evicted, and a version added to
+        an evicted (orphaned) chain would be silently lost when a reader's
+        loader rebuilds the chain from the not-yet-persisted store state.
+        The closing ``put`` re-inserts the chain (it may have been evicted
+        between a reader's probe and this commit) and refreshes its LRU
+        position in one step.
+        """
+        with self._lock_for(key):
+            chain = self._cache.get(key)
+            if chain is None:
+                chain = VersionChain(key)
+                loaded = loader()
+                if loaded is not None:
+                    payload, commit_ts = loaded
+                    chain.add_committed(Version(key, payload, commit_ts))
+            superseded = chain.add_committed(version)
+            self._cache.put(key, chain)
+            return superseded
 
     # -- maintenance ----------------------------------------------------------------
 

@@ -406,14 +406,20 @@ class VersionedIndexSet:
     ``stripes`` controls the lock striping of every member index; the engine
     passes its commit-stripe count through so ``commit_stripes=1`` degenerates
     the whole pipeline to the seed's fully-serialised behaviour.
+
+    ``stats_epoch`` is the engine's :class:`~repro.stats.CardinalityEpoch`:
+    every committed entity change is recorded into it, so the query plan
+    cache expires once the cardinalities these indexes feed the planner have
+    drifted significantly.
     """
 
-    def __init__(self, stripes: int = 16) -> None:
+    def __init__(self, stripes: int = 16, *, stats_epoch=None) -> None:
         self.node_labels = VersionedLabelIndex(stripes)
         self.node_properties = VersionedPropertyIndex(stripes)
         self.relationship_properties = VersionedPropertyIndex(stripes)
         self.relationship_types = VersionedRelationshipTypeIndex(stripes)
         self.adjacency = AdjacencyIndex(stripes)
+        self.stats_epoch = stats_epoch
 
     def apply_node_change(
         self, old: Optional[NodeData], new: Optional[NodeData], commit_ts: int
@@ -429,6 +435,8 @@ class VersionedIndexSet:
             new.properties if new is not None else {},
             commit_ts,
         )
+        if self.stats_epoch is not None:
+            self.stats_epoch.record((old is None) - (new is None))
 
     def apply_relationship_change(
         self,
@@ -449,6 +457,8 @@ class VersionedIndexSet:
         self.relationship_types.apply_relationship_change(old, new, commit_ts)
         if old is None and new is not None:
             self.adjacency.add(new)
+        if self.stats_epoch is not None:
+            self.stats_epoch.record((old is None) - (new is None))
 
     def purge(self, watermark: int) -> int:
         """Purge every index; returns the number of intervals dropped."""

@@ -15,7 +15,10 @@ relationships:
    persisted version carries its commit timestamp).
 
 Each candidate id is resolved exactly once and yielded only if the resolved
-state is visible and not deleted in the reader's snapshot.
+state is visible and not deleted in the reader's snapshot.  Resolution goes
+through the transaction's read path, which after the copy-on-write chain
+rework is lock-free on every cached chain: a scan racing concurrent
+committers never blocks on (or is blocked by) a chain lock.
 """
 
 from __future__ import annotations

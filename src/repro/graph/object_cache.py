@@ -96,6 +96,25 @@ class ObjectCache:
             self.stats.hits += 1
             return entry
 
+    def peek(self, key: EntityKey) -> Optional[Any]:
+        """Lock-free probe: the cached object for ``key`` or ``None``.
+
+        Skips the LRU touch and takes no lock — a plain dict read is atomic
+        under CPython, and a probe racing an insert/evict simply observes the
+        cache as of one instant.  This is the hot read path of the MVCC
+        layer, where a lock per chain lookup would reintroduce exactly the
+        reader/writer coordination the version chains exist to remove.  The
+        hit counter is updated without the lock (racily — monitoring, not
+        logic); a probe miss counts nothing, because every probe-miss caller
+        falls back to a locked :meth:`get` that records the miss, and
+        counting both would double-report one logical lookup.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self.stats.hits += 1
+        return entry
+
     def put(self, key: EntityKey, value: Any) -> None:
         """Insert or replace the cached object for ``key``."""
         with self._lock:

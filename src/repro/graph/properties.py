@@ -13,6 +13,7 @@ and are rejected at the public API boundary.
 
 from __future__ import annotations
 
+import sys
 from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
 
 from repro.errors import InvalidPropertyValueError, ReservedNameError
@@ -34,10 +35,13 @@ _INT_MAX = 2 ** 63 - 1
 
 
 def validate_property_key(key: Any, *, allow_reserved: bool = False) -> str:
-    """Validate a property key and return it.
+    """Validate a property key and return its canonical (interned) form.
 
     Keys must be non-empty strings.  Keys using the internal prefix are
     rejected unless ``allow_reserved`` is set (only the MVCC layer does that).
+    The returned key is interned so that every property map built through
+    validation shares one string object per spelling with the token
+    registries — hot-path dict lookups then hash and compare by identity.
     """
     if not isinstance(key, str):
         raise InvalidPropertyValueError(
@@ -49,7 +53,7 @@ def validate_property_key(key: Any, *, allow_reserved: bool = False) -> str:
         raise ReservedNameError(
             f"property key {key!r} uses the reserved prefix {RESERVED_PROPERTY_PREFIX!r}"
         )
-    return key
+    return sys.intern(key) if type(key) is str else key
 
 
 def validate_property_value(value: Any) -> PropertyValue:
@@ -123,12 +127,12 @@ def validate_properties(
         return {}
     validated: Dict[str, PropertyValue] = {}
     for key, value in properties.items():
-        validate_property_key(key, allow_reserved=allow_reserved)
+        clean_key = validate_property_key(key, allow_reserved=allow_reserved)
         if value is None:
             raise InvalidPropertyValueError(
                 f"property {key!r} is None; remove the property instead"
             )
-        validated[key] = validate_property_value(value)
+        validated[clean_key] = validate_property_value(value)
     return validated
 
 

@@ -8,6 +8,7 @@ variable length.
 
 from __future__ import annotations
 
+import sys
 import threading
 from typing import List, Tuple
 
@@ -60,7 +61,10 @@ class TokenStore:
                     raise StoreCorruptionError(
                         f"{self.name}: token {token_id} has no name reference"
                     )
-                name = self._names.read_bytes(record.name_ref).decode("utf-8")
+                # Intern at the store boundary: a name read back from disk is
+                # the same object as the one the registry hands out, so
+                # property/label lookups hash and compare by identity.
+                name = sys.intern(self._names.read_bytes(record.name_ref).decode("utf-8"))
                 tokens.append((token_id, name))
         tokens.sort()
         return tokens

@@ -15,6 +15,7 @@ registry at startup.
 
 from __future__ import annotations
 
+import sys
 import threading
 from typing import Callable, Dict, Iterator, List, Optional
 
@@ -73,7 +74,14 @@ class TokenRegistry:
             return list(self._by_id)
 
     def get_or_create(self, name: str) -> int:
-        """Return the id for ``name``, interning it if necessary."""
+        """Return the id for ``name``, interning it if necessary.
+
+        Names are also interned in CPython's string table: every token name
+        flowing through the registry becomes *the* canonical object for that
+        spelling, so hot-path dict lookups and equality checks on property
+        keys, labels and relationship types short-circuit on identity.
+        """
+        name = sys.intern(name) if type(name) is str else name
         self._check_name(name)
         with self._lock:
             token_id = self._by_name.get(name)
@@ -108,6 +116,7 @@ class TokenRegistry:
         Tokens must be loaded in id order (ids are dense); gaps indicate a
         corrupt token store.
         """
+        name = sys.intern(name) if type(name) is str else name
         with self._lock:
             if token_id != len(self._by_id):
                 raise ValueError(

@@ -23,14 +23,21 @@ from repro.index.relationship_index import (
 
 
 class IndexManager:
-    """Bundle of the label, node-property and relationship indexes."""
+    """Bundle of the label, node-property and relationship indexes.
 
-    def __init__(self) -> None:
+    ``stats_epoch`` (a :class:`~repro.stats.CardinalityEpoch`, optional)
+    receives one :meth:`~repro.stats.CardinalityEpoch.record` per applied
+    entity change, so the query plan cache expires when the cardinalities
+    behind its cost estimates have drifted.
+    """
+
+    def __init__(self, *, stats_epoch=None) -> None:
         self._lock = threading.RLock()
         self.labels = LabelIndex()
         self.node_properties = PropertyIndex()
         self.relationship_properties = RelationshipPropertyIndex()
         self.relationship_types = RelationshipTypeIndex()
+        self.stats_epoch = stats_epoch
 
     # -- maintenance ----------------------------------------------------------
 
@@ -41,6 +48,8 @@ class IndexManager:
         with self._lock:
             if old is None and new is None:
                 return
+            if self.stats_epoch is not None:
+                self.stats_epoch.record((old is None) - (new is None))
             if new is None and old is not None:
                 self.labels.remove_node(old.node_id, old.labels)
                 self.node_properties.remove_node(old.node_id, old.properties)
@@ -58,6 +67,8 @@ class IndexManager:
         with self._lock:
             if old is None and new is None:
                 return
+            if self.stats_epoch is not None:
+                self.stats_epoch.record((old is None) - (new is None))
             if new is None and old is not None:
                 self.relationship_properties.remove_relationship(
                     old.rel_id, old.properties

@@ -17,11 +17,12 @@ in the wait-for graph, and bounded by a timeout as a backstop.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.errors import DeadlockError, LockTimeoutError
 from repro.graph.entity import EntityKey
@@ -147,6 +148,88 @@ class LockManager:
                     self._released.wait(timeout=min(remaining, 0.1))
                 finally:
                     entry.waiter_count -= 1
+
+    @contextlib.contextmanager
+    def shared_guard(
+        self,
+        txn_id: int,
+        resource: EntityKey,
+        *,
+        timeout: Optional[float] = None,
+    ) -> Iterator[None]:
+        """A short shared lock scoped to exactly one read (RC's read path).
+
+        Cheaper than an :meth:`acquire`/:meth:`release` pair: the lock is
+        never registered in the per-transaction holder set (it cannot outlive
+        the ``with`` body, so commit-time ``release_all`` never needs to see
+        it) and the condition variable is only notified when another
+        transaction is actually waiting.  If the transaction already holds
+        the resource — e.g. a long exclusive endpoint lock taken by a
+        relationship create — the guard piggybacks on that lock and releases
+        nothing on exit; the seed's pair would have dropped the retained
+        exclusive lock here.
+
+        Waiting (a writer holds the entity exclusively) still goes through
+        the wait-for graph, because a reader that blocks while its
+        transaction retains exclusive locks can close a deadlock cycle.
+        """
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else self._default_timeout
+        )
+        newly_acquired = False
+        with self._mutex:
+            self.stats.acquisitions += 1
+            entry = self._entries.setdefault(resource, _LockEntry())
+            if txn_id in entry.holders:
+                self.stats.immediate_grants += 1
+            else:
+                first_attempt = True
+                while True:
+                    conflicting = entry.conflicts_with(txn_id, LockMode.SHARED)
+                    if not conflicting:
+                        entry.holders[txn_id] = LockMode.SHARED
+                        if first_attempt:
+                            self.stats.immediate_grants += 1
+                        self._wait_for.remove_waiter(txn_id)
+                        newly_acquired = True
+                        break
+                    if self._wait_for.creates_cycle(txn_id, conflicting):
+                        self.stats.deadlocks += 1
+                        self._wait_for.remove_waiter(txn_id)
+                        self._cleanup_entry(resource, entry)
+                        raise DeadlockError(
+                            f"transaction {txn_id} would deadlock waiting for "
+                            f"{sorted(conflicting)} on {resource}"
+                        )
+                    self._wait_for.add_waits(txn_id, conflicting)
+                    if first_attempt:
+                        self.stats.waits += 1
+                        first_attempt = False
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.stats.timeouts += 1
+                        self._wait_for.remove_waiter(txn_id)
+                        self._cleanup_entry(resource, entry)
+                        raise LockTimeoutError(
+                            f"transaction {txn_id} timed out waiting for {resource}"
+                        )
+                    entry.waiter_count += 1
+                    try:
+                        self._released.wait(timeout=min(remaining, 0.1))
+                    finally:
+                        entry.waiter_count -= 1
+        try:
+            yield
+        finally:
+            if newly_acquired:
+                with self._mutex:
+                    current = self._entries.get(resource)
+                    if current is not None:
+                        current.holders.pop(txn_id, None)
+                        had_waiters = current.waiter_count > 0
+                        self._cleanup_entry(resource, current)
+                        if had_waiters:
+                            self._released.notify_all()
 
     def try_acquire(self, txn_id: int, resource: EntityKey, mode: LockMode) -> bool:
         """Acquire a lock without waiting; returns ``False`` on conflict.

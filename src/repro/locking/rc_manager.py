@@ -17,7 +17,8 @@ from repro.graph.store_manager import StoreManager
 from repro.index.index_manager import IndexManager
 from repro.locking.lock_manager import LockManager
 from repro.locking.rc_transaction import ReadCommittedTransaction
-from repro.stats import EngineStats
+from repro.query.cache import DEFAULT_QUERY_CACHE_SIZE, QueryCaches
+from repro.stats import CardinalityEpoch, EngineStats
 
 __all__ = ["EngineStats", "ReadCommittedEngine"]
 
@@ -34,14 +35,31 @@ class ReadCommittedEngine(GraphEngine):
         lock_manager: Optional[LockManager] = None,
         index_manager: Optional[IndexManager] = None,
         lock_timeout: Optional[float] = None,
+        eager_read_unlock: bool = True,
+        query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
     ) -> None:
+        """``eager_read_unlock`` routes point reads through the lock manager's
+        short shared guard — one lock-table visit instead of two, no holder
+        bookkeeping, and no risk of a short read dropping a long lock the
+        transaction retains.  ``False`` restores the seed's acquire/release
+        pair (bench_e11 measures the difference).
+        """
         self.store = store
         self.locks = lock_manager or (
             LockManager(default_timeout=lock_timeout) if lock_timeout else LockManager()
         )
-        self.indexes = index_manager or IndexManager()
+        self.stats_epoch = CardinalityEpoch()
+        self.indexes = index_manager or IndexManager(stats_epoch=self.stats_epoch)
         if index_manager is None:
             self.indexes.rebuild(store)
+        elif self.indexes.stats_epoch is not None:
+            self.stats_epoch = self.indexes.stats_epoch
+        else:
+            # A caller-supplied index manager without an epoch still has to
+            # drive plan-cache invalidation: adopt it into ours.
+            self.indexes.stats_epoch = self.stats_epoch
+        self.eager_read_unlock = eager_read_unlock
+        self.query_caches = QueryCaches(query_cache_size)
         self.stats = EngineStats()
         self._txn_ids = itertools.count(1)
         self._commit_lock = threading.Lock()
@@ -71,6 +89,10 @@ class ReadCommittedEngine(GraphEngine):
         self.stats.aborted += 1
 
     # -- cardinality fast paths (query planner estimates) ---------------------
+
+    def cardinality_epoch(self) -> int:
+        """Current statistics epoch (the plan cache's invalidation key)."""
+        return self.stats_epoch.epoch
 
     def count_nodes_with_label(self, label: str) -> int:
         """Nodes currently carrying ``label`` in O(1) (no set copy)."""

@@ -24,6 +24,7 @@ import functools
 from typing import Mapping, Optional
 
 from repro.query import ast
+from repro.query.cache import ParseCache, PlanCache, QueryCaches
 from repro.query.parser import parse
 from repro.query.planner import Plan, PlannerStatistics, plan_query
 from repro.query.result import QueryResult, QueryStatistics, Record
@@ -31,7 +32,13 @@ from repro.query.result import QueryResult, QueryStatistics, Record
 
 @functools.lru_cache(maxsize=512)
 def parse_cached(text: str) -> ast.Query:
-    """Parse with a process-wide cache (ASTs are immutable and shareable)."""
+    """Parse with a process-wide cache (ASTs are immutable and shareable).
+
+    Fallback for engines without a per-database :class:`QueryCaches` bundle
+    (bare engine objects constructed in tests); databases opened through
+    :class:`repro.api.database.GraphDatabase` use their engine's own
+    size-configurable parse cache instead.
+    """
     return parse(text)
 
 
@@ -44,12 +51,37 @@ def execute(tx, engine, text: str,
     reads its cardinality counters).  Read-only queries return a lazy result;
     write queries and ``PROFILE`` are drained before returning.  ``EXPLAIN``
     only plans — it never executes, so it is always safe on a write query.
+
+    Plans are reused through the engine's plan cache, keyed on ``(query
+    text, cardinality epoch, provided parameter names)``: when the engine's
+    statistics drift enough to bump the epoch, the stale entries silently
+    miss and the query is re-planned against fresh counts.  ``EXPLAIN`` and
+    ``PROFILE`` always plan fresh — their per-operator actual/estimated row
+    counts must describe exactly this execution, not a cached tree being
+    raced by other executions.
     """
     from repro.query.executor import ExecutionContext, run_plan
 
     params = dict(parameters or {})
-    query = parse_cached(text)
-    plan = plan_query(query, PlannerStatistics(engine), params)
+    caches: Optional[QueryCaches] = getattr(engine, "query_caches", None)
+    if caches is not None:
+        query = caches.parse.parse(text)
+    else:
+        query = parse_cached(text)
+    plan_key = None
+    plan: Optional[Plan] = None
+    if (
+        caches is not None
+        and not query.explain
+        and not query.profile
+        and hasattr(engine, "cardinality_epoch")
+    ):
+        plan_key = PlanCache.key(text, engine.cardinality_epoch(), params)
+        plan = caches.plan.get(plan_key)
+    if plan is None:
+        plan = plan_query(query, PlannerStatistics(engine), params)
+        if plan_key is not None:
+            caches.plan.put(plan_key, plan)
     context = ExecutionContext(tx, params, QueryStatistics())
     if query.explain:
         return QueryResult(plan.columns, iter(()), context.stats, plan=plan)
@@ -66,8 +98,11 @@ def execute(tx, engine, text: str,
 
 
 __all__ = [
+    "ParseCache",
     "Plan",
+    "PlanCache",
     "PlannerStatistics",
+    "QueryCaches",
     "QueryResult",
     "QueryStatistics",
     "Record",

@@ -1,0 +1,131 @@
+"""Query-level caches: parsed ASTs and planned operator trees.
+
+Two caches, both LRU, both per-database (each engine owns a
+:class:`QueryCaches` bundle rather than sharing process-global state):
+
+* :class:`ParseCache` — query text → immutable AST.  Parsing is pure, so the
+  only policy is size (``GraphDatabase(query_cache_size=...)``) and the only
+  interesting output is the hit/miss counters surfaced through
+  ``statistics()["query_cache"]``.
+
+* :class:`PlanCache` — ``(query text, cardinality epoch, provided parameter
+  names)`` → planned operator tree.  Plans are costed against the engine's
+  cardinality counters, so they are keyed on the engine's
+  :class:`~repro.stats.CardinalityEpoch`: when the statistics drift enough
+  for the epoch to bump, every cached plan misses on its next lookup and is
+  re-planned against fresh counts.  Parameter *names* are part of the key
+  (a plan seeks on ``$p`` only if ``p`` was provided at plan time); parameter
+  *values* are not — like Cypher's plan cache, one plan per query shape is
+  reused across values, trading per-value optimality for never planning a
+  hot query twice.
+
+Plan operator trees are shared between concurrent executions.  That is safe
+because executing reads the tree but mutates only the per-operator
+``actual_rows`` counters (a benign race that PROFILE avoids by bypassing the
+cache entirely — see :func:`repro.query.execute`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+#: Default capacity of both query caches.
+DEFAULT_QUERY_CACHE_SIZE = 512
+
+
+class _LruCache:
+    """A small thread-safe LRU map with hit/miss/eviction counters."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 0:
+            raise ValueError("cache size must be >= 0 (0 disables the cache)")
+        self._maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        """Configured capacity (0 = disabled)."""
+        return self._maxsize
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value for ``key``, or ``None`` (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key`` (no-op when the cache is disabled)."""
+        if self._maxsize == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters plus current size."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self._maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+class ParseCache(_LruCache):
+    """Query text → parsed AST (ASTs are immutable and freely shareable)."""
+
+    def parse(self, text: str):
+        """Parse ``text`` through the cache."""
+        from repro.query.parser import parse
+
+        query = self.get(text)
+        if query is None:
+            query = parse(text)
+            self.put(text, query)
+        return query
+
+
+class PlanCache(_LruCache):
+    """(query text, cardinality epoch, parameter names) → planned tree."""
+
+    @staticmethod
+    def key(text: str, epoch: int, parameters: Dict[str, object]) -> Hashable:
+        """The cache key for one execution's (text, epoch, param names)."""
+        return (text, epoch, frozenset(parameters))
+
+
+class QueryCaches:
+    """The per-database bundle: one parse cache, one plan cache."""
+
+    def __init__(self, size: int = DEFAULT_QUERY_CACHE_SIZE) -> None:
+        self.parse = ParseCache(size)
+        self.plan = PlanCache(size)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Both caches' counters (the ``statistics()["query_cache"]`` body)."""
+        return {"parse": self.parse.stats(), "plan": self.plan.stats()}

@@ -7,11 +7,19 @@ through the :class:`repro.api.transaction.Transaction` the query was started
 in — and the expand operators run on :mod:`repro.api.traversal` — so a whole
 query, however long it takes to iterate, observes a single snapshot under
 snapshot isolation.
+
+Expressions are **compiled, not interpreted**: :func:`compile_expression`
+turns an AST subtree into a nest of Python closures exactly once, and every
+row evaluation afterwards is plain closure calls — no ``isinstance`` tree
+walk per row.  Compiled closures are memoised per AST node (ASTs are frozen
+and shared through the parse cache) and additionally pinned on the plan
+operators that use them, so a plan served repeatedly from the plan cache
+never recompiles anything.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import (
     NodeNotFoundError,
@@ -96,26 +104,30 @@ def _run_produce(op: ProduceResults, ctx: ExecutionContext) -> Iterator[Row]:
 
 
 def _run_all_nodes_scan(op: AllNodesScan, ctx: ExecutionContext) -> Iterator[Row]:
+    matcher = _pattern_matcher(op, op.pattern)
     for row in _run(op.child, ctx):
         for node in ctx.tx.nodes():
-            if _node_matches(node, op.pattern, row, ctx):
+            if matcher is None or matcher(node, row, ctx):
                 yield _bind(row, op.variable, node)
 
 
 def _run_label_scan(op: LabelScan, ctx: ExecutionContext) -> Iterator[Row]:
+    matcher = _pattern_matcher(op, op.pattern)
     for row in _run(op.child, ctx):
         for node in ctx.tx.find_nodes(label=op.label):
-            if _node_matches(node, op.pattern, row, ctx):
+            if matcher is None or matcher(node, row, ctx):
                 yield _bind(row, op.variable, node)
 
 
 def _run_property_seek(op: PropertyIndexSeek, ctx: ExecutionContext) -> Iterator[Row]:
+    value_fn = compiled(op.value)
+    matcher = _pattern_matcher(op, op.pattern)
     for row in _run(op.child, ctx):
-        value = evaluate(op.value, row, ctx)
+        value = value_fn(row, ctx)
         if value is None:
             continue
         for node in ctx.tx.find_nodes(label=op.label, key=op.key, value=value):
-            if _node_matches(node, op.pattern, row, ctx):
+            if matcher is None or matcher(node, row, ctx):
                 yield _bind(row, op.variable, node)
 
 
@@ -124,6 +136,8 @@ def _run_property_seek(op: PropertyIndexSeek, ctx: ExecutionContext) -> Iterator
 
 def _run_expand(op: Expand, ctx: ExecutionContext) -> Iterator[Row]:
     rel = op.rel
+    to_matcher = _pattern_matcher(op, op.to_pattern, attr="_to_matcher")
+    rel_prop_fns = _rel_property_fns(op)
     for row in _run(op.child, ctx):
         source = row.get(op.from_var)
         if source is None:
@@ -146,13 +160,13 @@ def _run_expand(op: Expand, ctx: ExecutionContext) -> Iterator[Row]:
             max_depth=rel.max_hops,
             min_depth=rel.min_hops,
             uniqueness=Uniqueness.NONE,
-            evaluator=_make_evaluator(op, row, ctx, excluded),
+            evaluator=_make_evaluator(rel, rel_prop_fns, row, ctx, excluded),
         )
         for path in description.traverse(ctx.tx, source):
             end = path.end_node
             if target is not None and end.id != target.id:
                 continue
-            if not _node_matches(end, op.to_pattern, row, ctx):
+            if to_matcher is not None and not to_matcher(end, row, ctx):
                 continue
             rel_value: object
             if rel.var_length:
@@ -165,13 +179,22 @@ def _run_expand(op: Expand, ctx: ExecutionContext) -> Iterator[Row]:
             yield new_row
 
 
-def _make_evaluator(op: Expand, row: Row, ctx: ExecutionContext,
+def _rel_property_fns(op: Expand) -> Tuple[Tuple[str, CompiledExpression], ...]:
+    """Compiled (key, value expression) pairs of the hop's property map."""
+    fns = getattr(op, "_rel_prop_fns", None)
+    if fns is None:
+        fns = tuple((key, compiled(expr)) for key, expr in op.rel.properties)
+        op._rel_prop_fns = fns
+    return fns
+
+
+def _make_evaluator(rel_pattern, rel_prop_fns, row: Row, ctx: ExecutionContext,
                     excluded: frozenset):
-    rel_pattern = op.rel
+    min_hops = rel_pattern.min_hops
 
     def evaluator(path: Path) -> Tuple[bool, bool]:
         if path.length == 0:
-            return rel_pattern.min_hops == 0, True
+            return min_hops == 0, True
         last = path.relationships[-1]
         if last.id in excluded:
             return False, False
@@ -183,9 +206,9 @@ def _make_evaluator(op: Expand, row: Row, ctx: ExecutionContext,
             if relationship.id in seen:
                 return False, False
             seen.add(relationship.id)
-        for key, expression in rel_pattern.properties:
-            wanted = evaluate(expression, row, ctx)
-            if wanted is None or last.get(key) != wanted:
+        for key, value_fn in rel_prop_fns:
+            wanted = value_fn(row, ctx)
+            if wanted is None or last.data.properties.get(key) != wanted:
                 return False, False
         return True, True
 
@@ -209,18 +232,20 @@ def _excluded_rel_ids(variables: Sequence[str], row: Row) -> frozenset:
 
 
 def _run_filter(op: Filter, ctx: ExecutionContext) -> Iterator[Row]:
+    predicate_fn = compiled(op.predicate)
     for row in _run(op.child, ctx):
         scope = _order_scope(row)
-        if _is_truthy(evaluate(op.predicate, scope, ctx)):
+        value = predicate_fn(scope, ctx)
+        if value is not None and value:
             yield row
 
 
 def _run_projection(op: Projection, ctx: ExecutionContext) -> Iterator[Row]:
+    item_fns = [(item.alias, compiled(item.expression)) for item in op.items]
+    keep_source = op.keep_source
     for row in _run(op.child, ctx):
-        projected: Row = {}
-        for item in op.items:
-            projected[item.alias] = evaluate(item.expression, row, ctx)
-        if op.keep_source:
+        projected: Row = {alias: fn(row, ctx) for alias, fn in item_fns}
+        if keep_source:
             projected[SOURCE_ROW_KEY] = row
         yield projected
 
@@ -239,10 +264,9 @@ def _run_order_by(op: OrderBy, ctx: ExecutionContext) -> Iterator[Row]:
     rows = list(_run(op.child, ctx))
     # Stable multi-key sort: apply keys right-to-left.
     for item in reversed(op.order_items):
+        key_fn = compiled(item.expression)
         rows.sort(
-            key=lambda row, expression=item.expression: _sort_key(
-                evaluate(expression, _order_scope(row), ctx)
-            ),
+            key=lambda row, fn=key_fn: _sort_key(fn(_order_scope(row), ctx)),
             reverse=not item.ascending,
         )
     for row in rows:
@@ -287,8 +311,9 @@ def _run_limit(op: Limit, ctx: ExecutionContext) -> Iterator[Row]:
 class _Accumulator:
     """One aggregate function instance for one group."""
 
-    def __init__(self, call: ast.FunctionCall) -> None:
+    def __init__(self, call: ast.FunctionCall, arg_fn: Optional[CompiledExpression]) -> None:
         self.call = call
+        self.arg_fn = arg_fn
         self.count = 0
         self.total = 0
         self.minimum = None
@@ -301,7 +326,7 @@ class _Accumulator:
         if call.star:
             self.count += 1
             return
-        value = evaluate(call.args[0], row, ctx)
+        value = self.arg_fn(row, ctx)
         if value is None:
             return
         if call.distinct:
@@ -343,16 +368,24 @@ class _Accumulator:
 
 
 def _run_aggregate(op: Aggregate, ctx: ExecutionContext) -> Iterator[Row]:
+    group_fns = [(item.alias, compiled(item.expression)) for item in op.group_items]
+    agg_specs = [
+        (
+            item.expression,
+            None if item.expression.star else compiled(item.expression.args[0]),
+        )
+        for item in op.agg_items
+    ]
     groups: Dict[Tuple, Tuple[Row, List[_Accumulator]]] = {}
     for row in _run(op.child, ctx):
-        key_values = [evaluate(item.expression, row, ctx) for item in op.group_items]
+        key_values = [fn(row, ctx) for _alias, fn in group_fns]
         key = tuple(_freeze(value) for value in key_values)
         entry = groups.get(key)
         if entry is None:
-            accumulators = [_Accumulator(item.expression) for item in op.agg_items]
+            accumulators = [_Accumulator(call, fn) for call, fn in agg_specs]
             group_row = {
-                item.alias: value
-                for item, value in zip(op.group_items, key_values)
+                alias: value
+                for (alias, _fn), value in zip(group_fns, key_values)
             }
             entry = (group_row, accumulators)
             groups[key] = entry
@@ -360,7 +393,7 @@ def _run_aggregate(op: Aggregate, ctx: ExecutionContext) -> Iterator[Row]:
             accumulator.update(row, ctx)
     if not groups and not op.group_items:
         # Aggregation over zero rows still produces one row (count = 0 etc).
-        accumulators = [_Accumulator(item.expression) for item in op.agg_items]
+        accumulators = [_Accumulator(call, fn) for call, fn in agg_specs]
         groups[()] = ({}, accumulators)
     for group_row, accumulators in groups.values():
         out = dict(group_row)
@@ -522,93 +555,240 @@ def _bind(row: Row, variable: str, value: object) -> Row:
     return new_row
 
 
-def _node_matches(node: Node, pattern: ast.NodePattern, row: Row,
-                  ctx: ExecutionContext) -> bool:
-    for label in pattern.labels:
-        if not node.has_label(label):
-            return False
-    for key, expression in pattern.properties:
-        wanted = evaluate(expression, row, ctx)
-        if wanted is None or node.get(key) != wanted:
-            return False
-    return True
+def _pattern_matcher(op, pattern: ast.NodePattern, *, attr: str = "_matcher"):
+    """A compiled node-pattern check, pinned on the plan operator.
+
+    Returns ``None`` for the empty pattern (every node matches), so callers
+    can skip the call entirely.  Pinning on the operator means a plan served
+    from the plan cache carries its matchers across executions.
+    """
+    cached = getattr(op, attr, _PATTERN_UNSET)
+    if cached is not _PATTERN_UNSET:
+        return cached
+    matcher = _compile_node_pattern(pattern)
+    setattr(op, attr, matcher)
+    return matcher
+
+
+_PATTERN_UNSET = object()
+
+
+def _compile_node_pattern(pattern: ast.NodePattern):
+    labels = tuple(pattern.labels)
+    prop_fns = tuple(
+        (key, compiled(expression)) for key, expression in pattern.properties
+    )
+    if not labels and not prop_fns:
+        return None
+
+    def matches(node: Node, row: Row, ctx: ExecutionContext) -> bool:
+        data = node.data
+        for label in labels:
+            if label not in data.labels:
+                return False
+        properties = data.properties
+        for key, value_fn in prop_fns:
+            wanted = value_fn(row, ctx)
+            if wanted is None or properties.get(key) != wanted:
+                return False
+        return True
+
+    return matches
 
 
 # ---------------------------------------------------------------------------
-# Expression evaluation
+# Expression compilation
 # ---------------------------------------------------------------------------
+
+#: A compiled expression: called once per row, returns the expression value.
+CompiledExpression = Callable[[Row, "ExecutionContext"], object]
+
+#: Memo of compiled closures keyed by AST node identity.  Entries hold a
+#: strong reference to the AST node, so an id can never be recycled while its
+#: entry is live; the table is cleared wholesale when it grows past the
+#: limit (compilation is cheap — the memo only exists so hot ASTs shared via
+#: the parse/plan caches compile once).
+_COMPILED: Dict[int, Tuple[ast.Expression, CompiledExpression]] = {}
+_COMPILED_LIMIT = 4096
+
+
+def compiled(expression: ast.Expression) -> CompiledExpression:
+    """The memoised compiled form of ``expression``."""
+    entry = _COMPILED.get(id(expression))
+    if entry is not None and entry[0] is expression:
+        return entry[1]
+    fn = compile_expression(expression)
+    if len(_COMPILED) >= _COMPILED_LIMIT:
+        _COMPILED.clear()
+    _COMPILED[id(expression)] = (expression, fn)
+    return fn
 
 
 def evaluate(expression: ast.Expression, row: Row, ctx: ExecutionContext) -> object:
     """Evaluate an expression in the scope of one row (Cypher null semantics)."""
+    return compiled(expression)(row, ctx)
+
+
+def compile_expression(expression: ast.Expression) -> CompiledExpression:
+    """Compile one AST subtree into a closure (no per-row tree walks).
+
+    Every branch below mirrors one case of the old interpreter; the
+    ``isinstance`` dispatch happens here, once, instead of on every row.
+    """
     if isinstance(expression, ast.Literal):
-        return expression.value
+        value = expression.value
+
+        def literal_fn(row: Row, ctx: ExecutionContext) -> object:
+            return value
+
+        return literal_fn
     if isinstance(expression, ast.Parameter):
-        if expression.name not in ctx.parameters:
-            raise QueryExecutionError(f"missing parameter ${expression.name}")
-        return ctx.parameters[expression.name]
+        name = expression.name
+
+        def parameter_fn(row: Row, ctx: ExecutionContext) -> object:
+            try:
+                return ctx.parameters[name]
+            except KeyError:
+                raise QueryExecutionError(f"missing parameter ${name}") from None
+
+        return parameter_fn
     if isinstance(expression, ast.Variable):
-        if expression.name not in row:
-            raise QueryExecutionError(f"unbound variable {expression.name!r}")
-        return row[expression.name]
+        name = expression.name
+
+        def variable_fn(row: Row, ctx: ExecutionContext) -> object:
+            try:
+                return row[name]
+            except KeyError:
+                raise QueryExecutionError(f"unbound variable {name!r}") from None
+
+        return variable_fn
     if isinstance(expression, ast.PropertyAccess):
-        entity = evaluate(expression.entity, row, ctx)
-        if entity is None:
-            return None
-        if isinstance(entity, (Node, Relationship)):
-            return entity.get(expression.key)
-        raise QueryExecutionError(
-            f"cannot read property {expression.key!r} of {type(entity).__name__}"
-        )
+        key = expression.key
+        if isinstance(expression.entity, ast.Variable):
+            # The overwhelmingly common shape (``n.prop``): skip the generic
+            # entity closure and read the handle's immutable data directly.
+            variable = expression.entity.name
+
+            def direct_property_fn(row: Row, ctx: ExecutionContext) -> object:
+                try:
+                    entity = row[variable]
+                except KeyError:
+                    raise QueryExecutionError(
+                        f"unbound variable {variable!r}"
+                    ) from None
+                if entity is None:
+                    return None
+                if isinstance(entity, (Node, Relationship)):
+                    return entity.data.properties.get(key)
+                raise QueryExecutionError(
+                    f"cannot read property {key!r} of {type(entity).__name__}"
+                )
+
+            return direct_property_fn
+        entity_fn = compile_expression(expression.entity)
+
+        def property_fn(row: Row, ctx: ExecutionContext) -> object:
+            entity = entity_fn(row, ctx)
+            if entity is None:
+                return None
+            if isinstance(entity, (Node, Relationship)):
+                return entity.data.properties.get(key)
+            raise QueryExecutionError(
+                f"cannot read property {key!r} of {type(entity).__name__}"
+            )
+
+        return property_fn
     if isinstance(expression, ast.ListLiteral):
-        return [evaluate(item, row, ctx) for item in expression.items]
+        item_fns = tuple(compile_expression(item) for item in expression.items)
+
+        def list_fn(row: Row, ctx: ExecutionContext) -> object:
+            return [fn(row, ctx) for fn in item_fns]
+
+        return list_fn
     if isinstance(expression, ast.Comparison):
-        return _compare(
-            expression.op,
-            evaluate(expression.left, row, ctx),
-            evaluate(expression.right, row, ctx),
-        )
+        op = expression.op
+        left_fn = compile_expression(expression.left)
+        right_fn = compile_expression(expression.right)
+
+        def comparison_fn(row: Row, ctx: ExecutionContext) -> object:
+            return _compare(op, left_fn(row, ctx), right_fn(row, ctx))
+
+        return comparison_fn
     if isinstance(expression, ast.IsNull):
-        value = evaluate(expression.operand, row, ctx)
-        return (value is not None) if expression.negated else (value is None)
+        operand_fn = compile_expression(expression.operand)
+        if expression.negated:
+
+            def is_not_null_fn(row: Row, ctx: ExecutionContext) -> object:
+                return operand_fn(row, ctx) is not None
+
+            return is_not_null_fn
+
+        def is_null_fn(row: Row, ctx: ExecutionContext) -> object:
+            return operand_fn(row, ctx) is None
+
+        return is_null_fn
     if isinstance(expression, ast.BooleanOp):
+        operand_fns = tuple(
+            compile_expression(operand) for operand in expression.operands
+        )
         if expression.op == "AND":
-            result: object = True
-            for operand in expression.operands:
-                value = evaluate(operand, row, ctx)
+
+            def and_fn(row: Row, ctx: ExecutionContext) -> object:
+                result: object = True
+                for fn in operand_fns:
+                    value = fn(row, ctx)
+                    if value is None:
+                        result = None
+                    elif not value:
+                        return False
+                return result
+
+            return and_fn
+
+        def or_fn(row: Row, ctx: ExecutionContext) -> object:
+            result: object = False
+            for fn in operand_fns:
+                value = fn(row, ctx)
                 if value is None:
                     result = None
-                elif not _is_truthy(value):
-                    return False
+                elif value:
+                    return True
             return result
-        result = False
-        for operand in expression.operands:
-            value = evaluate(operand, row, ctx)
-            if value is None:
-                result = None
-            elif _is_truthy(value):
-                return True
-        return result
+
+        return or_fn
     if isinstance(expression, ast.Not):
-        value = evaluate(expression.operand, row, ctx)
-        if value is None:
-            return None
-        return not _is_truthy(value)
+        operand_fn = compile_expression(expression.operand)
+
+        def not_fn(row: Row, ctx: ExecutionContext) -> object:
+            value = operand_fn(row, ctx)
+            if value is None:
+                return None
+            return not _is_truthy(value)
+
+        return not_fn
     if isinstance(expression, ast.Arithmetic):
-        return _arithmetic(
-            expression.op,
-            evaluate(expression.left, row, ctx),
-            evaluate(expression.right, row, ctx),
-        )
+        op = expression.op
+        left_fn = compile_expression(expression.left)
+        right_fn = compile_expression(expression.right)
+
+        def arithmetic_fn(row: Row, ctx: ExecutionContext) -> object:
+            return _arithmetic(op, left_fn(row, ctx), right_fn(row, ctx))
+
+        return arithmetic_fn
     if isinstance(expression, ast.Negate):
-        value = evaluate(expression.operand, row, ctx)
-        if value is None:
-            return None
-        if not isinstance(value, (int, float)) or isinstance(value, bool):
-            raise QueryExecutionError(f"cannot negate {value!r}")
-        return -value
+        operand_fn = compile_expression(expression.operand)
+
+        def negate_fn(row: Row, ctx: ExecutionContext) -> object:
+            value = operand_fn(row, ctx)
+            if value is None:
+                return None
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise QueryExecutionError(f"cannot negate {value!r}")
+            return -value
+
+        return negate_fn
     if isinstance(expression, ast.FunctionCall):
-        return _call_function(expression, row, ctx)
+        return _compile_function(expression)
     raise QueryExecutionError(f"cannot evaluate {expression!r}")
 
 
@@ -682,40 +862,80 @@ def _arithmetic(op: str, left: object, right: object) -> object:
     raise QueryExecutionError(f"unknown arithmetic operator {op!r}")
 
 
-def _call_function(call: ast.FunctionCall, row: Row, ctx: ExecutionContext) -> object:
+def _compile_function(call: ast.FunctionCall) -> CompiledExpression:
     name = call.name
     if name in ast.AGGREGATE_FUNCTIONS:
-        raise QueryExecutionError(
-            f"aggregate {name}() is only allowed in RETURN or WITH items"
-        )
-    args = [evaluate(arg, row, ctx) for arg in call.args]
+
+        def aggregate_misuse_fn(row: Row, ctx: ExecutionContext) -> object:
+            raise QueryExecutionError(
+                f"aggregate {name}() is only allowed in RETURN or WITH items"
+            )
+
+        return aggregate_misuse_fn
+    arg_fns = tuple(compile_expression(arg) for arg in call.args)
     if name == "coalesce":
-        for value in args:
-            if value is not None:
-                return value
-        return None
-    if len(args) != 1:
-        raise QueryExecutionError(f"{name}() takes exactly one argument")
-    value = args[0]
-    if value is None:
-        return None
-    if name == "id":
-        if isinstance(value, (Node, Relationship)):
-            return value.id
-        raise QueryExecutionError("id() requires a node or relationship")
-    if name == "labels":
-        if isinstance(value, Node):
-            return sorted(value.labels)
-        raise QueryExecutionError("labels() requires a node")
-    if name == "type":
-        if isinstance(value, Relationship):
-            return value.type
-        raise QueryExecutionError("type() requires a relationship")
-    if name == "size":
-        if isinstance(value, (str, list, tuple)):
-            return len(value)
-        raise QueryExecutionError("size() requires a string or list")
-    raise QueryExecutionError(f"unknown function {name!r}")
+
+        def coalesce_fn(row: Row, ctx: ExecutionContext) -> object:
+            for fn in arg_fns:
+                value = fn(row, ctx)
+                if value is not None:
+                    return value
+            return None
+
+        return coalesce_fn
+    # Preserve the interpreter's evaluation order for every remaining name,
+    # known or not: arity first, then the null short-circuit (so even an
+    # unknown function applied to null yields null), then dispatch.
+    if len(arg_fns) != 1:
+
+        def arity_fn(row: Row, ctx: ExecutionContext) -> object:
+            raise QueryExecutionError(f"{name}() takes exactly one argument")
+
+        return arity_fn
+    arg_fn = arg_fns[0]
+    scalar = _SCALAR_FUNCTIONS.get(name)
+
+    def scalar_fn(row: Row, ctx: ExecutionContext) -> object:
+        value = arg_fn(row, ctx)
+        if value is None:
+            return None
+        if scalar is None:
+            raise QueryExecutionError(f"unknown function {name!r}")
+        return scalar(value)
+
+    return scalar_fn
+
+
+def _fn_id(value: object) -> object:
+    if isinstance(value, (Node, Relationship)):
+        return value.id
+    raise QueryExecutionError("id() requires a node or relationship")
+
+
+def _fn_labels(value: object) -> object:
+    if isinstance(value, Node):
+        return sorted(value.labels)
+    raise QueryExecutionError("labels() requires a node")
+
+
+def _fn_type(value: object) -> object:
+    if isinstance(value, Relationship):
+        return value.type
+    raise QueryExecutionError("type() requires a relationship")
+
+
+def _fn_size(value: object) -> object:
+    if isinstance(value, (str, list, tuple)):
+        return len(value)
+    raise QueryExecutionError("size() requires a string or list")
+
+
+_SCALAR_FUNCTIONS = {
+    "id": _fn_id,
+    "labels": _fn_labels,
+    "type": _fn_type,
+    "size": _fn_size,
+}
 
 
 def _is_truthy(value: object) -> bool:

@@ -75,3 +75,59 @@ class CommitPipelineStats:
                 "commit_pauses": self.commit_pauses,
                 "max_stripes_per_commit": self.max_stripes_per_commit,
             }
+
+
+class CardinalityEpoch:
+    """A coarse change counter over an engine's cardinality statistics.
+
+    The query plan cache keys plans on ``(query text, epoch)``: as long as
+    the epoch is stable, cached plans were costed against statistics close
+    enough to the current ones to stay valid.  The index layer calls
+    :meth:`record` once per indexed entity change; when the accumulated
+    changes since the last bump exceed a fraction of the indexed population
+    (with an absolute floor so small databases re-plan promptly), the epoch
+    advances and every cached plan silently expires on its next lookup.
+
+    Both engines use one instance: the read-committed
+    :class:`~repro.index.index_manager.IndexManager` and the SI
+    :class:`~repro.core.versioned_index.VersionedIndexSet` record into
+    whichever of the two the database wired in.
+    """
+
+    def __init__(self, *, min_changes: int = 128, drift_fraction: float = 0.125) -> None:
+        if min_changes < 1:
+            raise ValueError("min_changes must be positive")
+        if drift_fraction <= 0:
+            raise ValueError("drift_fraction must be positive")
+        self._min_changes = min_changes
+        self._drift_fraction = drift_fraction
+        #: Net indexed population (creates minus deletes), the drift baseline.
+        self._population = 0
+        self._changes_since_bump = 0
+        self.epoch = 0
+
+    def record(self, net_delta: int = 0) -> None:
+        """Record one indexed entity change (``net_delta``: +1 create, -1 delete).
+
+        Deliberately lock-free: this sits on the striped commit path, and a
+        global mutex here would re-serialise exactly the commits PR 1
+        unsharded.  The counters are racy under the GIL's ``+=`` windows —
+        a lost increment merely delays (or an extra epoch bump merely
+        hastens) a heuristic re-plan, never affects correctness.
+        """
+        self._population += net_delta
+        self._changes_since_bump += 1
+        threshold = max(
+            self._min_changes, int(self._population * self._drift_fraction)
+        )
+        if self._changes_since_bump >= threshold:
+            self.epoch += 1
+            self._changes_since_bump = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (stats surface; racy reads, monitoring only)."""
+        return {
+            "epoch": self.epoch,
+            "population": self._population,
+            "changes_since_bump": self._changes_since_bump,
+        }
