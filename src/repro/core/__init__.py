@@ -13,6 +13,9 @@ described in Sections 3 and 4 of *"Snapshot Isolation for Neo4j"*:
   newer than the reader's start timestamp),
 * :mod:`repro.core.conflict` — the write rule (first-updater-wins, with
   first-committer-wins available for the ablation experiment),
+* :mod:`repro.core.cc_policy` — the pluggable concurrency-control policies
+  (SI write rule, 2PL no-op, and Serializable Snapshot Isolation with
+  SIREAD/predicate-read tracking),
 * :mod:`repro.core.tombstone` — tombstone helpers for deleted entities,
 * :mod:`repro.core.versioned_index` — multi-versioned label / property /
   type indexes and the adjacency map,
@@ -26,6 +29,12 @@ described in Sections 3 and 4 of *"Snapshot Isolation for Neo4j"*:
   transaction object and the engine tying everything together.
 """
 
+from repro.core.cc_policy import (
+    ConcurrencyControlPolicy,
+    SerializableSnapshotPolicy,
+    SnapshotWriteRulePolicy,
+    TwoPhaseLockingPolicy,
+)
 from repro.core.conflict import ConflictPolicy
 from repro.core.gc import GarbageCollector, GcStats, ThreadedVersionList
 from repro.core.si_manager import SnapshotIsolationEngine
@@ -37,9 +46,13 @@ from repro.core.version import Version, VersionChain
 from repro.core.version_store import VersionStore
 
 __all__ = [
+    "ConcurrencyControlPolicy",
     "ConflictPolicy",
     "GarbageCollector",
     "GcStats",
+    "SerializableSnapshotPolicy",
+    "SnapshotWriteRulePolicy",
+    "TwoPhaseLockingPolicy",
     "Snapshot",
     "SnapshotIsolationEngine",
     "SnapshotTransaction",

@@ -1,0 +1,775 @@
+"""Pluggable concurrency-control policies.
+
+The transaction kernel used to hard-wire its conflict handling: the
+read-committed engine leaned entirely on two-phase locking, and the
+snapshot-isolation engine called the write-rule :class:`ConflictDetector`
+directly from its commit path.  This module turns concurrency control into a
+*strategy* the engine is configured with:
+
+* :class:`TwoPhaseLockingPolicy` — the no-op policy for the read-committed
+  engine, where the lock manager already prevents every conflict the level
+  promises to prevent;
+* :class:`SnapshotWriteRulePolicy` — the paper's snapshot-isolation write
+  rule (first-updater-wins via long write locks, or first-committer-wins at
+  validation), hosting the :class:`~repro.core.conflict.ConflictDetector`
+  that previously lived loose inside the engine; and
+* :class:`SerializableSnapshotPolicy` — Serializable Snapshot Isolation
+  (Cahill et al., SIGMOD 2008): snapshot isolation plus tracking of
+  rw-antidependencies through SIREAD-style read registrations, aborting a
+  transaction whenever committing it would complete a *dangerous structure*
+  (two consecutive rw-edges whose pivot cannot be aborted any more).
+
+The SSI tracker works on three registries, all guarded by one mutex so the
+reader-side and writer-side checks are pairwise atomic (whichever of the two
+critical sections runs second is guaranteed to observe the other's
+registration — the store/load ordering that makes the edge detection
+race-free without putting locks on the MVCC read path itself):
+
+* ``sireads``: entity key -> records that point-read it (fed by
+  :meth:`~repro.core.si_transaction.SnapshotTransaction._resolve_committed`,
+  which covers point reads, adjacency expansions and index lookups);
+* ``predicates``: per-record predicate reads (label scans, property
+  lookups, relationship-type scans, whole-store iterations, adjacency
+  expansions) against which committed changes are matched for phantoms; and
+* a ``write registry`` plus ``commit log`` of recently committed changes,
+  consulted by *readers* so an edge is found no matter which side finishes
+  registering first.
+
+Read-only transactions are the paper's — and PostgreSQL's — fast path: they
+register nothing, cost nothing, and can never be aborted, because a
+transaction without writes can never be the pivot of a dangerous structure.
+
+Entries of committed transactions are retained only while a concurrent
+transaction could still form an edge with them; :meth:`reclaim` (driven by
+the garbage collector with the snapshot watermark) drops everything older.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.conflict import ConflictDetector, ConflictPolicy
+from repro.errors import SerializationError
+from repro.graph.entity import EntityKey, NodeData, RelationshipData
+from repro.index.property_index import hashable_value
+from repro.locking.lock_manager import LockManager
+
+#: A committed change: (key, state before the commit, state after it).
+Change = Tuple[EntityKey, Optional[object], Optional[object]]
+
+#: A predicate read, as registered by the transaction read path.
+#: First element is the predicate kind; the rest parameterise it.
+Predicate = Tuple
+
+
+class SsiTransactionRecord:
+    """Per-transaction SSI bookkeeping (Cahill's ``inConflict``/``outConflict``).
+
+    ``in_conflict`` means some concurrent transaction has an rw-antidependency
+    edge *into* this one (it read a version this transaction overwrote);
+    ``out_conflict`` the reverse.  A transaction carrying both is the pivot of
+    a dangerous structure and must not commit.  ``doomed`` marks an active
+    pivot chosen as the victim by another transaction's commit; it aborts at
+    its next interaction with the policy.
+    """
+
+    __slots__ = (
+        "txn_id",
+        "start_ts",
+        "commit_ts",
+        "finish_seq",
+        "committed",
+        "finished",
+        "doomed",
+        "in_conflict",
+        "out_conflict",
+        "read_keys",
+        "predicates",
+    )
+
+    def __init__(self, txn_id: int, start_ts: int) -> None:
+        self.txn_id = txn_id
+        self.start_ts = start_ts
+        self.commit_ts: Optional[float] = None
+        #: For writeless commits: newest transaction id issued when this
+        #: record finished.  A transaction whose id exceeds it began after
+        #: this record finished and can never overlap it.
+        self.finish_seq: Optional[int] = None
+        self.committed = False
+        self.finished = False
+        self.doomed = False
+        self.in_conflict = False
+        self.out_conflict = False
+        self.read_keys: Set[EntityKey] = set()
+        self.predicates: Set[Predicate] = set()
+
+    def concurrent_at(self, other_start_ts: float) -> bool:
+        """Whether this (finished) record overlapped a transaction that
+        started at ``other_start_ts`` (an active record always overlaps)."""
+        if not self.finished:
+            return True
+        return self.commit_ts is not None and self.commit_ts > other_start_ts
+
+
+class ConcurrencyControlPolicy(abc.ABC):
+    """Strategy interface the transaction engines program against.
+
+    Engines call the hooks at fixed points of the transaction lifecycle;
+    policies that do not care about a hook inherit the no-op.  ``tracks_reads``
+    tells the transaction layer whether the read path must register reads at
+    all — the flag keeps the snapshot-isolation fast path at a single
+    attribute test per read.
+    """
+
+    name: str = "abstract"
+    tracks_reads: bool = False
+
+    def begin_transaction(
+        self, txn_id: int, start_ts: int, *, read_only: bool = False
+    ) -> Optional[SsiTransactionRecord]:
+        """Register a starting transaction; returns its tracking record, if any."""
+        return None
+
+    def check_write(
+        self,
+        txn_id: int,
+        start_ts: int,
+        key: EntityKey,
+        record: Optional[SsiTransactionRecord],
+        read_newest_committed_ts: Callable[[], Optional[int]],
+    ) -> None:
+        """Write-time conflict rule (first write of ``key`` by the transaction)."""
+
+    def register_point_read(self, record: SsiTransactionRecord, key: EntityKey) -> None:
+        """Record that ``record`` read the committed state of ``key``."""
+
+    def register_predicate_read(
+        self, record: SsiTransactionRecord, predicate: Predicate
+    ) -> None:
+        """Record that ``record`` evaluated a predicate over committed state."""
+
+    def validate_commit(
+        self,
+        txn_id: int,
+        start_ts: int,
+        record: Optional[SsiTransactionRecord],
+        writes: Dict[EntityKey, Optional[object]],
+        created: Set[EntityKey],
+        newest_committed_ts: Callable[[EntityKey], Optional[int]],
+    ) -> None:
+        """Commit-time validation, run under the engine's commit stripes."""
+
+    def record_commit(
+        self,
+        record: Optional[SsiTransactionRecord],
+        changes: Sequence[Change],
+        commit_ts: int,
+    ) -> None:
+        """Publish a commit to the policy *before* versions install.
+
+        May raise :class:`SerializationError` to abort the committer while
+        nothing has been installed yet.
+        """
+
+    def finish_transaction(
+        self,
+        txn_id: int,
+        record: Optional[SsiTransactionRecord],
+        *,
+        committed: bool,
+        visible_ts: int = 0,
+        finish_seq: int = 0,
+    ) -> None:
+        """Close out a transaction that did not pass through :meth:`record_commit`
+        (read-only / no-write commits and aborts).  ``visible_ts`` is the
+        newest published commit timestamp at finish time; ``finish_seq`` the
+        newest transaction id issued by then."""
+
+    def release_locks(self, txn_id: int) -> None:
+        """Release every lock the policy acquired for the transaction."""
+
+    def reclaim(
+        self,
+        watermark: int,
+        *,
+        quiescent: bool = False,
+        oldest_active_txn_id: Optional[int] = None,
+    ) -> int:
+        """Drop tracking state no active snapshot can still need.
+
+        ``quiescent`` means no transaction is active at all, so every finished
+        record is reclaimable regardless of timestamps; ``oldest_active_txn_id``
+        lets writeless committed records (which never fall below the commit-
+        timestamp watermark on their own) be dropped once every active
+        transaction began after they finished.  Returns the number of entries
+        dropped (records, SIREAD entries, registry rows).
+        """
+        return 0
+
+    def rw_antidependency_aborts(self) -> int:
+        """Number of aborts this policy issued for rw-antidependency cycles."""
+        return 0
+
+    def ww_conflict_stats(self) -> Dict[str, int]:
+        """Write-write conflict detections, by phase (zeros for lock-based CC).
+
+        Part of the interface so the engine statistics surface works for any
+        injected policy, not only those hosting a ``ConflictDetector``.
+        """
+        return {"write_time": 0, "commit_time": 0}
+
+    def statistics(self) -> Dict[str, object]:
+        """Policy-specific counters for the engine statistics surface."""
+        return {"policy": self.name}
+
+
+class TwoPhaseLockingPolicy(ConcurrencyControlPolicy):
+    """The read-committed engine's policy: conflict prevention is the lock
+    manager's job, so every hook is a no-op.
+
+    Existing behaviour is unchanged — short read locks and long write locks
+    already serialise conflicting accesses, and the anomalies read committed
+    permits are permitted on purpose.  The policy object exists so the engine
+    abstraction is uniform and the statistics surface (abort reasons, policy
+    name) has one shape across isolation levels.
+    """
+
+    name = "2pl"
+
+    def __init__(self, lock_manager: Optional[LockManager] = None) -> None:
+        self.locks = lock_manager
+
+    def release_locks(self, txn_id: int) -> None:
+        if self.locks is not None:
+            self.locks.release_all(txn_id)
+
+
+class SnapshotWriteRulePolicy(ConcurrencyControlPolicy):
+    """Snapshot isolation's write rule, extracted from the SI engine.
+
+    Hosts the :class:`~repro.core.conflict.ConflictDetector` (first-updater-
+    wins on the long write locks, or first-committer-wins at validation) that
+    the engine used to call directly; the engine now only talks to the policy
+    interface, which is what makes the SSI policy drop-in below.
+    """
+
+    name = "si-write-rule"
+
+    def __init__(
+        self,
+        lock_manager: LockManager,
+        conflict_policy: ConflictPolicy = ConflictPolicy.FIRST_UPDATER_WINS,
+    ) -> None:
+        self.detector = ConflictDetector(lock_manager, conflict_policy)
+
+    @property
+    def conflict_policy(self) -> ConflictPolicy:
+        """The write-write policy (first-updater-wins / first-committer-wins)."""
+        return self.detector.policy
+
+    def check_write(
+        self,
+        txn_id: int,
+        start_ts: int,
+        key: EntityKey,
+        record: Optional[SsiTransactionRecord],
+        read_newest_committed_ts: Callable[[], Optional[int]],
+    ) -> None:
+        self.detector.on_write(txn_id, start_ts, key, read_newest_committed_ts)
+
+    def validate_commit(
+        self,
+        txn_id: int,
+        start_ts: int,
+        record: Optional[SsiTransactionRecord],
+        writes: Dict[EntityKey, Optional[object]],
+        created: Set[EntityKey],
+        newest_committed_ts: Callable[[EntityKey], Optional[int]],
+    ) -> None:
+        for key in writes:
+            if key not in created:
+                self.detector.validate_at_commit(
+                    txn_id, start_ts, key, newest_committed_ts(key)
+                )
+
+    def release_locks(self, txn_id: int) -> None:
+        self.detector.release_locks(txn_id)
+
+    def ww_conflict_stats(self) -> Dict[str, int]:
+        return {
+            "write_time": self.detector.stats.write_time_conflicts,
+            "commit_time": self.detector.stats.commit_time_conflicts,
+        }
+
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "policy": self.name,
+            "conflict_policy": self.detector.policy.value,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Serializable Snapshot Isolation
+# ---------------------------------------------------------------------------
+
+
+class _CommitLogEntry:
+    """One committed transaction's changes, kept for reader-side matching."""
+
+    __slots__ = ("commit_ts", "record", "changes")
+
+    def __init__(self, commit_ts: int, record: SsiTransactionRecord,
+                 changes: Tuple[Change, ...]) -> None:
+        self.commit_ts = commit_ts
+        self.record = record
+        self.changes = changes
+
+
+def predicate_matches(predicate: Predicate, state: Optional[object]) -> bool:
+    """Whether an entity state is a member of a predicate's result set."""
+    if state is None:
+        return False
+    kind = predicate[0]
+    if kind == "label":
+        return isinstance(state, NodeData) and predicate[1] in state.labels
+    if kind == "node_prop":
+        return (
+            isinstance(state, NodeData)
+            and predicate[1] in state.properties
+            and hashable_value(state.properties[predicate[1]]) == predicate[2]
+        )
+    if kind == "rel_prop":
+        return (
+            isinstance(state, RelationshipData)
+            and predicate[1] in state.properties
+            and hashable_value(state.properties[predicate[1]]) == predicate[2]
+        )
+    if kind == "rel_type":
+        return isinstance(state, RelationshipData) and state.rel_type == predicate[1]
+    if kind == "all_nodes":
+        return isinstance(state, NodeData)
+    if kind == "all_rels":
+        return isinstance(state, RelationshipData)
+    if kind == "adjacency":
+        return isinstance(state, RelationshipData) and state.touches(predicate[1])
+    raise ValueError(f"unknown predicate kind {kind!r}")
+
+
+def predicate_membership_changed(
+    predicate: Predicate, old: Optional[object], new: Optional[object]
+) -> bool:
+    """Whether a committed change moved an entity into or out of a predicate.
+
+    Only membership changes matter: a change that leaves an entity inside the
+    predicate's result set (say, an unrelated property update on a node the
+    reader's label scan returned) is already covered by the point-read SIREAD
+    the reader registered when it resolved the entity itself.
+    """
+    return predicate_matches(predicate, old) != predicate_matches(predicate, new)
+
+
+class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
+    """Serializable Snapshot Isolation on top of the SI write rule.
+
+    Essential serialization-graph fact (Fekete et al.): every non-serializable
+    execution permitted by snapshot isolation contains a *dangerous structure*
+    — two consecutive rw-antidependency edges ``T1 -rw-> T2 -rw-> T3`` between
+    pairwise-concurrent transactions.  Aborting some transaction of every
+    dangerous structure therefore guarantees serializability.  Like Cahill's
+    implementation we keep one ``in_conflict``/``out_conflict`` flag pair per
+    transaction rather than the full graph, and abort conservatively:
+
+    * a transaction that would carry both flags (the pivot ``T2``) aborts
+      itself if it is the one acting,
+    * an *active* pivot discovered from another transaction's commit is marked
+      ``doomed`` and aborts at its next policy interaction, and
+    * when the pivot has already *committed* — it cannot be aborted — the
+      acting transaction aborts instead, which is exactly the "committed
+      pivot" case of the issue's dangerous-structure rule.
+
+    False positives (flags that outlive an aborted partner) only ever cause
+    extra aborts, never a missed anomaly; applications retry through
+    ``db.run_transaction``.
+    """
+
+    name = "ssi"
+    tracks_reads = True
+
+    def __init__(
+        self,
+        lock_manager: LockManager,
+        conflict_policy: ConflictPolicy = ConflictPolicy.FIRST_UPDATER_WINS,
+    ) -> None:
+        super().__init__(lock_manager, conflict_policy)
+        self._mutex = threading.Lock()
+        #: Active and recently-committed tracked transactions by id.
+        self._records: Dict[int, SsiTransactionRecord] = {}
+        #: entity key -> records holding a SIREAD on it.
+        self._sireads: Dict[EntityKey, Set[SsiTransactionRecord]] = {}
+        #: Records with at least one registered predicate read.
+        self._predicate_readers: Set[SsiTransactionRecord] = set()
+        #: entity key -> [(commit_ts, committed writer record)].
+        self._write_registry: Dict[EntityKey, List[Tuple[int, SsiTransactionRecord]]] = {}
+        #: Recently committed change sets, for reader-side predicate checks.
+        self._commit_log: List[_CommitLogEntry] = []
+        #: Lifetime counters.
+        self._rw_aborts = 0
+        self._edges_observed = 0
+        self._doomed_marked = 0
+        self._entries_reclaimed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin_transaction(
+        self, txn_id: int, start_ts: int, *, read_only: bool = False
+    ) -> Optional[SsiTransactionRecord]:
+        if read_only:
+            # The read-only optimisation: no SIREADs, no record, no aborts.
+            # Deliberate trade-off: serializability is guaranteed among the
+            # read-write transactions; an explicitly read-only transaction
+            # gets a consistent snapshot but is excluded from edge tracking,
+            # so the rare read-only-transaction anomaly (Fekete et al. 2004)
+            # is not detected on its behalf.  PostgreSQL closes that last
+            # gap with safe-snapshot gating (deferring or re-checking the
+            # snapshot while conflicting read-write transactions are live);
+            # until then, observers that must participate in the serial
+            # order should be opened read-write.
+            return None
+        record = SsiTransactionRecord(txn_id, start_ts)
+        with self._mutex:
+            self._records[txn_id] = record
+        return record
+
+    def finish_transaction(
+        self,
+        txn_id: int,
+        record: Optional[SsiTransactionRecord],
+        *,
+        committed: bool,
+        visible_ts: int = 0,
+        finish_seq: int = 0,
+    ) -> None:
+        if record is None:
+            return
+        with self._mutex:
+            if record.committed:
+                return  # went through record_commit; retained until reclaim
+            if not committed:
+                self._purge_record(record)
+                return
+            # Committed without writes: the record's SIREADs must survive
+            # until no concurrent writer can commit any more.  The half-step
+            # past the newest visible timestamp makes the record concurrent
+            # with every transaction whose snapshot predates its finish,
+            # without colliding with a real (integer) commit timestamp; the
+            # finish sequence is what eventually lets reclaim drop it even
+            # when no write ever advances the timestamp watermark.
+            record.finished = True
+            record.committed = True
+            record.commit_ts = visible_ts + 0.5
+            record.finish_seq = finish_seq
+
+    def release_locks(self, txn_id: int) -> None:
+        self.detector.release_locks(txn_id)
+
+    # -- write-time hooks -----------------------------------------------------
+
+    def check_write(
+        self,
+        txn_id: int,
+        start_ts: int,
+        key: EntityKey,
+        record: Optional[SsiTransactionRecord],
+        read_newest_committed_ts: Callable[[], Optional[int]],
+    ) -> None:
+        if record is not None and record.doomed:
+            self._abort_doomed(record)
+        super().check_write(txn_id, start_ts, key, record, read_newest_committed_ts)
+
+    # -- read-time hooks -------------------------------------------------------
+
+    def register_point_read(self, record: SsiTransactionRecord, key: EntityKey) -> None:
+        if key in record.read_keys:
+            # Only the owning thread mutates ``read_keys``, so this dedup
+            # test is safe outside the mutex — and it is what keeps repeat
+            # reads (snapshot-cache hits included) at a set-lookup cost.
+            return
+        if record.doomed:
+            self._abort_doomed(record)
+        with self._mutex:
+            record.read_keys.add(key)
+            self._sireads.setdefault(key, set()).add(record)
+            # Reader-side half of the race-free edge detection: a writer that
+            # already committed a newer version of this key was concurrent
+            # with us, so we read "under" its write — an rw edge out of us.
+            for commit_ts, writer in self._write_registry.get(key, ()):
+                if writer is not record and commit_ts > record.start_ts:
+                    self._note_edge(record, writer, acting=record)
+
+    def register_predicate_read(
+        self, record: SsiTransactionRecord, predicate: Predicate
+    ) -> None:
+        if predicate in record.predicates:
+            return
+        if record.doomed:
+            self._abort_doomed(record)
+        with self._mutex:
+            record.predicates.add(predicate)
+            self._predicate_readers.add(record)
+            for entry in self._commit_log:
+                if entry.record is record or entry.commit_ts <= record.start_ts:
+                    continue
+                for _key, old, new in entry.changes:
+                    if predicate_membership_changed(predicate, old, new):
+                        self._note_edge(record, entry.record, acting=record)
+                        break
+
+    # -- commit-time hooks -----------------------------------------------------
+
+    def validate_commit(
+        self,
+        txn_id: int,
+        start_ts: int,
+        record: Optional[SsiTransactionRecord],
+        writes: Dict[EntityKey, Optional[object]],
+        created: Set[EntityKey],
+        newest_committed_ts: Callable[[EntityKey], Optional[int]],
+    ) -> None:
+        if record is not None:
+            with self._mutex:
+                if record.doomed:
+                    self._raise_rw_abort(record, "was marked for abort by a "
+                                         "concurrent committer (dangerous structure)")
+                if record.in_conflict and record.out_conflict:
+                    self._raise_rw_abort(record, "is the pivot of a dangerous structure")
+        super().validate_commit(
+            txn_id, start_ts, record, writes, created, newest_committed_ts
+        )
+
+    def record_commit(
+        self,
+        record: Optional[SsiTransactionRecord],
+        changes: Sequence[Change],
+        commit_ts: int,
+    ) -> None:
+        """Writer-side edge detection, atomically with the commit publication.
+
+        Runs after the commit timestamp is issued but *before* any version
+        installs, so raising here aborts the transaction with nothing to undo.
+        The whole method is one critical section: decide first (collect every
+        reader our changes conflict with, check the dangerous-structure
+        rules), and only then mutate (apply edges, register our writes, mark
+        the record committed) — an abort therefore leaves no trace.
+        """
+        if record is None:
+            return
+        with self._mutex:
+            if record.doomed:
+                self._raise_rw_abort(record, "was marked for abort by a "
+                                     "concurrent committer (dangerous structure)")
+            readers = self._conflicting_readers(record, changes)
+            if readers and record.out_conflict:
+                # Committing would make this transaction the pivot.
+                self._raise_rw_abort(record, "is the pivot of a dangerous structure")
+            for reader in readers:
+                if reader.finished and reader.committed and reader.in_conflict:
+                    # The reader is a pivot that has already committed — it
+                    # cannot be aborted, so the structure is broken here.
+                    self._raise_rw_abort(
+                        record,
+                        "completes a dangerous structure whose pivot "
+                        f"(transaction {reader.txn_id}) has already committed",
+                    )
+            # Point of no return: apply the edges and publish the commit.
+            for reader in readers:
+                self._note_edge(reader, record, acting=record)
+            record.finished = True
+            record.committed = True
+            record.commit_ts = commit_ts
+            frozen = tuple(changes)
+            for key, _old, _new in frozen:
+                self._write_registry.setdefault(key, []).append((commit_ts, record))
+            self._commit_log.append(_CommitLogEntry(commit_ts, record, frozen))
+
+    def _conflicting_readers(
+        self, record: SsiTransactionRecord, changes: Sequence[Change]
+    ) -> List[SsiTransactionRecord]:
+        """Concurrent transactions that read state these changes overwrite."""
+        readers: Set[SsiTransactionRecord] = set()
+        for key, _old, _new in changes:
+            for reader in self._sireads.get(key, ()):
+                if reader is not record and reader.concurrent_at(record.start_ts):
+                    readers.add(reader)
+        for reader in self._predicate_readers:
+            if reader is record or reader in readers:
+                continue
+            if not reader.concurrent_at(record.start_ts):
+                continue
+            if any(
+                predicate_membership_changed(predicate, old, new)
+                for _key, old, new in changes
+                for predicate in reader.predicates
+            ):
+                readers.add(reader)
+        return list(readers)
+
+    # -- edge bookkeeping ------------------------------------------------------
+
+    def _note_edge(
+        self,
+        reader: SsiTransactionRecord,
+        writer: SsiTransactionRecord,
+        *,
+        acting: SsiTransactionRecord,
+    ) -> None:
+        """Apply one rw-antidependency edge ``reader -> writer`` (mutex held).
+
+        If either endpoint becomes a pivot, resolve per the dangerous-
+        structure rules: abort the acting transaction when the pivot is the
+        acting transaction itself or has already committed; doom an active
+        pivot otherwise.
+        """
+        self._edges_observed += 1
+        reader.out_conflict = True
+        writer.in_conflict = True
+        for pivot in (reader, writer):
+            if not (pivot.in_conflict and pivot.out_conflict):
+                continue
+            if pivot is acting:
+                self._raise_rw_abort(acting, "is the pivot of a dangerous structure")
+            if pivot.finished:
+                if pivot.committed:
+                    self._raise_rw_abort(
+                        acting,
+                        "completes a dangerous structure whose pivot "
+                        f"(transaction {pivot.txn_id}) has already committed",
+                    )
+            elif not pivot.doomed:
+                pivot.doomed = True
+                self._doomed_marked += 1
+
+    def _abort_doomed(self, record: SsiTransactionRecord) -> None:
+        with self._mutex:
+            self._raise_rw_abort(record, "was marked for abort by a "
+                                 "concurrent committer (dangerous structure)")
+
+    def _raise_rw_abort(self, record: SsiTransactionRecord, why: str) -> None:
+        self._rw_aborts += 1
+        raise SerializationError(
+            f"transaction {record.txn_id} {why}; retry the transaction"
+        )
+
+    # -- reclamation -----------------------------------------------------------
+
+    def reclaim(
+        self,
+        watermark: int,
+        *,
+        quiescent: bool = False,
+        oldest_active_txn_id: Optional[int] = None,
+    ) -> int:
+        """Drop SIREADs, registry rows and records no snapshot can still need.
+
+        A committed record matters only to transactions concurrent with it,
+        and every active transaction's start timestamp is at least the
+        watermark — so ``commit_ts <= watermark`` (or a fully quiescent
+        engine) makes the record, its SIREADs and its registry entries
+        unreachable.  *Writeless* committed records carry a pseudo commit
+        timestamp half a step above the watermark of their finish, which a
+        pure-read workload would never advance past; those fall back to the
+        begin-ordered transaction id: once every active transaction's id
+        exceeds the record's finish sequence, nothing overlapping it can
+        still exist.  Active records are never touched.
+        """
+        dropped = 0
+        with self._mutex:
+            for txn_id in list(self._records):
+                record = self._records[txn_id]
+                if not (record.finished and record.committed):
+                    continue
+                collectable = (
+                    quiescent
+                    or (record.commit_ts is not None and record.commit_ts <= watermark)
+                    or (
+                        record.finish_seq is not None
+                        and oldest_active_txn_id is not None
+                        and record.finish_seq < oldest_active_txn_id
+                    )
+                )
+                if collectable:
+                    dropped += 1 + len(record.read_keys) + len(record.predicates)
+                    self._purge_record(record)
+            for key in list(self._write_registry):
+                entries = self._write_registry[key]
+                kept = [
+                    (ts, rec) for ts, rec in entries
+                    if not (quiescent or ts <= watermark)
+                ]
+                dropped += len(entries) - len(kept)
+                if kept:
+                    self._write_registry[key] = kept
+                else:
+                    del self._write_registry[key]
+            before = len(self._commit_log)
+            self._commit_log = [
+                entry for entry in self._commit_log
+                if not (quiescent or entry.commit_ts <= watermark)
+            ]
+            dropped += before - len(self._commit_log)
+        self._entries_reclaimed += dropped
+        return dropped
+
+    def _purge_record(self, record: SsiTransactionRecord) -> None:
+        """Remove one record and its SIREAD entries (mutex held)."""
+        self._records.pop(record.txn_id, None)
+        for key in record.read_keys:
+            holders = self._sireads.get(key)
+            if holders is not None:
+                holders.discard(record)
+                if not holders:
+                    del self._sireads[key]
+        record.read_keys.clear()
+        record.predicates.clear()
+        self._predicate_readers.discard(record)
+        record.finished = True
+
+    # -- statistics ------------------------------------------------------------
+
+    def rw_antidependency_aborts(self) -> int:
+        return self._rw_aborts
+
+    def statistics(self) -> Dict[str, object]:
+        with self._mutex:
+            return {
+                "policy": self.name,
+                "conflict_policy": self.detector.policy.value,
+                "tracked_transactions": len(self._records),
+                "siread_keys": len(self._sireads),
+                "siread_entries": sum(len(h) for h in self._sireads.values()),
+                "predicate_readers": len(self._predicate_readers),
+                "write_registry_entries": sum(
+                    len(entries) for entries in self._write_registry.values()
+                ),
+                "commit_log_entries": len(self._commit_log),
+                "rw_edges_observed": self._edges_observed,
+                "rw_antidependency_aborts": self._rw_aborts,
+                "transactions_doomed": self._doomed_marked,
+                "entries_reclaimed": self._entries_reclaimed,
+            }
+
+
+def policy_for_isolation(
+    isolation,
+    lock_manager: LockManager,
+    conflict_policy: ConflictPolicy = ConflictPolicy.FIRST_UPDATER_WINS,
+) -> ConcurrencyControlPolicy:
+    """The default policy for an isolation level (engine constructor helper)."""
+    from repro.engine import IsolationLevel
+
+    if isolation is IsolationLevel.SERIALIZABLE:
+        return SerializableSnapshotPolicy(lock_manager, conflict_policy)
+    if isolation is IsolationLevel.SNAPSHOT:
+        return SnapshotWriteRulePolicy(lock_manager, conflict_policy)
+    return TwoPhaseLockingPolicy(lock_manager)

@@ -50,6 +50,7 @@ class GcStats:
     versions_collected: int = 0
     entities_purged: int = 0
     index_intervals_purged: int = 0
+    cc_entries_reclaimed: int = 0
     duration_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
@@ -60,6 +61,7 @@ class GcStats:
             "versions_collected": self.versions_collected,
             "entities_purged": self.entities_purged,
             "index_intervals_purged": self.index_intervals_purged,
+            "cc_entries_reclaimed": self.cc_entries_reclaimed,
             "duration_seconds": self.duration_seconds,
         }
 
@@ -165,10 +167,18 @@ class GarbageCollector:
         oracle: TimestampOracle,
         indexes: VersionedIndexSet,
         gc_list: Optional[ThreadedVersionList] = None,
+        *,
+        cc_policy=None,
     ) -> None:
+        """``cc_policy`` (a :class:`~repro.core.cc_policy.ConcurrencyControlPolicy`)
+        gets its :meth:`reclaim` hook driven with the same watermark as the
+        version reclamation, so SSI SIREAD entries and commit records are
+        dropped exactly when the snapshots that could still form edges with
+        them are gone."""
         self.version_store = version_store
         self.oracle = oracle
         self.indexes = indexes
+        self.cc_policy = cc_policy
         self.gc_list = gc_list if gc_list is not None else ThreadedVersionList()
         self._lock = threading.Lock()
         self.total_stats = GcStats()
@@ -200,6 +210,12 @@ class GarbageCollector:
             for version in reclaimable:
                 stats.versions_collected += self._reclaim(version, stats)
             stats.index_intervals_purged = self.indexes.purge(stats.watermark)
+            if self.cc_policy is not None:
+                stats.cc_entries_reclaimed = self.cc_policy.reclaim(
+                    stats.watermark,
+                    quiescent=self.oracle.active_count() == 0,
+                    oldest_active_txn_id=self.oracle.oldest_active_txn_id(),
+                )
             stats.duration_seconds = time.perf_counter() - started
             self._accumulate(stats)
             return stats
@@ -250,5 +266,6 @@ class GarbageCollector:
         self.total_stats.versions_collected += stats.versions_collected
         self.total_stats.entities_purged += stats.entities_purged
         self.total_stats.index_intervals_purged += stats.index_intervals_purged
+        self.total_stats.cc_entries_reclaimed += stats.cc_entries_reclaimed
         self.total_stats.duration_seconds += stats.duration_seconds
         self.total_stats.watermark = stats.watermark

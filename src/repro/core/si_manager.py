@@ -21,7 +21,13 @@ import contextlib
 import threading
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.core.conflict import ConflictDetector, ConflictPolicy
+from repro.core.cc_policy import (
+    Change,
+    ConcurrencyControlPolicy,
+    SerializableSnapshotPolicy,
+    SnapshotWriteRulePolicy,
+)
+from repro.core.conflict import ConflictPolicy
 from repro.core.gc import GarbageCollector, GcStats, ThreadedVersionList
 from repro.core.si_transaction import SnapshotTransaction
 from repro.core.snapshot import Snapshot
@@ -58,9 +64,24 @@ COMMIT_TS_PROPERTY = RESERVED_PROPERTY_PREFIX + "commit_ts"
 #: Default number of commit stripes (1 restores the seed's global mutex).
 DEFAULT_COMMIT_STRIPES = 16
 
+#: Under SSI, reclaim the policy's tracking state (SIREADs, commit log,
+#: write registry) every N version-installing commits, independently of the
+#: version GC cadence.  Without this a long-running serializable database
+#: that never runs GC would grow its commit log without bound and pay an
+#: ever-longer predicate scan per read.
+SSI_RECLAIM_EVERY_N_COMMITS = 64
+
 
 class SnapshotIsolationEngine(GraphEngine):
-    """Multi-version engine providing snapshot isolation (the paper's system)."""
+    """Multi-version engine providing snapshot isolation (the paper's system).
+
+    The same engine also provides **serializable** isolation: concurrency
+    control is a pluggable :class:`~repro.core.cc_policy.ConcurrencyControlPolicy`,
+    and opening the engine with ``isolation=IsolationLevel.SERIALIZABLE``
+    swaps the plain write-rule policy for the SSI policy, which additionally
+    tracks rw-antidependencies from the read path and aborts transactions
+    that would complete a dangerous structure.
+    """
 
     isolation_level = IsolationLevel.SNAPSHOT
 
@@ -70,6 +91,8 @@ class SnapshotIsolationEngine(GraphEngine):
         *,
         lock_manager: Optional[LockManager] = None,
         conflict_policy: ConflictPolicy = ConflictPolicy.FIRST_UPDATER_WINS,
+        isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
+        cc_policy: Optional[ConcurrencyControlPolicy] = None,
         version_cache_capacity: int = 200_000,
         gc_every_n_commits: int = 0,
         commit_stripes: int = DEFAULT_COMMIT_STRIPES,
@@ -77,6 +100,11 @@ class SnapshotIsolationEngine(GraphEngine):
         query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
     ) -> None:
         """Create an engine over an open store.
+
+        ``isolation`` selects the concurrency-control policy: ``SNAPSHOT``
+        enforces only the write rule, ``SERIALIZABLE`` adds SSI
+        rw-antidependency tracking.  ``cc_policy`` overrides the default
+        policy for the level (experiments can inject instrumented policies).
 
         ``gc_every_n_commits`` > 0 runs a garbage-collection pass automatically
         after every N version-installing commits; 0 leaves collection entirely
@@ -96,6 +124,8 @@ class SnapshotIsolationEngine(GraphEngine):
         """
         if commit_stripes < 1:
             raise ValueError("the engine needs at least one commit stripe")
+        if isolation is IsolationLevel.READ_COMMITTED:
+            raise ValueError("the MVCC engine does not provide read committed")
         self.store = store
         self.locks = lock_manager or LockManager()
         self.oracle = TimestampOracle()
@@ -108,14 +138,25 @@ class SnapshotIsolationEngine(GraphEngine):
         )
         self.snapshot_read_cache = snapshot_read_cache
         self.query_caches = QueryCaches(query_cache_size)
-        self.conflicts = ConflictDetector(self.locks, conflict_policy)
+        if cc_policy is None:
+            if isolation is IsolationLevel.SERIALIZABLE:
+                cc_policy = SerializableSnapshotPolicy(self.locks, conflict_policy)
+            else:
+                cc_policy = SnapshotWriteRulePolicy(self.locks, conflict_policy)
+        self.cc = cc_policy
+        self.isolation_level = isolation
         self.gc = GarbageCollector(
-            self.versions, self.oracle, self.indexes, ThreadedVersionList()
+            self.versions,
+            self.oracle,
+            self.indexes,
+            ThreadedVersionList(),
+            cc_policy=self.cc,
         )
         self.stats = EngineStats()
         self.commit_pipeline_stats = CommitPipelineStats()
         self._gc_every_n_commits = gc_every_n_commits
         self._versioned_commits = 0
+        self._writeless_commits = 0
         # Guards the outcome counters and the GC trigger: the commit path is
         # concurrent now, and unsynchronised `+=` loses increments.
         self._counter_lock = threading.Lock()
@@ -126,13 +167,27 @@ class SnapshotIsolationEngine(GraphEngine):
     # transaction lifecycle
     # ------------------------------------------------------------------
 
+    @property
+    def conflicts(self):
+        """The write-rule conflict detector (hosted by the CC policy).
+
+        ``None`` for injected policies outside the write-rule hierarchy; the
+        statistics surface goes through the policy interface instead of this
+        accessor, so such policies remain fully usable.
+        """
+        return getattr(self.cc, "detector", None)
+
     def begin(self, *, read_only: bool = False) -> SnapshotTransaction:
         """Start a transaction with a fresh snapshot of the committed state."""
         txn_id, start_ts = self.oracle.begin_transaction()
         with self._counter_lock:
             self.stats.begun += 1
+        record = self.cc.begin_transaction(txn_id, start_ts, read_only=read_only)
         return SnapshotTransaction(
-            self, Snapshot(txn_id=txn_id, start_ts=start_ts), read_only=read_only
+            self,
+            Snapshot(txn_id=txn_id, start_ts=start_ts),
+            read_only=read_only,
+            cc_record=record,
         )
 
     def commit_transaction(self, txn: SnapshotTransaction) -> None:
@@ -148,16 +203,43 @@ class SnapshotIsolationEngine(GraphEngine):
         """
         if not txn.has_writes():
             self.oracle.retire_transaction(txn.txn_id)
-            self.conflicts.release_locks(txn.txn_id)
+            # A committed-but-writeless transaction still finished reading at
+            # this point in commit order; the policy needs that boundary to
+            # judge concurrency against later committers.
+            self.cc.finish_transaction(
+                txn.txn_id,
+                txn.cc_record,
+                committed=True,
+                visible_ts=self.oracle.latest_commit_ts,
+                finish_seq=self.oracle.newest_txn_id(),
+            )
+            self.cc.release_locks(txn.txn_id)
             with self._counter_lock:
                 self.stats.committed += 1
+                self._writeless_commits += 1
+                # Writeless commits leave tracking records too (their SIREADs
+                # must outlive concurrent writers), so they drive the policy
+                # reclaim cadence independently of version-installing commits
+                # — otherwise a pure-read serializable workload would grow
+                # the tracker without bound.
+                cc_reclaim_due = (
+                    self.cc.tracks_reads
+                    and self._writeless_commits % SSI_RECLAIM_EVERY_N_COMMITS == 0
+                )
+            if cc_reclaim_due:
+                self._reclaim_cc_state()
             return
         writes = self._effective_writes(txn)
         try:
             with self._acquire_stripes(self._commit_stripe_set(txn, writes)):
                 self._validate(txn, writes)
+                changes = self._collect_changes(writes) if self.cc.tracks_reads else ()
                 commit_ts = self.oracle.issue_commit_timestamp()
                 try:
+                    # SSI dangerous-structure check + commit publication to the
+                    # policy, before any version installs: a serialization
+                    # abort raised here leaves nothing to undo.
+                    self.cc.record_commit(txn.cc_record, changes, commit_ts)
                     old_states = self._install_versions(txn, writes, commit_ts)
                     self._update_indexes(writes, old_states, commit_ts)
                     operations = self._build_store_operations(writes, commit_ts)
@@ -169,7 +251,7 @@ class SnapshotIsolationEngine(GraphEngine):
                     # publish exposed whatever had been installed).
                     self.oracle.publish_commit(txn.txn_id, commit_ts)
         finally:
-            self.conflicts.release_locks(txn.txn_id)
+            self.cc.release_locks(txn.txn_id)
         # The counter and the modulo decision must move together: concurrent
         # committers racing an unlocked += can jump the counter past the
         # trigger boundary and skip a scheduled GC pass entirely.
@@ -180,8 +262,22 @@ class SnapshotIsolationEngine(GraphEngine):
                 self._gc_every_n_commits != 0
                 and self._versioned_commits % self._gc_every_n_commits == 0
             )
+            cc_reclaim_due = (
+                self.cc.tracks_reads
+                and self._versioned_commits % SSI_RECLAIM_EVERY_N_COMMITS == 0
+            )
         if gc_due:
             self.gc.collect()
+        elif cc_reclaim_due:
+            self._reclaim_cc_state()
+
+    def _reclaim_cc_state(self) -> int:
+        """One opportunistic pass over the CC policy's tracking state."""
+        return self.cc.reclaim(
+            self.oracle.watermark(),
+            quiescent=self.oracle.active_count() == 0,
+            oldest_active_txn_id=self.oracle.oldest_active_txn_id(),
+        )
 
     # ------------------------------------------------------------------
     # commit stripes
@@ -248,7 +344,8 @@ class SnapshotIsolationEngine(GraphEngine):
 
     def abort_transaction(self, txn: SnapshotTransaction) -> None:
         """Abort: discard the private write set and release write locks."""
-        self.conflicts.release_locks(txn.txn_id)
+        self.cc.finish_transaction(txn.txn_id, txn.cc_record, committed=False)
+        self.cc.release_locks(txn.txn_id)
         self.oracle.retire_transaction(txn.txn_id)
         with self._counter_lock:
             self.stats.aborted += 1
@@ -276,14 +373,18 @@ class SnapshotIsolationEngine(GraphEngine):
         return newest.commit_ts if newest is not None else None
 
     def check_write_conflict(self, txn: SnapshotTransaction, key: EntityKey) -> None:
-        """First-updater-wins check, delegated to the conflict detector.
+        """Write-time conflict rule, delegated to the concurrency-control policy.
 
         The newest committed timestamp is passed lazily so the detector reads
         it under the entity's long lock, after any concurrent committer of
         this key has finished installing (see ``ConflictDetector.on_write``).
         """
-        self.conflicts.on_write(
-            txn.txn_id, txn.start_ts, key, lambda: self.newest_committed_ts(key)
+        self.cc.check_write(
+            txn.txn_id,
+            txn.start_ts,
+            key,
+            txn.cc_record,
+            lambda: self.newest_committed_ts(key),
         )
 
     # ------------------------------------------------------------------
@@ -316,6 +417,7 @@ class SnapshotIsolationEngine(GraphEngine):
             self.indexes,
             self.store,
             pause_commits=self.pause_commits,
+            cc_policy=self.cc,
         )
 
     @contextlib.contextmanager
@@ -372,14 +474,29 @@ class SnapshotIsolationEngine(GraphEngine):
     # statistics
     # ------------------------------------------------------------------
 
+    def abort_reasons(self) -> Dict[str, int]:
+        """Abort counts broken down by cause (the statistics surface).
+
+        ``ww-conflict`` counts write-rule violations (every detection aborts
+        the transaction), ``rw-antidependency`` the SSI dangerous-structure
+        aborts (zero under plain snapshot isolation), and ``deadlock`` the
+        lock-wait cycles and timeouts resolved by killing a transaction.
+        """
+        ww_stats = self.cc.ww_conflict_stats()
+        return {
+            "ww-conflict": ww_stats["write_time"] + ww_stats["commit_time"],
+            "rw-antidependency": self.cc.rw_antidependency_aborts(),
+            "deadlock": self.locks.stats.deadlocks + self.locks.stats.timeouts,
+        }
+
     def statistics(self) -> Dict[str, object]:
         """Aggregate statistics used by experiments and the database stats API."""
         return {
-            "transactions": self.stats.as_dict(),
-            "conflicts": {
-                "write_time": self.conflicts.stats.write_time_conflicts,
-                "commit_time": self.conflicts.stats.commit_time_conflicts,
-            },
+            "transactions": dict(
+                self.stats.as_dict(), abort_reasons=self.abort_reasons()
+            ),
+            "concurrency_control": self.cc.statistics(),
+            "conflicts": self.cc.ww_conflict_stats(),
             "versions": {
                 "chains": self.versions.chain_count(),
                 "total_versions": self.versions.total_versions(),
@@ -419,19 +536,24 @@ class SnapshotIsolationEngine(GraphEngine):
     ) -> None:
         """Commit-time checks run under the commit mutex.
 
-        First-committer-wins validation (when that policy is selected) plus
-        structural checks that keep the persistent store consistent even when
-        snapshot isolation alone would allow the interleaving: a relationship
-        cannot be created against a node whose deletion has already committed,
-        and a node cannot be deleted while a concurrently committed
-        relationship still attaches to it.
+        Policy validation (first-committer-wins ww-detection and/or the SSI
+        dangerous-structure pre-check, depending on the configured policy)
+        plus structural checks that keep the persistent store consistent even
+        when snapshot isolation alone would allow the interleaving: a
+        relationship cannot be created against a node whose deletion has
+        already committed, and a node cannot be deleted while a concurrently
+        committed relationship still attaches to it.
         """
         created = txn.created_keys()
+        self.cc.validate_commit(
+            txn.txn_id,
+            txn.start_ts,
+            txn.cc_record,
+            writes,
+            created,
+            self.newest_committed_ts,
+        )
         for key, payload in writes.items():
-            if key not in created:
-                self.conflicts.validate_at_commit(
-                    txn.txn_id, txn.start_ts, key, self.newest_committed_ts(key)
-                )
             if isinstance(payload, RelationshipData) and key in created:
                 for node_id in (payload.start_node, payload.end_node):
                     node_key = EntityKey.node(node_id)
@@ -472,6 +594,30 @@ class SnapshotIsolationEngine(GraphEngine):
             return False
         newest = chain.newest()
         return newest is not None and not newest.is_tombstone
+
+    def _latest_committed_payload(self, key: EntityKey) -> Optional[object]:
+        """Newest committed live payload of ``key`` (``None`` if absent/deleted)."""
+        chain = self.versions.get_or_load(key, lambda: self._load_persisted(key))
+        if chain is None:
+            return None
+        newest = chain.newest()
+        if newest is None or newest.is_tombstone:
+            return None
+        return newest.payload
+
+    def _collect_changes(
+        self, writes: Dict[EntityKey, Optional[object]]
+    ) -> List[Change]:
+        """``(key, before, after)`` triples for the CC policy's commit record.
+
+        Computed under the commit stripes (before versions install), where the
+        newest committed state of every written key is stable — this is what
+        the SSI policy matches reader predicates against.
+        """
+        return [
+            (key, self._latest_committed_payload(key), payload)
+            for key, payload in writes.items()
+        ]
 
     def _install_versions(
         self,

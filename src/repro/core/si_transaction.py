@@ -36,6 +36,7 @@ from repro.graph.entity import (
     RelationshipData,
 )
 from repro.graph.properties import PropertyValue
+from repro.index.property_index import hashable_value
 
 #: Sentinel distinguishing "cached as absent" from "not cached".
 _MISSING = object()
@@ -49,10 +50,18 @@ SNAPSHOT_CACHE_LIMIT = 65_536
 class SnapshotTransaction(EngineTransaction):
     """One transaction running under the snapshot-isolation engine."""
 
-    def __init__(self, engine, snapshot: Snapshot, *, read_only: bool = False) -> None:
+    def __init__(
+        self, engine, snapshot: Snapshot, *, read_only: bool = False, cc_record=None
+    ) -> None:
         super().__init__(snapshot.txn_id, read_only=read_only)
         self._engine = engine
         self.snapshot = snapshot
+        #: Concurrency-control record (SSI tracking; ``None`` under plain SI
+        #: and for read-only serializable transactions, which register no
+        #: reads and can never be aborted).
+        self.cc_record = cc_record
+        self._cc = engine.cc
+        self._track_reads = cc_record is not None and self._cc.tracks_reads
         #: Private uncommitted versions: entity key -> new state (None = delete).
         self._writes: Dict[EntityKey, Optional[object]] = {}
         #: Keys created by this transaction (no committed predecessor).
@@ -98,7 +107,15 @@ class SnapshotTransaction(EngineTransaction):
         and the adjacency path (:meth:`_committed_adjacency`), so a chain
         resolved while expanding a node is never re-resolved by a later
         point read of the same entity — and vice versa.
+
+        This is also the single choke point where serializable transactions
+        register their SIREADs: every committed-state resolution — point
+        read, index lookup materialisation, scan, traversal — funnels through
+        here, so one hook covers them all.  Own-write reads never reach this
+        method and correctly register nothing.
         """
+        if self._track_reads:
+            self._cc.register_point_read(self.cc_record, key)
         cache = self._payload_cache
         if cache is None:
             return self._engine.read_committed_version(key, self.snapshot.start_ts)
@@ -124,11 +141,25 @@ class SnapshotTransaction(EngineTransaction):
 
     def iter_nodes(self) -> Iterator[NodeData]:
         self.ensure_open()
+        self._register_predicate(("all_nodes",))
         return self._iterator().nodes()
 
     def iter_relationships(self) -> Iterator[RelationshipData]:
         self.ensure_open()
+        self._register_predicate(("all_rels",))
         return self._iterator().relationships()
+
+    def _register_predicate(self, predicate) -> None:
+        """SSI predicate-read registration (no-op unless the policy tracks reads).
+
+        Predicates — label scans, property lookups, type scans, whole-store
+        iterations, adjacency expansions — are what catch phantoms: a
+        concurrent committer whose change moves an entity into or out of the
+        registered predicate forms an rw-antidependency with this
+        transaction even though no common entity was point-read.
+        """
+        if self._track_reads:
+            self._cc.register_predicate_read(self.cc_record, predicate)
 
     def _iterator(self) -> SnapshotIterator:
         return SnapshotIterator(
@@ -142,11 +173,13 @@ class SnapshotTransaction(EngineTransaction):
 
     def find_nodes_by_label(self, label: str) -> Set[int]:
         self.ensure_open()
+        self._register_predicate(("label", label))
         result = self._engine.indexes.node_labels.visible(label, self.snapshot.start_ts)
         return self._overlay_nodes(result, lambda node: label in node.labels)
 
     def find_nodes_by_property(self, key: str, value: PropertyValue) -> Set[int]:
         self.ensure_open()
+        self._register_predicate(("node_prop", key, hashable_value(value)))
         result = self._engine.indexes.node_properties.visible(
             key, value, self.snapshot.start_ts
         )
@@ -154,6 +187,7 @@ class SnapshotTransaction(EngineTransaction):
 
     def find_relationships_by_property(self, key: str, value: PropertyValue) -> Set[int]:
         self.ensure_open()
+        self._register_predicate(("rel_prop", key, hashable_value(value)))
         result = self._engine.indexes.relationship_properties.visible(
             key, value, self.snapshot.start_ts
         )
@@ -164,6 +198,7 @@ class SnapshotTransaction(EngineTransaction):
     def find_relationships_by_type(self, rel_type: str) -> Set[int]:
         """Ids of visible relationships of ``rel_type`` (snapshot-consistent)."""
         self.ensure_open()
+        self._register_predicate(("rel_type", rel_type))
         result = self._engine.indexes.relationship_types.visible(
             rel_type, self.snapshot.start_ts
         )
@@ -205,6 +240,11 @@ class SnapshotTransaction(EngineTransaction):
         an active snapshot can still select — so the resolved list is a pure
         function of (node, snapshot).
         """
+        # An adjacency expansion is a predicate read over "relationships
+        # touching this node": a concurrent committer attaching or detaching
+        # a relationship here must form an rw edge even though the new
+        # relationship id was never point-read.
+        self._register_predicate(("adjacency", node_id))
         cache = self._adjacency_cache
         if cache is not None:
             cached = cache.get(node_id)

@@ -54,6 +54,8 @@ class TimestampOracle:
         self._published_ahead: Set[int] = set()
         #: Active transactions: txn id -> start timestamp.
         self._active: Dict[int, int] = {}
+        #: Newest transaction id handed out (ids are begin-ordered).
+        self._newest_txn_id = 0
         #: Lifetime counters for statistics.
         self.transactions_started = 0
         self.commits_issued = 0
@@ -71,6 +73,7 @@ class TimestampOracle:
         """
         with self._lock:
             txn_id = next(self._txn_ids)
+            self._newest_txn_id = txn_id
             start_ts = self._latest_visible_ts
             self._active[txn_id] = start_ts
             self.transactions_started += 1
@@ -139,6 +142,22 @@ class TimestampOracle:
         """Number of transactions currently registered as active."""
         with self._lock:
             return len(self._active)
+
+    def newest_txn_id(self) -> int:
+        """Newest transaction id issued (transaction ids are begin-ordered)."""
+        with self._lock:
+            return self._newest_txn_id
+
+    def oldest_active_txn_id(self) -> Optional[int]:
+        """Smallest active transaction id, or ``None`` when none is active.
+
+        Because ids are issued at begin time, every transaction whose id is
+        below this value has finished — which is how the SSI policy decides a
+        committed *writeless* record (whose pseudo commit timestamp never
+        falls below the watermark on its own) can no longer overlap anything.
+        """
+        with self._lock:
+            return min(self._active) if self._active else None
 
     def active_start_timestamps(self) -> Dict[int, int]:
         """Snapshot of the active transactions (txn id -> start timestamp)."""

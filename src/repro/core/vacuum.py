@@ -41,6 +41,7 @@ class VacuumStats:
     versions_collected: int = 0
     store_records_scanned: int = 0
     entities_purged: int = 0
+    cc_entries_reclaimed: int = 0
     duration_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
@@ -52,6 +53,7 @@ class VacuumStats:
             "versions_collected": self.versions_collected,
             "store_records_scanned": self.store_records_scanned,
             "entities_purged": self.entities_purged,
+            "cc_entries_reclaimed": self.cc_entries_reclaimed,
             "duration_seconds": self.duration_seconds,
         }
 
@@ -67,14 +69,18 @@ class VacuumCollector:
         store: StoreManager,
         *,
         pause_commits: Optional[Callable[[], ContextManager[None]]] = None,
+        cc_policy=None,
     ) -> None:
         """``pause_commits`` is a callable returning a context manager that
         blocks the engine's commit path while held (the stop-the-world part).
+        ``cc_policy`` additionally has its SSI tracking state reclaimed with
+        the same watermark, mirroring the threaded collector.
         """
         self.version_store = version_store
         self.oracle = oracle
         self.indexes = indexes
         self.store = store
+        self.cc_policy = cc_policy
         self._pause_commits = pause_commits
         self._lock = threading.Lock()
         self.collections_run = 0
@@ -89,6 +95,12 @@ class VacuumCollector:
                 self._scan_chains(stats)
                 self._scan_store(stats)
                 self.indexes.purge(stats.watermark)
+                if self.cc_policy is not None:
+                    stats.cc_entries_reclaimed = self.cc_policy.reclaim(
+                        stats.watermark,
+                        quiescent=self.oracle.active_count() == 0,
+                        oldest_active_txn_id=self.oracle.oldest_active_txn_id(),
+                    )
             stats.duration_seconds = time.perf_counter() - started
             self.collections_run += 1
             return stats

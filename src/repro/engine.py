@@ -26,10 +26,19 @@ from repro.graph.properties import PropertyValue
 
 
 class IsolationLevel(enum.Enum):
-    """Isolation levels selectable when opening a database."""
+    """Isolation levels selectable when opening a database.
+
+    ``SERIALIZABLE`` runs the same multi-version engine as ``SNAPSHOT`` with
+    the Serializable Snapshot Isolation policy on top: reads stay lock-free
+    against the transaction's snapshot, but rw-antidependencies are tracked
+    and a transaction completing a dangerous structure is aborted with
+    :class:`~repro.errors.SerializationError` — which closes the write-skew
+    gap snapshot isolation is known for.
+    """
 
     READ_COMMITTED = "read_committed"
     SNAPSHOT = "snapshot"
+    SERIALIZABLE = "serializable"
 
 
 class TransactionState(enum.Enum):

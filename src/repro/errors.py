@@ -72,6 +72,17 @@ class WriteWriteConflictError(TransactionAbortedError):
     """
 
 
+class SerializationError(TransactionAbortedError):
+    """A serializable transaction sat on a dangerous structure and was aborted.
+
+    Raised only under :attr:`~repro.engine.IsolationLevel.SERIALIZABLE`: the
+    SSI policy detected two consecutive rw-antidependency edges (Fekete's
+    dangerous structure) that this transaction would complete.  The
+    transaction must be retried — ``db.run_transaction`` does so
+    automatically.
+    """
+
+
 class DeadlockError(TransactionAbortedError):
     """A lock-wait cycle was detected; this transaction was chosen as victim."""
 

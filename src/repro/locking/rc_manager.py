@@ -60,6 +60,16 @@ class ReadCommittedEngine(GraphEngine):
             self.indexes.stats_epoch = self.stats_epoch
         self.eager_read_unlock = eager_read_unlock
         self.query_caches = QueryCaches(query_cache_size)
+        # Concurrency control as a policy object, mirroring the MVCC engine:
+        # under two-phase locking every conflict the level prevents is
+        # prevented by the lock manager itself, so the policy is a no-op —
+        # it exists so the engine abstraction and the statistics surface
+        # (policy name, abort reasons) have one shape across levels.
+        # (Imported lazily: cc_policy sits in repro.core, which imports the
+        # lock manager from this package at module-initialisation time.)
+        from repro.core.cc_policy import TwoPhaseLockingPolicy
+
+        self.cc = TwoPhaseLockingPolicy(self.locks)
         self.stats = EngineStats()
         self._txn_ids = itertools.count(1)
         self._commit_lock = threading.Lock()
@@ -109,6 +119,14 @@ class ReadCommittedEngine(GraphEngine):
     def cardinalities(self) -> Dict[str, Dict[str, int]]:
         """Per-label and per-type cardinalities (stats surface)."""
         return self.indexes.cardinalities()
+
+    def abort_reasons(self) -> Dict[str, int]:
+        """Abort counts by cause; under 2PL only deadlock victims exist."""
+        return {
+            "ww-conflict": 0,
+            "rw-antidependency": 0,
+            "deadlock": self.locks.stats.deadlocks + self.locks.stats.timeouts,
+        }
 
     # -- ids ------------------------------------------------------------------
 

@@ -42,6 +42,30 @@ def parse_cached(text: str) -> ast.Query:
     return parse(text)
 
 
+def is_read_only_query(engine, text: str) -> bool:
+    """Whether ``text`` performs no writes (``EXPLAIN`` counts as read-only).
+
+    Used by :meth:`repro.api.database.GraphDatabase.execute` to open
+    read-only transactions for pure-read statements — which matters under
+    serializable isolation, where read-only transactions skip SIREAD
+    registration entirely and can never abort.  Parses through the engine's
+    parse cache, so the subsequent execution reuses the cached AST.  A query
+    that does not parse is reported read-write: the caller's normal
+    execution path then raises the syntax error with its usual semantics.
+    """
+    from repro.errors import QueryError
+
+    caches: Optional[QueryCaches] = getattr(engine, "query_caches", None)
+    try:
+        if caches is not None:
+            query = caches.parse.parse(text)
+        else:
+            query = parse_cached(text)
+    except QueryError:
+        return False
+    return query.explain or not query.has_writes
+
+
 def execute(tx, engine, text: str,
             parameters: Optional[Mapping[str, object]] = None) -> QueryResult:
     """Parse, plan and execute one query inside ``tx``.
@@ -107,6 +131,7 @@ __all__ = [
     "QueryStatistics",
     "Record",
     "execute",
+    "is_read_only_query",
     "parse",
     "parse_cached",
     "plan_query",

@@ -33,7 +33,12 @@ from repro.workload.queries import (
     person_names_of,
     query_mix_work_fn,
 )
-from repro.workload.runner import ConcurrentWorkloadRunner, WorkerOutcome
+from repro.workload.runner import (
+    ConcurrentWorkloadRunner,
+    WorkerOutcome,
+    run_mixed_workload,
+    transactional,
+)
 
 __all__ = [
     "AnomalyCounters",
@@ -51,4 +56,6 @@ __all__ = [
     "build_social_graph",
     "person_names_of",
     "query_mix_work_fn",
+    "run_mixed_workload",
+    "transactional",
 ]

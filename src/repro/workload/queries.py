@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.database import GraphDatabase
-from repro.workload.runner import WorkerOutcome
+from repro.workload.runner import WorkerOutcome, transactional
 
 
 @dataclass(frozen=True)
@@ -131,23 +131,25 @@ def person_names_of(db: GraphDatabase) -> List[str]:
         return [node.get("name") for node in tx.find_nodes(label="Person")]
 
 
-def query_mix_work_fn(mix: QueryMix, *, read_only: bool = True):
+def query_mix_work_fn(mix: QueryMix, *, read_only: bool = True, retries: int = 0):
     """A :class:`ConcurrentWorkloadRunner` work function running one query per call.
 
-    Each invocation opens its own transaction, samples one query from the
-    mix, drains it and reports the template name and row count through the
-    outcome's ``extra`` counters (``query:<name>`` and ``rows``).
+    Each invocation samples one query from the mix and runs it through
+    :func:`~repro.workload.runner.transactional`, i.e. inside
+    :meth:`GraphDatabase.run_transaction` — which owns the transaction and,
+    when ``retries`` > 0, re-runs it with jittered backoff after conflict
+    aborts (write-write under SI, rw-antidependency under serializable).
+    The template name, row count and retry count are reported through the
+    outcome's ``extra`` counters (``query:<name>``, ``rows``, ``retries``).
     """
 
-    def work(db: GraphDatabase, rng: random.Random, worker_id: int,
+    def body(tx, rng: random.Random, worker_id: int,
              iteration: int) -> WorkerOutcome:
         template, params = mix.sample(rng)
-        with db.transaction(read_only=read_only) as tx:
-            result = tx.execute(template.text, params)
-            rows = len(result.records())
+        rows = len(tx.execute(template.text, params).records())
         return WorkerOutcome(
             committed=True,
             extra={f"query:{template.name}": 1.0, "rows": float(rows)},
         )
 
-    return work
+    return transactional(body, retries=retries, read_only=read_only)

@@ -21,7 +21,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.api.database import GraphDatabase
+from repro.api.database import GraphDatabase, jittered_backoff
+from repro.api.transaction import Transaction
 from repro.errors import (
     DeadlockError,
     LockTimeoutError,
@@ -45,6 +46,44 @@ class WorkerOutcome:
 WorkFn = Callable[[GraphDatabase, random.Random, int, int], WorkerOutcome]
 
 
+def transactional(
+    tx_fn: Callable[[Transaction, random.Random, int, int], Optional[WorkerOutcome]],
+    *,
+    retries: int = 5,
+    read_only: bool = False,
+) -> WorkFn:
+    """Adapt a per-transaction body into a :data:`WorkFn` with automatic retry.
+
+    ``tx_fn(tx, rng, worker_id, iteration)`` runs inside a transaction owned
+    by :meth:`GraphDatabase.run_transaction`, which retries it with jittered
+    backoff on any conflict abort (write-write, rw-antidependency, deadlock).
+    Retries are reported through the outcome's ``extra["retries"]`` so the
+    runner can aggregate them.
+    """
+
+    def work(db: GraphDatabase, rng: random.Random, worker_id: int,
+             iteration: int) -> WorkerOutcome:
+        attempts = [0]
+
+        def on_retry(attempt: int, _exc: TransactionAbortedError) -> None:
+            attempts[0] = attempt + 1
+
+        outcome = db.run_transaction(
+            lambda tx: tx_fn(tx, rng, worker_id, iteration),
+            retries=retries,
+            read_only=read_only,
+            rng=rng,
+            on_retry=on_retry,
+        )
+        if outcome is None:
+            outcome = WorkerOutcome()
+        if attempts[0]:
+            outcome.extra["retries"] = outcome.extra.get("retries", 0.0) + attempts[0]
+        return outcome
+
+    return work
+
+
 @dataclass
 class _WorkerReport:
     operations: int = 0
@@ -52,6 +91,7 @@ class _WorkerReport:
     aborted: int = 0
     conflicts: int = 0
     deadlocks: int = 0
+    retries: int = 0
     latencies: List[float] = field(default_factory=list)
     anomalies: AnomalyCounters = field(default_factory=AnomalyCounters)
     extra: Dict[str, float] = field(default_factory=dict)
@@ -59,7 +99,21 @@ class _WorkerReport:
 
 
 class ConcurrentWorkloadRunner:
-    """Runs one work function concurrently from many threads."""
+    """Runs one work function concurrently from many threads.
+
+    ``retries`` applies :meth:`GraphDatabase.run_transaction`'s retry
+    discipline at the work-function level: an invocation that aborts on a
+    conflict is re-invoked after a jittered exponential backoff, up to
+    ``retries`` times, before the operation is finally counted as aborted.
+    0 (the default) preserves the abort-counting behaviour the anomaly
+    experiments rely on; throughput-oriented workloads set it so serializable
+    runs converge instead of shedding skew-heavy operations.
+
+    The budgets compose multiplicatively with retries *inside* the work
+    function (``transactional(...)`` / ``db.run_transaction``): each runner
+    re-invocation grants the work function its whole inner budget again.
+    Configure the retry budget at one level, not both.
+    """
 
     def __init__(
         self,
@@ -68,13 +122,17 @@ class ConcurrentWorkloadRunner:
         workers: int = 4,
         operations_per_worker: int = 100,
         seed: int = 7,
+        retries: int = 0,
     ) -> None:
         if workers < 1:
             raise ValueError("at least one worker is required")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.db = db
         self.workers = workers
         self.operations_per_worker = operations_per_worker
         self.seed = seed
+        self.retries = retries
 
     def run(self, work_fn: WorkFn) -> WorkloadResult:
         """Execute the workload and return the aggregated result."""
@@ -108,6 +166,7 @@ class ConcurrentWorkloadRunner:
                 aborted=report.aborted,
                 conflicts=report.conflicts,
                 deadlocks=report.deadlocks,
+                retries=report.retries,
                 latencies=report.latencies,
                 anomalies=report.anomalies,
             )
@@ -135,7 +194,7 @@ class ConcurrentWorkloadRunner:
                 report.operations += 1
                 started = time.perf_counter()
                 try:
-                    outcome = work_fn(self.db, rng, worker_id, iteration)
+                    outcome = self._invoke(work_fn, rng, worker_id, iteration, report)
                 except (WriteWriteConflictError, TransactionAbortedError) as exc:
                     report.aborted += 1
                     report.conflicts += 1
@@ -152,9 +211,40 @@ class ConcurrentWorkloadRunner:
                     report.aborted += 1
                 report.anomalies.merge(outcome.anomalies)
                 for key, value in outcome.extra.items():
+                    if key == "retries":
+                        # Retries done inside the work function (e.g. via
+                        # ``transactional``/``db.run_transaction``) fold into
+                        # the same aggregate counter as runner-level retries.
+                        report.retries += int(value)
+                        continue
                     report.extra[key] = report.extra.get(key, 0.0) + value
         except BaseException as exc:  # noqa: BLE001 - reported to the caller
             report.error = exc
+
+    def _invoke(
+        self,
+        work_fn: WorkFn,
+        rng: random.Random,
+        worker_id: int,
+        iteration: int,
+        report: _WorkerReport,
+    ) -> Optional[WorkerOutcome]:
+        """One operation, retried per the runner's retry budget.
+
+        Mirrors :meth:`GraphDatabase.run_transaction` — same exception class,
+        same jittered backoff — at the work-function granularity, since work
+        functions own their transactions.
+        """
+        attempt = 0
+        while True:
+            try:
+                return work_fn(self.db, rng, worker_id, iteration)
+            except TransactionAbortedError:
+                if attempt >= self.retries:
+                    raise
+                report.retries += 1
+                time.sleep(jittered_backoff(attempt, rng=rng))
+                attempt += 1
 
 
 def run_mixed_workload(
@@ -164,9 +254,14 @@ def run_mixed_workload(
     workers: int = 4,
     operations_per_worker: int = 100,
     seed: int = 7,
+    retries: int = 0,
 ) -> WorkloadResult:
     """One-call convenience wrapper around :class:`ConcurrentWorkloadRunner`."""
     runner = ConcurrentWorkloadRunner(
-        db, workers=workers, operations_per_worker=operations_per_worker, seed=seed
+        db,
+        workers=workers,
+        operations_per_worker=operations_per_worker,
+        seed=seed,
+        retries=retries,
     )
     return runner.run(work_fn)

@@ -12,9 +12,15 @@ class TestConstruction:
         assert not db.is_snapshot_isolation
         db.close()
 
+    def test_serializable_accepted(self):
+        db = GraphDatabase.in_memory(isolation="serializable")
+        assert db.isolation_level is IsolationLevel.SERIALIZABLE
+        assert db.is_snapshot_isolation  # SSI runs the MVCC engine
+        db.close()
+
     def test_unknown_isolation_rejected(self):
         with pytest.raises(ValueError):
-            GraphDatabase.in_memory(isolation="serializable")
+            GraphDatabase.in_memory(isolation="chaos_mode")
 
     def test_unknown_conflict_policy_rejected(self):
         with pytest.raises(ValueError):

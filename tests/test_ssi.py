@@ -1,0 +1,425 @@
+"""Serializable Snapshot Isolation: the pluggable CC policy closes write skew.
+
+Covers the tentpole guarantees of the SSI policy:
+
+* write skew is observable under ``SNAPSHOT`` and prevented under
+  ``SERIALIZABLE`` for the same interleaving (via ``WriteSkewProbe``),
+* phantoms through index/label-scan predicate reads are caught,
+* single rw-antidependencies (no dangerous structure) do not abort,
+* read-only transactions register nothing and are never aborted, and
+* SIREAD tracking state is reclaimed by garbage collection.
+"""
+
+import pytest
+
+from repro import (
+    GraphDatabase,
+    IsolationLevel,
+    SerializationError,
+    TransactionAbortedError,
+)
+from repro.workload.anomaly import AnomalyCounters, WriteSkewProbe
+
+
+def _make_accounts(db, balance=100):
+    with db.transaction() as tx:
+        a = tx.create_node(labels=["Account"], properties={"name": "a", "balance": balance})
+        b = tx.create_node(labels=["Account"], properties={"name": "b", "balance": balance})
+    return a.id, b.id
+
+
+def _run_skew_interleaving(db, probe):
+    """Both transactions read both balances, then each withdraws from one.
+
+    Returns the number of transactions that committed.  Under snapshot
+    isolation both commit (writing disjoint keys, so the write rule is
+    silent) and the combined-balance constraint breaks; under serializable
+    the second committer completes a dangerous structure and aborts.
+    """
+    t1 = db.begin()
+    t2 = db.begin()
+    committed = 0
+    try:
+        assert probe.withdraw(t1, probe.account_a)
+        assert probe.withdraw(t2, probe.account_b)
+        for txn in (t1, t2):
+            try:
+                txn.commit()
+                committed += 1
+            except TransactionAbortedError:
+                pass
+    finally:
+        for txn in (t1, t2):
+            txn.rollback()
+    return committed
+
+
+class TestWriteSkew:
+    def test_skew_under_snapshot_prevented_under_serializable(self):
+        """The acceptance interleaving, probed under both levels in one test."""
+        counters = {}
+        for isolation in (IsolationLevel.SNAPSHOT, IsolationLevel.SERIALIZABLE):
+            db = GraphDatabase.in_memory(isolation=isolation)
+            a, b = _make_accounts(db, balance=100)
+            probe = WriteSkewProbe(a, b, withdraw_amount=150)
+            committed = _run_skew_interleaving(db, probe)
+            anomalies = AnomalyCounters(checks=1)
+            with db.transaction(read_only=True) as tx:
+                if probe.constraint_violated(tx):
+                    anomalies.write_skew += 1
+            counters[isolation] = (committed, anomalies.write_skew)
+            db.close()
+        si_committed, si_skew = counters[IsolationLevel.SNAPSHOT]
+        ssi_committed, ssi_skew = counters[IsolationLevel.SERIALIZABLE]
+        assert si_committed == 2 and si_skew >= 1  # SI permits the anomaly
+        assert ssi_committed == 1 and ssi_skew == 0  # SSI aborts one of the two
+
+    def test_second_committer_gets_serialization_error(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        a, b = _make_accounts(db)
+        probe = WriteSkewProbe(a, b, withdraw_amount=150)
+        t1 = db.begin()
+        t2 = db.begin()
+        probe.withdraw(t1, a)
+        probe.withdraw(t2, b)
+        t1.commit()
+        with pytest.raises(SerializationError):
+            t2.commit()
+        assert db.statistics()["engine"]["transactions"]["abort_reasons"][
+            "rw-antidependency"
+        ] == 1
+        db.close()
+
+    def test_retry_after_serialization_abort_succeeds(self):
+        """The aborted withdrawal, retried on fresh state, sees t1's write."""
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        a, b = _make_accounts(db, balance=100)
+        probe = WriteSkewProbe(a, b, withdraw_amount=150)
+        committed = _run_skew_interleaving(db, probe)
+        assert committed == 1
+        with db.transaction() as tx:
+            # Combined balance is now 50: the retried withdrawal must refuse.
+            assert not probe.withdraw(tx, b)
+        with db.transaction(read_only=True) as tx:
+            assert not probe.constraint_violated(tx)
+        db.close()
+
+
+class TestDangerousStructureOnly:
+    """SSI aborts dangerous structures, not every rw-antidependency."""
+
+    def test_single_rw_edge_commits(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        with db.transaction() as tx:
+            x = tx.create_node(properties={"k": "x", "v": 0})
+            y = tx.create_node(properties={"k": "y", "v": 0})
+        reader = db.begin()
+        reader.get_node(x.id)  # SIREAD on x
+        with db.transaction() as tx:  # concurrent writer of x commits
+            tx.set_node_property(x.id, "v", 1)
+        # reader -> writer is one rw edge; reader writes y (nobody reads it),
+        # so no second edge exists and the commit must succeed.
+        reader.set_node_property(y.id, "v", 1)
+        reader.commit()
+        assert db.statistics()["engine"]["transactions"]["abort_reasons"][
+            "rw-antidependency"
+        ] == 0
+        db.close()
+
+    def test_serial_transactions_never_abort(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        a, b = _make_accounts(db)
+        for _ in range(5):
+            with db.transaction() as tx:
+                balance = tx.get_node(a).get("balance")
+                tx.set_node_property(a, "balance", balance - 1)
+            with db.transaction() as tx:
+                balance = tx.get_node(b).get("balance")
+                tx.set_node_property(b, "balance", balance - 1)
+        assert db.statistics()["engine"]["transactions"]["aborted"] == 0
+        db.close()
+
+
+class TestPhantomPrevention:
+    def test_phantom_via_label_scan_caught(self):
+        """Two transactions scan an empty label and both insert into it."""
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        with db.transaction() as tx:
+            tx.create_node(labels=["Seed"])  # make the label index warm
+        t1 = db.begin()
+        t2 = db.begin()
+        assert t1.find_nodes(label="Pending") == []
+        assert t2.find_nodes(label="Pending") == []
+        t1.create_node(labels=["Pending"], properties={"who": "t1"})
+        t2.create_node(labels=["Pending"], properties={"who": "t2"})
+        t1.commit()
+        with pytest.raises(SerializationError):
+            t2.commit()
+        with db.transaction(read_only=True) as tx:
+            assert len(tx.find_nodes(label="Pending")) == 1
+        db.close()
+
+    def test_phantom_permitted_under_snapshot(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SNAPSHOT)
+        t1 = db.begin()
+        t2 = db.begin()
+        assert t1.find_nodes(label="Pending") == []
+        assert t2.find_nodes(label="Pending") == []
+        t1.create_node(labels=["Pending"])
+        t2.create_node(labels=["Pending"])
+        t1.commit()
+        t2.commit()  # SI lets the duplicate insert through
+        with db.transaction(read_only=True) as tx:
+            assert len(tx.find_nodes(label="Pending")) == 2
+        db.close()
+
+    def test_phantom_via_property_index_scan_caught(self):
+        """Unique-email style check-then-insert under a property predicate."""
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        with db.transaction() as tx:
+            tx.create_node(labels=["User"], properties={"email": "seed@x"})
+        t1 = db.begin()
+        t2 = db.begin()
+        assert t1.find_nodes(key="email", value="a@x") == []
+        assert t2.find_nodes(key="email", value="a@x") == []
+        t1.create_node(labels=["User"], properties={"email": "a@x"})
+        t2.create_node(labels=["User"], properties={"email": "a@x"})
+        t1.commit()
+        with pytest.raises(SerializationError):
+            t2.commit()
+        with db.transaction(read_only=True) as tx:
+            assert len(tx.find_nodes(key="email", value="a@x")) == 1
+        db.close()
+
+    def test_phantom_via_relationship_adjacency_caught(self):
+        """Degree-constraint skew: both cap-check a node's degree, both attach."""
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        with db.transaction() as tx:
+            hub = tx.create_node(labels=["Hub"])
+            s1 = tx.create_node()
+            s2 = tx.create_node()
+        t1 = db.begin()
+        t2 = db.begin()
+        assert t1.degree(hub.id) == 0  # adjacency predicate read
+        assert t2.degree(hub.id) == 0
+        t1.create_relationship(s1.id, hub.id, "LINK")
+        t2.create_relationship(s2.id, hub.id, "LINK")
+        t1.commit()
+        with pytest.raises(SerializationError):
+            t2.commit()
+        db.close()
+
+
+class TestReadOnlyOptimization:
+    def test_read_only_transactions_register_nothing(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        a, b = _make_accounts(db)
+        db.run_gc()  # drop the setup transaction's tracking record
+        with db.transaction(read_only=True) as tx:
+            tx.get_node(a)
+            tx.find_nodes(label="Account")
+            tx.degree(a)
+        cc = db.statistics()["engine"]["concurrency_control"]
+        assert cc["tracked_transactions"] == 0
+        assert cc["siread_entries"] == 0
+        assert cc["predicate_readers"] == 0
+        db.close()
+
+    def test_read_only_transaction_survives_write_skew_storm(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        a, b = _make_accounts(db)
+        probe = WriteSkewProbe(a, b, withdraw_amount=150)
+        observer = db.begin(read_only=True)
+        observer.get_node(a)
+        observer.get_node(b)
+        _run_skew_interleaving(db, probe)
+        # The observer overlapped both writers and read both accounts, yet is
+        # never part of any dangerous structure bookkeeping.
+        observer.get_node(a)
+        observer.commit()
+        db.close()
+
+
+class TestSireadReclamation:
+    def test_gc_reclaims_tracking_state_when_quiescent(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        a, b = _make_accounts(db)
+        for _ in range(3):
+            with db.transaction() as tx:
+                tx.set_node_property(a, "balance", tx.get_node(a).get("balance") + 1)
+        cc = db.statistics()["engine"]["concurrency_control"]
+        assert cc["tracked_transactions"] > 0
+        assert cc["siread_entries"] > 0
+        stats = db.run_gc()
+        assert stats.cc_entries_reclaimed > 0
+        cc = db.statistics()["engine"]["concurrency_control"]
+        assert cc["tracked_transactions"] == 0
+        assert cc["siread_entries"] == 0
+        assert cc["write_registry_entries"] == 0
+        assert cc["commit_log_entries"] == 0
+        db.close()
+
+    def test_active_snapshot_pins_tracking_state(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        a, b = _make_accounts(db)
+        pinner = db.begin()
+        pinner.get_node(a)  # SIREAD held by an active transaction
+        with db.transaction() as tx:  # concurrent commit on a disjoint key
+            tx.set_node_property(b, "balance", 7)
+        db.run_gc()
+        cc = db.statistics()["engine"]["concurrency_control"]
+        # The active reader's record and the concurrent committer's registry
+        # entries must survive: an edge could still form between them.
+        assert cc["tracked_transactions"] >= 2
+        assert cc["siread_entries"] >= 1
+        assert cc["write_registry_entries"] >= 1
+        pinner.commit()
+        db.run_gc()
+        cc = db.statistics()["engine"]["concurrency_control"]
+        assert cc["tracked_transactions"] == 0
+        assert cc["write_registry_entries"] == 0
+        db.close()
+
+    def test_writeless_workload_state_stays_bounded_without_gc(self):
+        """Read-write-opened but writeless transactions must not leak records.
+
+        Their pseudo commit timestamps sit above the watermark forever in a
+        pure-read workload, so reclamation falls back to the begin-ordered
+        transaction id — driven opportunistically from the commit path, with
+        no explicit ``run_gc`` call anywhere.
+        """
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        a, _b = _make_accounts(db)
+        for _ in range(300):
+            with db.transaction() as tx:  # reads only, never writes
+                tx.get_node(a)
+        cc = db.statistics()["engine"]["concurrency_control"]
+        assert cc["tracked_transactions"] <= 64, cc
+        db.close()
+
+    def test_mixed_commit_workload_state_stays_bounded_without_gc(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        a, _b = _make_accounts(db)
+        for _ in range(200):
+            with db.transaction() as tx:
+                tx.set_node_property(a, "balance", tx.get_node(a).get("balance") + 1)
+        cc = db.statistics()["engine"]["concurrency_control"]
+        assert cc["commit_log_entries"] <= 64, cc
+        assert cc["tracked_transactions"] <= 64, cc
+        db.close()
+
+    def test_vacuum_also_reclaims_tracking_state(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        a, _b = _make_accounts(db)
+        with db.transaction() as tx:
+            tx.set_node_property(a, "balance", tx.get_node(a).get("balance") - 1)
+        vacuum = db.create_vacuum_collector()
+        stats = vacuum.collect()
+        assert stats.cc_entries_reclaimed > 0
+        assert db.statistics()["engine"]["concurrency_control"]["siread_entries"] == 0
+        db.close()
+
+
+class TestAbortReasonBreakdown:
+    def test_ww_conflict_counted_under_snapshot(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SNAPSHOT)
+        a, _b = _make_accounts(db)
+        t1 = db.begin()
+        t2 = db.begin()
+        t1.set_node_property(a, "balance", 1)
+        with pytest.raises(TransactionAbortedError):
+            t2.set_node_property(a, "balance", 2)  # first-updater-wins
+        t2.rollback()
+        t1.commit()
+        reasons = db.statistics()["engine"]["transactions"]["abort_reasons"]
+        assert reasons["ww-conflict"] == 1
+        assert reasons["rw-antidependency"] == 0
+        db.close()
+
+    def test_breakdown_present_for_all_levels(self):
+        for isolation in IsolationLevel:
+            db = GraphDatabase.in_memory(isolation=isolation)
+            reasons = db.statistics()["engine"]["transactions"]["abort_reasons"]
+            assert set(reasons) == {"ww-conflict", "rw-antidependency", "deadlock"}
+            policy = db.statistics()["engine"]["concurrency_control"]["policy"]
+            expected = {
+                IsolationLevel.READ_COMMITTED: "2pl",
+                IsolationLevel.SNAPSHOT: "si-write-rule",
+                IsolationLevel.SERIALIZABLE: "ssi",
+            }[isolation]
+            assert policy == expected
+            db.close()
+
+
+class TestPolicyInjection:
+    def test_injected_policy_without_detector_keeps_statistics_surface(self):
+        """The documented ``cc_policy=`` injection point must not assume a
+        ``ConflictDetector``-hosting policy."""
+        from repro.core.cc_policy import TwoPhaseLockingPolicy
+        from repro.core.si_manager import SnapshotIsolationEngine
+        from repro.graph.store_manager import StoreManager
+        from repro.locking.lock_manager import LockManager
+
+        store = StoreManager(None)
+        locks = LockManager()
+        engine = SnapshotIsolationEngine(
+            store, lock_manager=locks, cc_policy=TwoPhaseLockingPolicy(locks)
+        )
+        try:
+            stats = engine.statistics()
+            assert stats["transactions"]["abort_reasons"]["ww-conflict"] == 0
+            assert stats["conflicts"] == {"write_time": 0, "commit_time": 0}
+            assert engine.abort_reasons()["rw-antidependency"] == 0
+            assert engine.conflicts is None  # no detector behind this policy
+        finally:
+            engine.close()
+            store.close()
+
+
+class TestSerializableIsStillSnapshot:
+    """SSI keeps SI's read behaviour for everything SI already guarantees."""
+
+    def test_repeatable_reads_and_own_writes(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        a, _b = _make_accounts(db, balance=10)
+        reader = db.begin()
+        assert reader.get_node(a).get("balance") == 10
+        with db.transaction() as tx:
+            tx.set_node_property(a, "balance", 99)
+        assert reader.get_node(a).get("balance") == 10  # snapshot holds
+        reader.rollback()
+        with db.transaction() as tx:
+            tx.set_node_property(a, "note", "mine")
+            assert tx.get_node(a).get("note") == "mine"  # read-your-own-writes
+        db.close()
+
+    def test_transaction_reports_isolation_level(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        with db.transaction() as tx:
+            assert tx.isolation_level is IsolationLevel.SERIALIZABLE
+        db.close()
+
+    def test_queries_run_under_serializable(self):
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        db.execute("CREATE (:Person {name: 'Ada'})-[:KNOWS]->(:Person {name: 'Bob'})")
+        result = db.execute(
+            "MATCH (p:Person {name: $name})-[:KNOWS]-(f) RETURN f.name", name="Ada"
+        )
+        assert [record["f.name"] for record in result.records()] == ["Bob"]
+        db.close()
+
+    def test_db_execute_routes_pure_reads_through_read_only_path(self):
+        """Ad-hoc read statements get the free read-only SSI path."""
+        db = GraphDatabase.in_memory(isolation=IsolationLevel.SERIALIZABLE)
+        db.execute("CREATE (:Person {name: 'Ada'})")
+        db.run_gc()  # drop the setup transaction's tracking record
+        for _ in range(10):
+            db.execute("MATCH (p:Person) RETURN p.name")
+            db.execute("EXPLAIN CREATE (:Person)")  # EXPLAIN never writes
+        cc = db.statistics()["engine"]["concurrency_control"]
+        assert cc["tracked_transactions"] == 0, cc
+        assert cc["siread_entries"] == 0 and cc["predicate_readers"] == 0, cc
+        # ... while actual write statements still go read-write.
+        db.execute("CREATE (:Person {name: 'Bob'})")
+        assert len(db.execute("MATCH (p:Person) RETURN p.name").records()) == 2
+        db.close()
