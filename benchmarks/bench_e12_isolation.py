@@ -153,6 +153,13 @@ def _run_read_heavy_cell(isolation: IsolationLevel, *, seconds: float,
         "write_retries": sum(retry_counts),
         "abort_reasons": _abort_reasons(db),
     }
+    safe = db.statistics().get("safe_snapshots")
+    if safe is not None:
+        # Retry attribution for the read-only safe-snapshot gate.  With
+        # four writers always in flight most read-only queries census a
+        # non-empty set (tracked >> immediate) and a handful of writers is
+        # sacrificed — the row lets the retry counts be attributed.
+        row["safe_snapshots"] = safe
     db.close()
     return row
 

@@ -35,6 +35,7 @@ from repro.errors import (
     RelationshipNotFoundError,
     ReproError,
     SerializationError,
+    UnsafeSnapshotError,
     TransactionAbortedError,
     WriteWriteConflictError,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "RelationshipNotFoundError",
     "ReproError",
     "SerializationError",
+    "UnsafeSnapshotError",
     "Transaction",
     "TransactionAbortedError",
     "TraversalDescription",

@@ -101,6 +101,8 @@ class GraphDatabase:
         snapshot_read_cache: bool = True,
         query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
         rc_eager_read_unlock: bool = True,
+        safe_snapshots: bool = True,
+        defer_readonly: bool = False,
     ) -> None:
         """Open (or create) a database.
 
@@ -122,6 +124,15 @@ class GraphDatabase:
         ``rc_eager_read_unlock`` routes read-committed point reads through
         the lock manager's short shared guard instead of a full
         acquire/release pair (``False`` restores the seed behaviour).
+
+        Serializable-only knobs: ``safe_snapshots`` gates read-only
+        transactions so the Fekete read-only-transaction anomaly cannot
+        occur (disable only to reproduce the anomaly, as the test harness
+        does); ``defer_readonly`` makes read-only serializable transactions
+        *deferrable* by default — ``begin(read_only=True)`` blocks until a
+        safe snapshot is available and then runs completely untracked
+        (override per transaction with ``begin(deferrable=...)``).  See
+        ``statistics()["safe_snapshots"]``.
         """
         self._isolation = _coerce_isolation(isolation)
         self._closed = False
@@ -151,6 +162,8 @@ class GraphDatabase:
                 commit_stripes=commit_stripes,
                 snapshot_read_cache=snapshot_read_cache,
                 query_cache_size=query_cache_size,
+                safe_snapshots=safe_snapshots,
+                defer_readonly=defer_readonly,
             )
         else:
             self.engine = ReadCommittedEngine(
@@ -192,14 +205,26 @@ class GraphDatabase:
     # transactions
     # ------------------------------------------------------------------
 
-    def begin(self, *, read_only: bool = False) -> Transaction:
-        """Start a transaction (the caller commits or rolls back explicitly)."""
-        self._ensure_open()
-        return Transaction(self.engine, self.engine.begin(read_only=read_only))
+    def begin(
+        self, *, read_only: bool = False, deferrable: Optional[bool] = None
+    ) -> Transaction:
+        """Start a transaction (the caller commits or rolls back explicitly).
 
-    def transaction(self, *, read_only: bool = False) -> Transaction:
+        ``deferrable`` (read-only serializable transactions only) overrides
+        the database's ``defer_readonly`` default: ``True`` blocks until a
+        safe snapshot is available and then runs fully untracked, ``False``
+        starts immediately under retroactive safe-snapshot validation.
+        """
+        self._ensure_open()
+        return Transaction(
+            self.engine, self.engine.begin(read_only=read_only, deferrable=deferrable)
+        )
+
+    def transaction(
+        self, *, read_only: bool = False, deferrable: Optional[bool] = None
+    ) -> Transaction:
         """Alias of :meth:`begin`, reads naturally in ``with`` statements."""
-        return self.begin(read_only=read_only)
+        return self.begin(read_only=read_only, deferrable=deferrable)
 
     def run_transaction(
         self,
@@ -207,6 +232,7 @@ class GraphDatabase:
         *,
         retries: int = 5,
         read_only: bool = False,
+        deferrable: Optional[bool] = None,
         base_backoff_seconds: float = 0.002,
         max_backoff_seconds: float = 0.25,
         rng: Optional[random.Random] = None,
@@ -235,7 +261,7 @@ class GraphDatabase:
             raise ValueError("retries must be >= 0")
         attempt = 0
         while True:
-            tx = self.begin(read_only=read_only)
+            tx = self.begin(read_only=read_only, deferrable=deferrable)
             try:
                 result = fn(tx)
                 if tx.is_open:
@@ -355,6 +381,9 @@ class GraphDatabase:
         if isinstance(self.engine, SnapshotIsolationEngine):
             stats["engine"] = self.engine.statistics()
             stats["object_cache"] = self.engine.versions.cache.stats.as_dict()
+            # Safe-snapshot counters are load-bearing for benchmarks (retry
+            # attribution), so they get a top-level alias too.
+            stats["safe_snapshots"] = stats["engine"]["safe_snapshots"]
         else:
             stats["engine"] = {
                 "transactions": dict(

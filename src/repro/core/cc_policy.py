@@ -38,6 +38,16 @@ race-free without putting locks on the MVCC read path itself):
 Read-only transactions are the paper's — and PostgreSQL's — fast path: they
 register nothing, cost nothing, and can never be aborted, because a
 transaction without writes can never be the pivot of a dangerous structure.
+The one residual gap of that optimisation — the Fekete read-only-transaction
+anomaly — is closed by **safe snapshots**: a read-only transaction's begin
+censuses the read-write transactions in flight at its snapshot grant, and
+until every one of them finishes the snapshot is *pending*.  A census member
+trying to commit with an rw-antidependency out to a transaction that
+committed before the pending snapshot (the provable precondition of any
+anomaly the reader could observe) is aborted with
+:class:`~repro.errors.UnsafeSnapshotError` — the reader itself is *never*
+aborted.  Deferrable readers instead block at begin and retake their
+snapshot until a safe one is available, then run completely untracked.
 
 Entries of committed transactions are retained only while a concurrent
 transaction could still form an edge with them; :meth:`reclaim` (driven by
@@ -51,7 +61,7 @@ import threading
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.conflict import ConflictDetector, ConflictPolicy
-from repro.errors import SerializationError
+from repro.errors import SerializationError, UnsafeSnapshotError
 from repro.graph.entity import EntityKey, NodeData, RelationshipData
 from repro.index.property_index import hashable_value
 from repro.locking.lock_manager import LockManager
@@ -83,13 +93,15 @@ class SsiTransactionRecord:
         "committed",
         "finished",
         "doomed",
+        "read_only",
         "in_conflict",
         "out_conflict",
+        "out_commit_ts",
         "read_keys",
         "predicates",
     )
 
-    def __init__(self, txn_id: int, start_ts: int) -> None:
+    def __init__(self, txn_id: int, start_ts: int, *, read_only: bool = False) -> None:
         self.txn_id = txn_id
         self.start_ts = start_ts
         self.commit_ts: Optional[float] = None
@@ -100,8 +112,21 @@ class SsiTransactionRecord:
         self.committed = False
         self.finished = False
         self.doomed = False
+        #: Read-only records (safe-snapshot readers upgraded to tracking)
+        #: write nothing: they can never carry ``in_conflict``, never become
+        #: a pivot, and are never aborted — the safe-snapshot gate aborts
+        #: the threatening *writer* instead.
+        self.read_only = read_only
         self.in_conflict = False
         self.out_conflict = False
+        #: Earliest commit timestamp among this record's *committed*
+        #: rw-antidependency out-partners (the transactions that overwrote
+        #: something this record read).  This is what the safe-snapshot gate
+        #: compares against pending read-only snapshots: an anomaly a
+        #: read-only transaction could observe requires a concurrent writer
+        #: committing with an out-edge to a transaction that committed
+        #: *before* the reader's snapshot.
+        self.out_commit_ts: Optional[float] = None
         self.read_keys: Set[EntityKey] = set()
         self.predicates: Set[Predicate] = set()
 
@@ -111,6 +136,107 @@ class SsiTransactionRecord:
         if not self.finished:
             return True
         return self.commit_ts is not None and self.commit_ts > other_start_ts
+
+
+#: Sentinel returned by :meth:`ConcurrencyControlPolicy.begin_read_only` when
+#: the snapshot just granted is *already* unsafe — a census member committed
+#: (but has not yet published) carrying an out-edge to something that
+#: committed before this snapshot.  Nothing can be aborted to repair that, so
+#: the engine must retire the transaction and take a fresh snapshot.
+RETAKE_SNAPSHOT = object()
+
+
+class SafeSnapshotStats:
+    """Counters for the read-only safe-snapshot machinery."""
+
+    __slots__ = (
+        "immediate",
+        "tracked",
+        "became_safe",
+        "waits",
+        "retakes",
+        "upgrades",
+        "writer_aborts",
+    )
+
+    def __init__(self) -> None:
+        #: Read-only begins whose census was empty: safe from birth, zero cost.
+        self.immediate = 0
+        #: Read-only begins that had to be tracked until their census drained.
+        self.tracked = 0
+        #: Tracked snapshots whose census drained without a dangerous commit.
+        self.became_safe = 0
+        #: Deferrable begins that blocked waiting for a safe snapshot.
+        self.waits = 0
+        #: Snapshots retaken (deferrable unsafe wake-ups + unsafe-at-birth).
+        self.retakes = 0
+        #: Pending readers upgraded to full SIREAD tracking.
+        self.upgrades = 0
+        #: Writers aborted because committing would have exposed the
+        #: read-only-transaction anomaly to a pending reader.
+        self.writer_aborts = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "immediate": self.immediate,
+            "tracked": self.tracked,
+            "became_safe": self.became_safe,
+            "waits": self.waits,
+            "retakes": self.retakes,
+            "upgrades": self.upgrades,
+            "writer_aborts": self.writer_aborts,
+        }
+
+
+class PendingSafeSnapshot:
+    """One read-only snapshot waiting to be proven safe.
+
+    Holds the census of read-write transactions that were in flight when the
+    snapshot was granted.  The snapshot is *safe* once every member has
+    finished without committing an rw-antidependency out to a transaction
+    that committed before this snapshot (the precondition of the Fekete
+    read-only-transaction anomaly).  Until then:
+
+    * a **deferrable** reader blocks on :attr:`event` before performing any
+      read, and retakes its snapshot if a member commits dangerously;
+    * a **non-deferrable** reader proceeds immediately, buffering its reads
+      into :attr:`record`; a member that tries to commit dangerously is
+      aborted on the reader's behalf (the reader itself is never aborted)
+      and the reader upgrades to full SIREAD tracking.
+
+    The entry outlives the reader: a reader that finishes while members are
+    still running has already handed results to the application, so those
+    members stay gated until they finish.
+    """
+
+    __slots__ = (
+        "txn_id",
+        "start_ts",
+        "census",
+        "deferrable",
+        "record",
+        "upgrade_required",
+        "upgraded",
+        "safe",
+        "event",
+    )
+
+    def __init__(
+        self, txn_id: int, start_ts: int, census: Set[int], *, deferrable: bool
+    ) -> None:
+        self.txn_id = txn_id
+        self.start_ts = start_ts
+        self.census = census
+        self.deferrable = deferrable
+        #: Local buffer of the reader's reads (registered only on upgrade).
+        #: Mutated exclusively by the reader's own thread until then.
+        self.record = SsiTransactionRecord(txn_id, start_ts, read_only=True)
+        self.upgrade_required = False
+        self.upgraded = False
+        #: Set (before :attr:`event`) when the census drained without a
+        #: dangerous commit; a woken waiter finding it False must retake.
+        self.safe = False
+        self.event = threading.Event()
 
 
 class ConcurrencyControlPolicy(abc.ABC):
@@ -131,6 +257,44 @@ class ConcurrencyControlPolicy(abc.ABC):
     ) -> Optional[SsiTransactionRecord]:
         """Register a starting transaction; returns its tracking record, if any."""
         return None
+
+    def begin_read_only(
+        self,
+        txn_id: int,
+        start_ts: int,
+        rw_census: Iterable[int],
+        *,
+        deferrable: bool = False,
+    ) -> object:
+        """Register a read-only transaction with its snapshot-time census.
+
+        Returns ``None`` when the snapshot is safe from birth (the common
+        case, and always for policies without safe-snapshot gating), a
+        :class:`PendingSafeSnapshot` handle while the snapshot must be
+        tracked, or :data:`RETAKE_SNAPSHOT` when the engine must retire the
+        transaction and take a fresh snapshot.
+        """
+        return None
+
+    def wait_for_safe_snapshot(
+        self, handle: "PendingSafeSnapshot", timeout: Optional[float] = None
+    ) -> bool:
+        """Block until ``handle`` resolves; True if it resolved safe."""
+        return True
+
+    def upgrade_reader(self, handle: "PendingSafeSnapshot") -> None:
+        """Promote a pending reader's buffered reads to full SIREAD tracking."""
+
+    def finish_read_only(self, handle: "PendingSafeSnapshot") -> None:
+        """Close out a tracked read-only transaction (its entry may outlive it)."""
+
+    def safe_snapshot_aborts(self) -> int:
+        """Writers aborted to protect a pending read-only snapshot."""
+        return 0
+
+    def safe_snapshot_statistics(self) -> Dict[str, int]:
+        """Safe-snapshot counters (zeros for policies without the machinery)."""
+        return dict(SafeSnapshotStats().as_dict(), pending=0)
 
     def check_write(
         self,
@@ -401,9 +565,41 @@ class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
         self,
         lock_manager: LockManager,
         conflict_policy: ConflictPolicy = ConflictPolicy.FIRST_UPDATER_WINS,
+        *,
+        safe_snapshots: bool = True,
     ) -> None:
         super().__init__(lock_manager, conflict_policy)
+        #: Safe-snapshot gating for read-only transactions (PostgreSQL-style).
+        #: Disabling it restores the bare read-only optimisation, which
+        #: admits the Fekete read-only-transaction anomaly — kept as a knob
+        #: so the anomaly is reproducible on demand by the test harness.
+        self.safe_snapshots = safe_snapshots
         self._mutex = threading.Lock()
+        #: The safe-snapshot tracker has its own mutex so read-only begins
+        #: and finishes never contend with the (SIREAD-heavy) main tracker
+        #: mutex.  Lock order where both are needed: ``_mutex`` first,
+        #: ``_safe_mutex`` nested — never the other way around.
+        self._safe_mutex = threading.Lock()
+        self._safe_stats = SafeSnapshotStats()
+        #: Pending read-only snapshots by reader txn id.  An entry lives
+        #: until its census drains, even if the reader finished first: a
+        #: reader that already returned results keeps its census members
+        #: gated until they finish.
+        self._pending_safe: Dict[int, PendingSafeSnapshot] = {}
+        #: Read-write transactions the policy has seen finish, mapped to the
+        #: earliest committed out-partner timestamp they finished with
+        #: (``None`` when harmless: aborted, writeless, or no out-edge).
+        #: Consulted when filtering an oracle census (the oracle retires
+        #: transactions slightly later than the policy sees them finish);
+        #: pruned by :meth:`reclaim` below the oldest active transaction id.
+        self._finished_rw: Dict[int, Optional[float]] = {}
+        #: Every pruned finish record had an id below this floor.  A census
+        #: member below the floor with no finish record is ambiguous — it
+        #: finished, but whether it committed dangerously was pruned — so
+        #: the reader retakes its snapshot (see :meth:`begin_read_only`).
+        #: A still-active member can never sit below the floor: pruning
+        #: only drops ids beneath the oldest active transaction.
+        self._finished_floor = 0
         #: Active and recently-committed tracked transactions by id.
         self._records: Dict[int, SsiTransactionRecord] = {}
         #: entity key -> records holding a SIREAD on it.
@@ -427,20 +623,211 @@ class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
     ) -> Optional[SsiTransactionRecord]:
         if read_only:
             # The read-only optimisation: no SIREADs, no record, no aborts.
-            # Deliberate trade-off: serializability is guaranteed among the
-            # read-write transactions; an explicitly read-only transaction
-            # gets a consistent snapshot but is excluded from edge tracking,
-            # so the rare read-only-transaction anomaly (Fekete et al. 2004)
-            # is not detected on its behalf.  PostgreSQL closes that last
-            # gap with safe-snapshot gating (deferring or re-checking the
-            # snapshot while conflicting read-write transactions are live);
-            # until then, observers that must participate in the serial
-            # order should be opened read-write.
+            # A transaction without writes can never be the pivot of a
+            # dangerous structure, so among the read-write transactions
+            # serializability needs nothing from it.  The one residual gap —
+            # the Fekete read-only-transaction anomaly — is closed by the
+            # safe-snapshot gate (:meth:`begin_read_only`); engines route
+            # read-only serializable begins through that entry point.
             return None
         record = SsiTransactionRecord(txn_id, start_ts)
         with self._mutex:
             self._records[txn_id] = record
         return record
+
+    # -- safe snapshots for read-only transactions -----------------------------
+
+    def begin_read_only(
+        self,
+        txn_id: int,
+        start_ts: int,
+        rw_census: Iterable[int],
+        *,
+        deferrable: bool = False,
+    ) -> object:
+        """Census the in-flight read-write transactions for a new reader.
+
+        Returns ``None`` when no read-write transaction was live at the
+        snapshot grant (the snapshot is safe from birth and the reader runs
+        the free untracked path), a :class:`PendingSafeSnapshot` handle
+        otherwise, or :data:`RETAKE_SNAPSHOT` when a census member already
+        committed dangerously but has not yet published — the one window
+        where neither the reader nor the writer can be protected, so the
+        reader must take a fresh snapshot (the publish completes within the
+        committer's critical section, making the retake loop short).
+        """
+        if not self.safe_snapshots:
+            return None
+        missing = object()
+        with self._safe_mutex:
+            live: Set[int] = set()
+            for member in rw_census:
+                finished_out_ts = self._finished_rw.get(member, missing)
+                if finished_out_ts is missing:
+                    if member < self._finished_floor:
+                        # Finished between the oracle census and this
+                        # registration, with its finish record already
+                        # pruned: whether it was dangerous is unknowable,
+                        # so take a fresh snapshot (by then the member is
+                        # out of the oracle's active set).
+                        self._safe_stats.retakes += 1
+                        return RETAKE_SNAPSHOT
+                    # Still in flight as far as the policy knows: a genuine
+                    # census member (its commits will be gated).
+                    live.add(member)
+                elif finished_out_ts is not None and finished_out_ts <= start_ts:
+                    # Committed with a dangerous out-edge but not yet
+                    # published (else the snapshot would cover its writes
+                    # and no rw-edge out of the reader could form): nothing
+                    # can be aborted to protect this snapshot any more.
+                    self._safe_stats.retakes += 1
+                    return RETAKE_SNAPSHOT
+            if not live:
+                self._safe_stats.immediate += 1
+                return None
+            handle = PendingSafeSnapshot(
+                txn_id, start_ts, live, deferrable=deferrable
+            )
+            self._pending_safe[txn_id] = handle
+            self._safe_stats.tracked += 1
+            return handle
+
+    def wait_for_safe_snapshot(
+        self, handle: PendingSafeSnapshot, timeout: Optional[float] = None
+    ) -> bool:
+        """Block a deferrable reader until its snapshot resolves."""
+        with self._safe_mutex:
+            self._safe_stats.waits += 1
+        handle.event.wait(timeout)
+        return handle.safe
+
+    def upgrade_reader(self, handle: PendingSafeSnapshot) -> None:
+        """Promote a pending reader to full SIREAD tracking.
+
+        Registers the reads the reader buffered while untracked and turns on
+        live registration for everything it reads from here on, so later
+        committers conflict-check against the reader's actual read set.  The
+        reader's own thread is the only mutator of the buffer, and it is the
+        caller, so the bulk registration is race-free under the mutex.
+        Edges found here never abort the reader (see :meth:`_note_edge`).
+        """
+        record = handle.record
+        with self._mutex:
+            if handle.upgraded:
+                return
+            handle.upgraded = True
+            with self._safe_mutex:
+                self._safe_stats.upgrades += 1
+            self._records[record.txn_id] = record
+            for key in record.read_keys:
+                self._sireads.setdefault(key, set()).add(record)
+                for commit_ts, writer in self._write_registry.get(key, ()):
+                    if writer is not record and commit_ts > record.start_ts:
+                        self._note_edge(record, writer, acting=record)
+            if record.predicates:
+                self._predicate_readers.add(record)
+                for predicate in record.predicates:
+                    for entry in self._commit_log:
+                        if entry.record is record or entry.commit_ts <= record.start_ts:
+                            continue
+                        for _key, old, new in entry.changes:
+                            if predicate_membership_changed(predicate, old, new):
+                                self._note_edge(record, entry.record, acting=record)
+                                break
+
+    def finish_read_only(self, handle: PendingSafeSnapshot) -> None:
+        """Close out a tracked reader; its census entry may outlive it.
+
+        An upgraded reader's SIREADs are purged immediately — nothing can
+        read *under* a transaction that wrote nothing, so retained read-only
+        registrations would only manufacture conservative aborts.  The
+        pending entry itself stays until the census drains: the reader has
+        already handed its reads to the application, so a census member
+        committing dangerously after the reader finished must still abort.
+        """
+        if handle.upgraded:
+            with self._mutex:
+                self._purge_record(handle.record)
+
+    def _rw_member_finished(
+        self, txn_id: int, out_commit_ts: Optional[float] = None
+    ) -> None:
+        """One read-write transaction ended: update the pending censuses.
+
+        ``out_commit_ts`` records the danger the member finished with (only
+        a *commit* carrying an out-edge is dangerous; aborts and writeless
+        commits pass ``None``) so a census taken after this moment can still
+        judge the member (see :meth:`begin_read_only`).
+        """
+        with self._safe_mutex:
+            self._member_finished_locked(txn_id, out_commit_ts)
+
+    def _member_finished_locked(
+        self, txn_id: int, out_commit_ts: Optional[float]
+    ) -> None:
+        self._finished_rw[txn_id] = out_commit_ts
+        if not self._pending_safe:
+            return
+        resolved: List[int] = []
+        for reader_id, handle in self._pending_safe.items():
+            handle.census.discard(txn_id)
+            if not handle.census:
+                resolved.append(reader_id)
+        for reader_id in resolved:
+            handle = self._pending_safe.pop(reader_id)
+            handle.safe = True
+            self._safe_stats.became_safe += 1
+            handle.event.set()
+
+    def _gate_and_finish_commit(self, record: SsiTransactionRecord) -> None:
+        """The safe-snapshot gate, run at a writer's commit (main mutex held).
+
+        The committing writer may carry an rw-antidependency out to a
+        transaction that committed at ``record.out_commit_ts``.  Any pending
+        reader whose snapshot (a) was granted while this writer was in
+        flight and (b) postdates that out-partner's commit could observe the
+        Fekete read-only anomaly through this commit — the reader would see
+        the out-partner's writes but not this writer's, closing the cycle.
+        A non-deferrable reader may already have performed reads, so the
+        *writer* is aborted (readers are never aborted) and the reader is
+        upgraded to full tracking; the writer's retry begins after the
+        reader's snapshot and can no longer threaten it.  A deferrable
+        reader is still blocked at begin and has read nothing: it is sent
+        back to retake its snapshot and the writer commits undisturbed.
+
+        Gate check and member-finish registration happen under one
+        ``_safe_mutex`` section, so a reader beginning concurrently either
+        registers in time to be seen by the gate or sees this member (and
+        its danger) as already finished — there is no window in between.
+        """
+        threat_ts = record.out_commit_ts
+        with self._safe_mutex:
+            if threat_ts is not None and self._pending_safe:
+                blocked: List[PendingSafeSnapshot] = [
+                    handle
+                    for handle in self._pending_safe.values()
+                    if record.txn_id in handle.census and handle.start_ts >= threat_ts
+                ]
+                hard = [handle for handle in blocked if not handle.deferrable]
+                if hard:
+                    for handle in hard:
+                        handle.upgrade_required = True
+                    self._safe_stats.writer_aborts += 1
+                    raise UnsafeSnapshotError(
+                        f"transaction {record.txn_id} commits with an "
+                        "rw-antidependency out to a transaction that committed "
+                        f"before the snapshot of {len(hard)} concurrent "
+                        "read-only transaction(s); committing would expose the "
+                        "read-only-transaction anomaly — retry the transaction"
+                    )
+                for handle in blocked:
+                    # Deferrable readers are still parked at begin: no read
+                    # has happened, so the snapshot is simply abandoned and
+                    # retaken (the woken waiter sees ``safe`` still False).
+                    self._pending_safe.pop(handle.txn_id, None)
+                    self._safe_stats.retakes += 1
+                    handle.event.set()
+            self._member_finished_locked(record.txn_id, threat_ts)
 
     def finish_transaction(
         self,
@@ -458,6 +845,7 @@ class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
                 return  # went through record_commit; retained until reclaim
             if not committed:
                 self._purge_record(record)
+                self._rw_member_finished(txn_id)
                 return
             # Committed without writes: the record's SIREADs must survive
             # until no concurrent writer can commit any more.  The half-step
@@ -470,6 +858,9 @@ class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
             record.committed = True
             record.commit_ts = visible_ts + 0.5
             record.finish_seq = finish_seq
+            # A writeless transaction wrote nothing a reader could have read
+            # under, so it leaves every pending census without a gate check.
+            self._rw_member_finished(txn_id)
 
     def release_locks(self, txn_id: int) -> None:
         self.detector.release_locks(txn_id)
@@ -582,9 +973,14 @@ class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
                         "completes a dangerous structure whose pivot "
                         f"(transaction {reader.txn_id}) has already committed",
                     )
+            # Safe-snapshot gate: this commit must not expose the read-only
+            # anomaly to a pending reader (raises with nothing installed).
+            # On success it also marks this member finished for the pending
+            # censuses, atomically with the gate decision.
+            self._gate_and_finish_commit(record)
             # Point of no return: apply the edges and publish the commit.
             for reader in readers:
-                self._note_edge(reader, record, acting=record)
+                self._note_edge(reader, record, acting=record, writer_commit_ts=commit_ts)
             record.finished = True
             record.committed = True
             record.commit_ts = commit_ts
@@ -623,17 +1019,25 @@ class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
         writer: SsiTransactionRecord,
         *,
         acting: SsiTransactionRecord,
+        writer_commit_ts: Optional[float] = None,
     ) -> None:
         """Apply one rw-antidependency edge ``reader -> writer`` (mutex held).
 
         If either endpoint becomes a pivot, resolve per the dangerous-
         structure rules: abort the acting transaction when the pivot is the
         acting transaction itself or has already committed; doom an active
-        pivot otherwise.
+        pivot otherwise.  ``writer_commit_ts`` carries the timestamp of a
+        writer that is committing right now (its record is not yet marked
+        committed); every other caller reaches a writer that has one.
         """
         self._edges_observed += 1
         reader.out_conflict = True
         writer.in_conflict = True
+        partner_ts = writer.commit_ts if writer.commit_ts is not None else writer_commit_ts
+        if partner_ts is not None and (
+            reader.out_commit_ts is None or partner_ts < reader.out_commit_ts
+        ):
+            reader.out_commit_ts = partner_ts
         for pivot in (reader, writer):
             if not (pivot.in_conflict and pivot.out_conflict):
                 continue
@@ -641,6 +1045,15 @@ class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
                 self._raise_rw_abort(acting, "is the pivot of a dangerous structure")
             if pivot.finished:
                 if pivot.committed:
+                    if acting.read_only:
+                        # A safe-snapshot reader is never aborted.  This
+                        # structure is harmless to it: the safe-snapshot gate
+                        # aborts any census writer whose out-partner committed
+                        # before the reader's snapshot, so a committed pivot
+                        # reached from a read-only reader necessarily has an
+                        # out-partner that committed *after* that snapshot —
+                        # which admits the serial order reader < pivot < partner.
+                        continue
                     self._raise_rw_abort(
                         acting,
                         "completes a dangerous structure whose pivot "
@@ -718,6 +1131,27 @@ class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
                 if not (quiescent or entry.commit_ts <= watermark)
             ]
             dropped += before - len(self._commit_log)
+            # Census bookkeeping: ids below every active transaction can
+            # never appear in a future census (censuses only list oracle-
+            # active transactions), so the finished-member map stays bounded.
+            with self._safe_mutex:
+                if quiescent:
+                    if self._finished_rw:
+                        self._finished_floor = max(
+                            self._finished_floor, max(self._finished_rw) + 1
+                        )
+                        self._finished_rw.clear()
+                elif oldest_active_txn_id is not None:
+                    kept = {
+                        txn_id: out_ts
+                        for txn_id, out_ts in self._finished_rw.items()
+                        if txn_id >= oldest_active_txn_id
+                    }
+                    if len(kept) != len(self._finished_rw):
+                        self._finished_floor = max(
+                            self._finished_floor, oldest_active_txn_id
+                        )
+                        self._finished_rw = kept
         self._entries_reclaimed += dropped
         return dropped
 
@@ -740,6 +1174,15 @@ class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
     def rw_antidependency_aborts(self) -> int:
         return self._rw_aborts
 
+    def safe_snapshot_aborts(self) -> int:
+        return self._safe_stats.writer_aborts
+
+    def safe_snapshot_statistics(self) -> Dict[str, int]:
+        with self._safe_mutex:
+            return dict(
+                self._safe_stats.as_dict(), pending=len(self._pending_safe)
+            )
+
     def statistics(self) -> Dict[str, object]:
         with self._mutex:
             return {
@@ -757,6 +1200,7 @@ class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
                 "rw_antidependency_aborts": self._rw_aborts,
                 "transactions_doomed": self._doomed_marked,
                 "entries_reclaimed": self._entries_reclaimed,
+                "safe_snapshots": self.safe_snapshot_statistics(),
             }
 
 

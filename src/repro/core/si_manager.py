@@ -22,6 +22,7 @@ import threading
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.cc_policy import (
+    RETAKE_SNAPSHOT,
     Change,
     ConcurrencyControlPolicy,
     SerializableSnapshotPolicy,
@@ -98,6 +99,8 @@ class SnapshotIsolationEngine(GraphEngine):
         commit_stripes: int = DEFAULT_COMMIT_STRIPES,
         snapshot_read_cache: bool = True,
         query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
+        safe_snapshots: bool = True,
+        defer_readonly: bool = False,
     ) -> None:
         """Create an engine over an open store.
 
@@ -121,6 +124,14 @@ class SnapshotIsolationEngine(GraphEngine):
         payloads and adjacency lists (safe because a snapshot is immutable);
         ``query_cache_size`` sizes the per-database parse and plan caches
         (0 disables them).
+
+        ``safe_snapshots`` (serializable only) gates read-only transactions
+        PostgreSQL-style so the Fekete read-only-transaction anomaly cannot
+        occur; disabling it restores the bare read-only optimisation (used
+        by the anomaly test harness).  ``defer_readonly`` makes read-only
+        serializable begins *deferrable* by default: ``begin`` blocks until
+        a safe snapshot is available instead of tracking the reader
+        optimistically (per-transaction override via ``begin(deferrable=)``).
         """
         if commit_stripes < 1:
             raise ValueError("the engine needs at least one commit stripe")
@@ -140,10 +151,13 @@ class SnapshotIsolationEngine(GraphEngine):
         self.query_caches = QueryCaches(query_cache_size)
         if cc_policy is None:
             if isolation is IsolationLevel.SERIALIZABLE:
-                cc_policy = SerializableSnapshotPolicy(self.locks, conflict_policy)
+                cc_policy = SerializableSnapshotPolicy(
+                    self.locks, conflict_policy, safe_snapshots=safe_snapshots
+                )
             else:
                 cc_policy = SnapshotWriteRulePolicy(self.locks, conflict_policy)
         self.cc = cc_policy
+        self.defer_readonly = defer_readonly
         self.isolation_level = isolation
         self.gc = GarbageCollector(
             self.versions,
@@ -177,18 +191,58 @@ class SnapshotIsolationEngine(GraphEngine):
         """
         return getattr(self.cc, "detector", None)
 
-    def begin(self, *, read_only: bool = False) -> SnapshotTransaction:
-        """Start a transaction with a fresh snapshot of the committed state."""
-        txn_id, start_ts = self.oracle.begin_transaction()
+    def begin(
+        self, *, read_only: bool = False, deferrable: Optional[bool] = None
+    ) -> SnapshotTransaction:
+        """Start a transaction with a fresh snapshot of the committed state.
+
+        Read-only transactions under a read-tracking (serializable) policy
+        take the safe-snapshot path: the oracle grants the snapshot together
+        with a census of in-flight read-write transactions, and the policy
+        decides whether the snapshot is safe from birth (the common case,
+        free), must be tracked while the census drains (non-deferrable), or
+        — with ``deferrable=True`` — should block here and retake the
+        snapshot until a safe one is available, after which the transaction
+        runs completely untracked and can never interact with the
+        serializability machinery at all.
+        """
         with self._counter_lock:
             self.stats.begun += 1
-        record = self.cc.begin_transaction(txn_id, start_ts, read_only=read_only)
-        return SnapshotTransaction(
-            self,
-            Snapshot(txn_id=txn_id, start_ts=start_ts),
-            read_only=read_only,
-            cc_record=record,
-        )
+        if deferrable is None:
+            deferrable = self.defer_readonly
+        if not (read_only and self.cc.tracks_reads):
+            txn_id, start_ts = self.oracle.begin_transaction()
+            record = self.cc.begin_transaction(txn_id, start_ts, read_only=read_only)
+            return SnapshotTransaction(
+                self,
+                Snapshot(txn_id=txn_id, start_ts=start_ts),
+                read_only=read_only,
+                cc_record=record,
+            )
+        while True:
+            txn_id, start_ts, census = self.oracle.begin_read_only_transaction()
+            handle = self.cc.begin_read_only(
+                txn_id, start_ts, census, deferrable=deferrable
+            )
+            if handle is RETAKE_SNAPSHOT:
+                # A census member committed dangerously but has not yet
+                # published; its publication completes within its commit
+                # critical section, so the fresh snapshot covers it.
+                self.oracle.retire_transaction(txn_id)
+                continue
+            if handle is not None and deferrable:
+                safe = self.cc.wait_for_safe_snapshot(handle)
+                if not safe:
+                    self.oracle.retire_transaction(txn_id)
+                    continue
+                handle = None  # proven safe: run fully untracked
+            return SnapshotTransaction(
+                self,
+                Snapshot(txn_id=txn_id, start_ts=start_ts),
+                read_only=True,
+                cc_record=None,
+                safe_snapshot=handle,
+            )
 
     def commit_transaction(self, txn: SnapshotTransaction) -> None:
         """Commit: validate the write rule, install versions, persist, publish.
@@ -203,6 +257,8 @@ class SnapshotIsolationEngine(GraphEngine):
         """
         if not txn.has_writes():
             self.oracle.retire_transaction(txn.txn_id)
+            if txn.safe_snapshot is not None:
+                self.cc.finish_read_only(txn.safe_snapshot)
             # A committed-but-writeless transaction still finished reading at
             # this point in commit order; the policy needs that boundary to
             # judge concurrency against later committers.
@@ -250,6 +306,7 @@ class SnapshotIsolationEngine(GraphEngine):
                     # expected to fail; this mirrors the seed, where the next
                     # publish exposed whatever had been installed).
                     self.oracle.publish_commit(txn.txn_id, commit_ts)
+                txn.commit_ts = commit_ts
         finally:
             self.cc.release_locks(txn.txn_id)
         # The counter and the modulo decision must move together: concurrent
@@ -344,6 +401,10 @@ class SnapshotIsolationEngine(GraphEngine):
 
     def abort_transaction(self, txn: SnapshotTransaction) -> None:
         """Abort: discard the private write set and release write locks."""
+        if txn.safe_snapshot is not None:
+            # A rolled-back reader has still handed reads to the caller, so
+            # its census entry keeps gating members until they finish.
+            self.cc.finish_read_only(txn.safe_snapshot)
         self.cc.finish_transaction(txn.txn_id, txn.cc_record, committed=False)
         self.cc.release_locks(txn.txn_id)
         self.oracle.retire_transaction(txn.txn_id)
@@ -479,13 +540,17 @@ class SnapshotIsolationEngine(GraphEngine):
 
         ``ww-conflict`` counts write-rule violations (every detection aborts
         the transaction), ``rw-antidependency`` the SSI dangerous-structure
-        aborts (zero under plain snapshot isolation), and ``deadlock`` the
-        lock-wait cycles and timeouts resolved by killing a transaction.
+        aborts (zero under plain snapshot isolation), ``safe-snapshot`` the
+        writers aborted to keep a concurrent read-only snapshot safe
+        (counted separately so benchmarks can attribute retries), and
+        ``deadlock`` the lock-wait cycles and timeouts resolved by killing a
+        transaction.
         """
         ww_stats = self.cc.ww_conflict_stats()
         return {
             "ww-conflict": ww_stats["write_time"] + ww_stats["commit_time"],
             "rw-antidependency": self.cc.rw_antidependency_aborts(),
+            "safe-snapshot": self.cc.safe_snapshot_aborts(),
             "deadlock": self.locks.stats.deadlocks + self.locks.stats.timeouts,
         }
 
@@ -514,6 +579,7 @@ class SnapshotIsolationEngine(GraphEngine):
                 self.commit_pipeline_stats.as_dict(),
                 stripes=len(self._commit_stripes),
             ),
+            "safe_snapshots": self.cc.safe_snapshot_statistics(),
             "cardinalities": self.cardinalities(),
         }
 

@@ -51,7 +51,13 @@ class SnapshotTransaction(EngineTransaction):
     """One transaction running under the snapshot-isolation engine."""
 
     def __init__(
-        self, engine, snapshot: Snapshot, *, read_only: bool = False, cc_record=None
+        self,
+        engine,
+        snapshot: Snapshot,
+        *,
+        read_only: bool = False,
+        cc_record=None,
+        safe_snapshot=None,
     ) -> None:
         super().__init__(snapshot.txn_id, read_only=read_only)
         self._engine = engine
@@ -62,6 +68,17 @@ class SnapshotTransaction(EngineTransaction):
         self.cc_record = cc_record
         self._cc = engine.cc
         self._track_reads = cc_record is not None and self._cc.tracks_reads
+        #: Commit timestamp, set by the engine once a versioned commit
+        #: publishes (``None`` for writeless or uncommitted transactions).
+        #: Experiments and the history-recording test harness read it.
+        self.commit_ts: Optional[int] = None
+        #: Safe-snapshot handle (read-only serializable transactions whose
+        #: snapshot is not yet proven safe).  While present, reads are
+        #: buffered locally so a forced upgrade can register them
+        #: retroactively; once the snapshot resolves safe the handle is
+        #: dropped and the read path pays nothing again.
+        self.safe_snapshot = safe_snapshot
+        self._pending_reader = safe_snapshot
         #: Private uncommitted versions: entity key -> new state (None = delete).
         self._writes: Dict[EntityKey, Optional[object]] = {}
         #: Keys created by this transaction (no committed predecessor).
@@ -116,6 +133,14 @@ class SnapshotTransaction(EngineTransaction):
         """
         if self._track_reads:
             self._cc.register_point_read(self.cc_record, key)
+        elif self._pending_reader is not None:
+            handle = self._pending_reader
+            if not (handle.safe or handle.upgrade_required or handle.upgraded):
+                # Hot path of a pending safe-snapshot reader: buffer the key
+                # locally (only this thread touches the buffer) and move on.
+                handle.record.read_keys.add(key)
+            else:
+                self._observe_pending_read(key, None)
         cache = self._payload_cache
         if cache is None:
             return self._engine.read_committed_version(key, self.snapshot.start_ts)
@@ -160,6 +185,36 @@ class SnapshotTransaction(EngineTransaction):
         """
         if self._track_reads:
             self._cc.register_predicate_read(self.cc_record, predicate)
+        elif self._pending_reader is not None:
+            self._observe_pending_read(None, predicate)
+
+    def _observe_pending_read(self, key, predicate) -> None:
+        """Read bookkeeping for a safe-snapshot reader (tentpole fast path).
+
+        Until the snapshot resolves, reads are buffered into the handle's
+        local record — a plain set add, touched only by this thread, so the
+        untracked read path stays mutex-free.  When the census drains the
+        handle flips safe and this method unhooks itself entirely; when a
+        writer was aborted on this reader's behalf the handle demands an
+        upgrade, after which every buffered and future read is registered
+        as a real SIREAD so later committers get precise conflict checks.
+        """
+        handle = self._pending_reader
+        if handle.safe and not handle.upgraded:
+            self._pending_reader = None
+            return
+        if handle.upgrade_required and not handle.upgraded:
+            self._cc.upgrade_reader(handle)
+        if handle.upgraded:
+            if key is not None:
+                self._cc.register_point_read(handle.record, key)
+            if predicate is not None:
+                self._cc.register_predicate_read(handle.record, predicate)
+        else:
+            if key is not None:
+                handle.record.read_keys.add(key)
+            if predicate is not None:
+                handle.record.predicates.add(predicate)
 
     def _iterator(self) -> SnapshotIterator:
         return SnapshotIterator(

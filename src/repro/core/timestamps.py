@@ -54,6 +54,13 @@ class TimestampOracle:
         self._published_ahead: Set[int] = set()
         #: Active transactions: txn id -> start timestamp.
         self._active: Dict[int, int] = {}
+        #: Subset of the active transactions that were begun read-write.
+        #: Read-only serializable transactions census this set at snapshot
+        #: grant: only a read-write transaction already in flight at that
+        #: moment can ever commit with an rw-antidependency out to something
+        #: that committed before the new snapshot (the precondition of the
+        #: read-only-transaction anomaly).
+        self._active_read_write: Set[int] = set()
         #: Newest transaction id handed out (ids are begin-ordered).
         self._newest_txn_id = 0
         #: Lifetime counters for statistics.
@@ -76,8 +83,29 @@ class TimestampOracle:
             self._newest_txn_id = txn_id
             start_ts = self._latest_visible_ts
             self._active[txn_id] = start_ts
+            self._active_read_write.add(txn_id)
             self.transactions_started += 1
             return txn_id, start_ts
+
+    def begin_read_only_transaction(self) -> Tuple[int, int, Tuple[int, ...]]:
+        """Start a read-only transaction; returns ``(txn_id, start_ts, census)``.
+
+        The census is the set of read-write transactions in flight at the
+        instant the snapshot is granted, taken atomically under the oracle
+        lock — a writer beginning or finishing after the grant is, by
+        construction, either in the census or provably unable to threaten
+        this snapshot (see the safe-snapshot tracker in
+        :mod:`repro.core.cc_policy`).  The transaction itself is *not*
+        added to the read-write set, so concurrent read-only transactions
+        never census each other.
+        """
+        with self._lock:
+            txn_id = next(self._txn_ids)
+            self._newest_txn_id = txn_id
+            start_ts = self._latest_visible_ts
+            self._active[txn_id] = start_ts
+            self.transactions_started += 1
+            return txn_id, start_ts, tuple(self._active_read_write)
 
     def issue_commit_timestamp(self) -> int:
         """Reserve the next commit timestamp for a committing transaction.
@@ -102,6 +130,7 @@ class TimestampOracle:
         with self._lock:
             self._mark_published(commit_ts)
             self._active.pop(txn_id, None)
+            self._active_read_write.discard(txn_id)
 
     def advance_to(self, commit_ts: int) -> None:
         """Fast-forward the oracle to at least ``commit_ts``.
@@ -120,6 +149,7 @@ class TimestampOracle:
         """Remove a transaction from the active set (abort / read-only finish)."""
         with self._lock:
             self._active.pop(txn_id, None)
+            self._active_read_write.discard(txn_id)
 
     # -- inspection ---------------------------------------------------------------
 

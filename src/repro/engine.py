@@ -33,7 +33,10 @@ class IsolationLevel(enum.Enum):
     against the transaction's snapshot, but rw-antidependencies are tracked
     and a transaction completing a dangerous structure is aborted with
     :class:`~repro.errors.SerializationError` — which closes the write-skew
-    gap snapshot isolation is known for.
+    gap snapshot isolation is known for.  Read-only serializable
+    transactions are gated by *safe snapshots* (PostgreSQL-style), closing
+    the Fekete read-only-transaction anomaly without registering reads or
+    ever aborting a reader.
     """
 
     READ_COMMITTED = "read_committed"
@@ -153,8 +156,19 @@ class GraphEngine(abc.ABC):
     isolation_level: IsolationLevel
 
     @abc.abstractmethod
-    def begin(self, *, read_only: bool = False) -> EngineTransaction:
-        """Start a new transaction."""
+    def begin(
+        self, *, read_only: bool = False, deferrable: Optional[bool] = None
+    ) -> EngineTransaction:
+        """Start a new transaction.
+
+        ``deferrable`` applies to read-only transactions under serializable
+        isolation: ``True`` blocks until a *safe snapshot* (one no in-flight
+        read-write transaction can render anomalous) is available, after
+        which the transaction runs completely untracked; ``False`` starts
+        immediately and lets the safe-snapshot machinery validate the
+        snapshot retroactively; ``None`` uses the engine default.  Engines
+        without the machinery ignore the flag.
+        """
 
     @abc.abstractmethod
     def allocate_node_id(self) -> int:

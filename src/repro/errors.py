@@ -83,6 +83,19 @@ class SerializationError(TransactionAbortedError):
     """
 
 
+class UnsafeSnapshotError(SerializationError):
+    """A committing writer would have exposed the read-only-transaction anomaly.
+
+    Raised only under :attr:`~repro.engine.IsolationLevel.SERIALIZABLE` with
+    safe-snapshot gating enabled: the committer carries an rw-antidependency
+    out to a transaction that committed *before* the snapshot of a concurrent
+    read-only transaction whose snapshot is not yet safe — the exact
+    precondition of the Fekete read-only-transaction anomaly.  The writer is
+    aborted (and must retry) so the reader never has to be; the retried
+    writer starts after the reader's snapshot and can no longer threaten it.
+    """
+
+
 class DeadlockError(TransactionAbortedError):
     """A lock-wait cycle was detected; this transaction was chosen as victim."""
 

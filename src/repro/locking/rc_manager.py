@@ -76,8 +76,14 @@ class ReadCommittedEngine(GraphEngine):
 
     # -- transaction lifecycle ---------------------------------------------
 
-    def begin(self, *, read_only: bool = False) -> ReadCommittedTransaction:
-        """Start a new read-committed transaction."""
+    def begin(
+        self, *, read_only: bool = False, deferrable: Optional[bool] = None
+    ) -> ReadCommittedTransaction:
+        """Start a new read-committed transaction.
+
+        ``deferrable`` (a safe-snapshot concept) has no meaning under read
+        committed and is accepted for interface uniformity.
+        """
         self.stats.begun += 1
         return ReadCommittedTransaction(self, next(self._txn_ids), read_only=read_only)
 
@@ -125,6 +131,7 @@ class ReadCommittedEngine(GraphEngine):
         return {
             "ww-conflict": 0,
             "rw-antidependency": 0,
+            "safe-snapshot": 0,
             "deadlock": self.locks.stats.deadlocks + self.locks.stats.timeouts,
         }
 

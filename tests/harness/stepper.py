@@ -1,0 +1,187 @@
+"""Schedule-controlled transaction stepper.
+
+Each participating transaction is written as a *generator function* taking a
+:class:`~tests.harness.history.RecordingContext` and yielding at its named
+interleaving points:
+
+    def withdraw(ctx):
+        balance = ctx.read(account, "balance")
+        yield "after-read"            # <- named interleaving point
+        ctx.write(account, "balance", balance - 10)
+
+The stepper owns begin/commit and executes the transactions strictly in the
+order the schedule dictates, one interleaving point at a time — the whole
+run happens on the calling thread, so a schedule replays *identically* every
+time.  A schedule is a list of transaction names (each entry advances that
+transaction to its next yield, or commits it when the generator is
+exhausted); an entry may also be ``(name, expected_point)`` to assert the
+schedule reached the interleaving point it says it did, which keeps long
+schedules self-documenting.
+
+Aborts are outcomes, not crashes: a conflict abort raised while stepping or
+committing marks the transaction's outcome and the schedule carries on,
+which is how a test asserts *which* transaction the engine sacrificed.
+Committed transactions are recorded into the shared
+:class:`~tests.harness.history.History` for DSG checking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import TransactionAbortedError
+
+from harness.history import History, RecordingContext
+
+#: Returned by :meth:`Stepper.step` when the transaction committed.
+COMMITTED = "committed"
+#: Returned by :meth:`Stepper.step` when the transaction was aborted.
+ABORTED = "aborted"
+
+ScheduleEntry = Union[str, Tuple[str, str]]
+
+
+class _Participant:
+    __slots__ = ("name", "fn", "read_only", "deferrable", "ctx", "gen", "outcome", "error")
+
+    def __init__(self, name, fn, *, read_only: bool, deferrable: Optional[bool]) -> None:
+        self.name = name
+        self.fn = fn
+        self.read_only = read_only
+        self.deferrable = deferrable
+        self.ctx: Optional[RecordingContext] = None
+        self.gen = None
+        self.outcome: Optional[str] = None
+        self.error: Optional[BaseException] = None
+
+
+class Stepper:
+    """Drives N transactions through named interleaving points."""
+
+    def __init__(self, db, history: Optional[History] = None) -> None:
+        self.db = db
+        self.history = history if history is not None else History()
+        self._participants: Dict[str, _Participant] = {}
+
+    def add(
+        self,
+        name: str,
+        fn,
+        *,
+        read_only: bool = False,
+        deferrable: Optional[bool] = None,
+    ) -> "Stepper":
+        """Register a transaction generator under ``name`` (begin is lazy)."""
+        if name in self._participants:
+            raise ValueError(f"duplicate participant {name!r}")
+        self._participants[name] = _Participant(
+            name, fn, read_only=read_only, deferrable=deferrable
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def step(self, name: str) -> str:
+        """Advance one transaction to its next interleaving point.
+
+        Begins the transaction on its first step; commits it when its
+        generator is exhausted.  Returns the name of the point reached,
+        ``COMMITTED``, or ``ABORTED`` (the abort error is kept on the
+        outcome).  Stepping a finished transaction is an error — schedules
+        must say exactly what runs when.
+        """
+        participant = self._participants[name]
+        if participant.outcome is not None:
+            raise RuntimeError(f"transaction {name!r} already {participant.outcome}")
+        if participant.gen is None:
+            tx = self.db.begin(
+                read_only=participant.read_only, deferrable=participant.deferrable
+            )
+            participant.ctx = RecordingContext(tx, name)
+            try:
+                produced = participant.fn(participant.ctx)
+            except TransactionAbortedError as exc:
+                return self._aborted(participant, exc)
+            if not hasattr(produced, "__next__"):
+                # A plain function has no interleaving points: one step runs
+                # it whole and commits.
+                return self._commit(participant)
+            participant.gen = produced
+        try:
+            point = next(participant.gen)
+        except StopIteration:
+            return self._commit(participant)
+        except TransactionAbortedError as exc:
+            return self._aborted(participant, exc)
+        return str(point)
+
+    def run(self, schedule: Iterable[ScheduleEntry]) -> Dict[str, str]:
+        """Execute a whole schedule; returns each transaction's outcome.
+
+        Entries are transaction names, or ``(name, expected_point)`` pairs
+        asserting the interleaving point (or ``COMMITTED``/``ABORTED``)
+        reached by that step.
+        """
+        for entry in schedule:
+            if isinstance(entry, tuple):
+                name, expected = entry
+                reached = self.step(name)
+                if reached != expected:
+                    raise AssertionError(
+                        f"schedule expected {name!r} to reach {expected!r} "
+                        f"but it reached {reached!r}"
+                    )
+            else:
+                self.step(entry)
+        return self.outcomes()
+
+    def finish(self, name: str) -> str:
+        """Run one transaction to completion (all remaining points + commit)."""
+        result = self.step(name)
+        while result not in (COMMITTED, ABORTED):
+            result = self.step(name)
+        return result
+
+    # ------------------------------------------------------------------
+    # outcomes
+    # ------------------------------------------------------------------
+
+    def outcomes(self) -> Dict[str, str]:
+        """Outcome per participant (``None`` entries omitted)."""
+        return {
+            name: participant.outcome
+            for name, participant in self._participants.items()
+            if participant.outcome is not None
+        }
+
+    def error_of(self, name: str) -> Optional[BaseException]:
+        """The abort error of a transaction, if it aborted."""
+        return self._participants[name].error
+
+    def rollback_open(self) -> None:
+        """Roll back every transaction the schedule left open (cleanup)."""
+        for participant in self._participants.values():
+            if participant.outcome is None and participant.ctx is not None:
+                participant.ctx.tx.rollback()
+                participant.outcome = ABORTED
+
+    # ------------------------------------------------------------------
+    # internal
+    # ------------------------------------------------------------------
+
+    def _commit(self, participant: _Participant) -> str:
+        try:
+            participant.ctx.tx.commit()
+        except TransactionAbortedError as exc:
+            return self._aborted(participant, exc)
+        participant.outcome = COMMITTED
+        self.history.record(participant.ctx.finalize())
+        return COMMITTED
+
+    def _aborted(self, participant: _Participant, exc: TransactionAbortedError) -> str:
+        participant.ctx.tx.rollback()
+        participant.outcome = ABORTED
+        participant.error = exc
+        return ABORTED
