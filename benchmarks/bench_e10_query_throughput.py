@@ -40,7 +40,15 @@ from repro.workload import (
     person_names_of,
 )
 
-from bench_helpers import open_db, print_row, write_json
+from repro.workload.metrics import LatencyRecorder
+
+from bench_helpers import (
+    abort_reasons_of,
+    latency_percentiles,
+    open_db,
+    print_row,
+    write_json,
+)
 
 PEOPLE = 200
 AVG_FRIENDS = 4
@@ -64,12 +72,15 @@ def _run_cell(isolation: IsolationLevel, *, seconds: float, readers: int,
     template_counts: List[Dict[str, int]] = [dict() for _ in range(readers)]
     write_counts = [0] * writers
     conflict_counts = [0] * writers
+    read_latencies = LatencyRecorder()
+    write_latencies = LatencyRecorder()
 
     def reader(reader_id: int) -> None:
         rng = random.Random(seed * 1_009 + reader_id)
         barrier.wait()
         while not stop.is_set():
             template, params = read_mix.sample(rng)
+            op_started = time.perf_counter()
             try:
                 with db.transaction(read_only=True) as tx:
                     result = tx.execute(template.text, params)
@@ -78,6 +89,7 @@ def _run_cell(isolation: IsolationLevel, *, seconds: float, readers: int,
                 # An RC reader can lose a conservative deadlock check against
                 # a writer's long locks; retry instead of dying mid-cell.
                 continue
+            read_latencies.record(time.perf_counter() - op_started)
             query_counts[reader_id] += 1
             counts = template_counts[reader_id]
             counts[template.name] = counts.get(template.name, 0) + 1
@@ -87,9 +99,11 @@ def _run_cell(isolation: IsolationLevel, *, seconds: float, readers: int,
         barrier.wait()
         while not stop.is_set():
             template, params = write_mix.sample(rng)
+            op_started = time.perf_counter()
             try:
                 with db.transaction() as tx:
                     tx.execute(template.text, params)
+                write_latencies.record(time.perf_counter() - op_started)
                 write_counts[writer_id] += 1
             except TransactionAbortedError:
                 conflict_counts[writer_id] += 1
@@ -125,6 +139,9 @@ def _run_cell(isolation: IsolationLevel, *, seconds: float, readers: int,
         "writes_committed": sum(write_counts),
         "writes_per_second": round(sum(write_counts) / duration, 1),
         "write_conflicts": sum(conflict_counts),
+        "read_latency": latency_percentiles(read_latencies),
+        "write_latency": latency_percentiles(write_latencies),
+        "abort_reasons": abort_reasons_of(db),
         "query_mix": merged_templates,
     }
     db.close()
@@ -137,7 +154,8 @@ def run_benchmark(*, seconds: float = 4.0, readers: int = READERS,
     rows = []
     for isolation in (IsolationLevel.SNAPSHOT, IsolationLevel.READ_COMMITTED):
         row = _run_cell(isolation, seconds=seconds, readers=readers, writers=writers)
-        print_row("E10", {k: v for k, v in row.items() if k != "query_mix"})
+        hidden = ("query_mix", "abort_reasons", "read_latency", "write_latency")
+        print_row("E10", {k: v for k, v in row.items() if k not in hidden})
         rows.append(row)
     payload: Dict[str, object] = {
         "experiment": "e10_query_throughput",
@@ -175,6 +193,9 @@ def test_e10_query_throughput(tmp_path):
     assert snapshot["queries"] > 0
     assert snapshot["writes_committed"] > 0
     assert by_isolation["read_committed"]["queries"] > 0
+    assert snapshot["read_latency"]["count"] == snapshot["queries"]
+    assert snapshot["read_latency"]["p50"] <= snapshot["read_latency"]["p99"]
+    assert "ww-conflict" in snapshot["abort_reasons"]
 
 
 if __name__ == "__main__":

@@ -51,7 +51,15 @@ from repro.workload import (
     person_names_of,
 )
 
-from bench_helpers import open_db, print_row, write_json
+from repro.workload.metrics import LatencyRecorder
+
+from bench_helpers import (
+    abort_reasons_of,
+    latency_percentiles,
+    open_db,
+    print_row,
+    write_json,
+)
 
 PEOPLE = 200
 AVG_FRIENDS = 4
@@ -167,12 +175,15 @@ def _bench_query_mix(label: str, *, seconds: float, readers: int, writers: int,
     query_counts = [0] * readers
     write_counts = [0] * writers
     conflict_counts = [0] * writers
+    read_latencies = LatencyRecorder()
+    write_latencies = LatencyRecorder()
 
     def reader(reader_id: int) -> None:
         rng = random.Random(seed * 1_009 + reader_id)
         barrier.wait()
         while not stop.is_set():
             template, params = read_mix.sample(rng)
+            op_started = time.perf_counter()
             try:
                 with db.transaction(read_only=True) as tx:
                     result = tx.execute(template.text, params)
@@ -181,6 +192,7 @@ def _bench_query_mix(label: str, *, seconds: float, readers: int, writers: int,
                 # RC readers can lose a (rare, conservative) deadlock check
                 # against a writer's long locks; retry, don't count.
                 continue
+            read_latencies.record(time.perf_counter() - op_started)
             query_counts[reader_id] += 1
 
     def writer(writer_id: int) -> None:
@@ -188,9 +200,11 @@ def _bench_query_mix(label: str, *, seconds: float, readers: int, writers: int,
         barrier.wait()
         while not stop.is_set():
             template, params = write_mix.sample(rng)
+            op_started = time.perf_counter()
             try:
                 with db.transaction() as tx:
                     tx.execute(template.text, params)
+                write_latencies.record(time.perf_counter() - op_started)
                 write_counts[writer_id] += 1
             except TransactionAbortedError:
                 conflict_counts[writer_id] += 1
@@ -222,6 +236,9 @@ def _bench_query_mix(label: str, *, seconds: float, readers: int, writers: int,
         "writes_committed": sum(write_counts),
         "writes_per_second": round(sum(write_counts) / duration, 1),
         "write_conflicts": sum(conflict_counts),
+        "read_latency": latency_percentiles(read_latencies),
+        "write_latency": latency_percentiles(write_latencies),
+        "abort_reasons": abort_reasons_of(db),
         "plan_cache": stats["query_cache"]["plan"],
     }
     db.close()
@@ -273,7 +290,8 @@ def run_benchmark(*, seconds: float = 4.0, readers: int = READERS,
         row = _bench_query_mix(
             label, seconds=seconds, readers=readers, writers=writers, **options
         )
-        print_row("E11", {k: v for k, v in row.items() if k != "plan_cache"})
+        hidden = ("plan_cache", "abort_reasons", "read_latency", "write_latency")
+        print_row("E11", {k: v for k, v in row.items() if k not in hidden})
         mix_rows.append(row)
 
     baseline_qps = _load_baseline()
@@ -323,6 +341,9 @@ def test_e11_read_path(tmp_path):
     assert all(row["traversals"] > 0 for row in by_series["traversal"])
     cells = {row["cell"]: row for row in by_series["query_mix"]}
     assert cells["si_full"]["queries"] > 0
+    assert cells["si_full"]["read_latency"]["count"] == cells["si_full"]["queries"]
+    assert cells["si_full"]["read_latency"]["p50"] <= cells["si_full"]["read_latency"]["p99"]
+    assert "ww-conflict" in cells["si_full"]["abort_reasons"]
     assert cells["si_full"]["plan_cache"]["hits"] > 0
     assert cells["si_no_plan_cache"]["plan_cache"]["size"] == 0
     assert cells["rc_eager_unlock"]["queries"] > 0

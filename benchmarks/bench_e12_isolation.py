@@ -51,7 +51,15 @@ from repro.workload import (
     person_names_of,
 )
 
-from bench_helpers import open_db, print_row, write_json
+from repro.workload.metrics import LatencyRecorder
+
+from bench_helpers import (
+    abort_reasons_of,
+    latency_percentiles,
+    open_db,
+    print_row,
+    write_json,
+)
 
 LEVELS = (
     IsolationLevel.READ_COMMITTED,
@@ -68,10 +76,6 @@ INITIAL_BALANCE = 100
 WITHDRAW = 60
 SKEW_WORKERS = 8
 RETRIES = 10
-
-
-def _abort_reasons(db: GraphDatabase) -> Dict[str, int]:
-    return dict(db.statistics()["engine"]["transactions"]["abort_reasons"])
 
 
 # ---------------------------------------------------------------------------
@@ -92,17 +96,21 @@ def _run_read_heavy_cell(isolation: IsolationLevel, *, seconds: float,
     query_counts = [0] * READERS
     write_counts = [0] * WRITERS
     retry_counts = [0] * WRITERS
+    read_latencies = LatencyRecorder()
+    write_latencies = LatencyRecorder()
 
     def reader(reader_id: int) -> None:
         rng = random.Random(seed * 1_009 + reader_id)
         barrier.wait()
         while not stop.is_set():
             template, params = read_mix.sample(rng)
+            op_started = time.perf_counter()
             try:
                 with db.transaction(read_only=True) as tx:
                     tx.execute(template.text, params).consume()
             except TransactionAbortedError:
                 continue
+            read_latencies.record(time.perf_counter() - op_started)
             query_counts[reader_id] += 1
 
     def writer(writer_id: int) -> None:
@@ -114,6 +122,7 @@ def _run_read_heavy_cell(isolation: IsolationLevel, *, seconds: float,
             def on_retry(_attempt, _exc, writer_id=writer_id):
                 retry_counts[writer_id] += 1
 
+            op_started = time.perf_counter()
             try:
                 db.run_transaction(
                     lambda tx: tx.execute(template.text, params).consume(),
@@ -123,6 +132,9 @@ def _run_read_heavy_cell(isolation: IsolationLevel, *, seconds: float,
                 )
             except TransactionAbortedError:
                 continue
+            # Retry latency is part of the write's cost: the clock covers
+            # every attempt, not just the one that committed.
+            write_latencies.record(time.perf_counter() - op_started)
             write_counts[writer_id] += 1
 
     threads = [
@@ -151,7 +163,9 @@ def _run_read_heavy_cell(isolation: IsolationLevel, *, seconds: float,
         "writes_committed": sum(write_counts),
         "writes_per_second": round(sum(write_counts) / duration, 1),
         "write_retries": sum(retry_counts),
-        "abort_reasons": _abort_reasons(db),
+        "read_latency": latency_percentiles(read_latencies),
+        "write_latency": latency_percentiles(write_latencies),
+        "abort_reasons": abort_reasons_of(db),
     }
     safe = db.statistics().get("safe_snapshots")
     if safe is not None:
@@ -188,6 +202,7 @@ def _run_skew_cell(isolation: IsolationLevel, *, seconds: float,
     violations = [0] * SKEW_WORKERS
     retries = [0] * SKEW_WORKERS
     failures = [0] * SKEW_WORKERS
+    op_latencies = LatencyRecorder()
 
     def work_once(tx, rng) -> str:
         a, b = pairs[rng.randrange(len(pairs))]
@@ -211,6 +226,7 @@ def _run_skew_cell(isolation: IsolationLevel, *, seconds: float,
             def on_retry(_attempt, _exc, worker_id=worker_id):
                 retries[worker_id] += 1
 
+            op_started = time.perf_counter()
             try:
                 outcome = db.run_transaction(
                     lambda tx: work_once(tx, rng),
@@ -221,6 +237,7 @@ def _run_skew_cell(isolation: IsolationLevel, *, seconds: float,
             except TransactionAbortedError:
                 failures[worker_id] += 1
                 continue
+            op_latencies.record(time.perf_counter() - op_started)
             if outcome == "withdraw":
                 withdrawals[worker_id] += 1
             elif outcome == "reset":
@@ -262,7 +279,8 @@ def _run_skew_cell(isolation: IsolationLevel, *, seconds: float,
         "retries": sum(retries),
         "gave_up": sum(failures),
         "skew_violations": sum(violations) + final_violations,
-        "abort_reasons": _abort_reasons(db),
+        "op_latency": latency_percentiles(op_latencies),
+        "abort_reasons": abort_reasons_of(db),
     }
     db.close()
     return row
@@ -277,13 +295,14 @@ def run_benchmark(*, seconds: float = 4.0, output: str = None) -> Dict[str, obje
     """All three isolation levels over both mixes; one JSON result document."""
     read_rows = []
     skew_rows = []
+    hidden = ("abort_reasons", "read_latency", "write_latency", "op_latency")
     for isolation in LEVELS:
         row = _run_read_heavy_cell(isolation, seconds=seconds)
-        print_row("E12/read", {k: v for k, v in row.items() if k != "abort_reasons"})
+        print_row("E12/read", {k: v for k, v in row.items() if k not in hidden})
         read_rows.append(row)
     for isolation in LEVELS:
         row = _run_skew_cell(isolation, seconds=seconds)
-        print_row("E12/skew", {k: v for k, v in row.items() if k != "abort_reasons"})
+        print_row("E12/skew", {k: v for k, v in row.items() if k not in hidden})
         skew_rows.append(row)
 
     by_level = {row["isolation"]: row for row in read_rows}
@@ -331,6 +350,9 @@ def test_e12_isolation(tmp_path):
     assert read_levels == {"read_committed", "snapshot", "serializable"}
     for row in payload["read_heavy"]:
         assert row["queries"] > 0
+        assert row["read_latency"]["count"] == row["queries"]
+        assert row["read_latency"]["p50"] <= row["read_latency"]["p99"]
+        assert "rw-antidependency" in row["abort_reasons"]
     skew = {row["isolation"]: row for row in payload["skew_heavy"]}
     assert skew["serializable"]["skew_violations"] == 0
     assert skew["serializable"]["withdrawals"] > 0

@@ -6,11 +6,34 @@ import json
 from typing import Dict
 
 from repro import GraphDatabase, IsolationLevel
+from repro.workload.metrics import LatencyRecorder
 
 
 def open_db(isolation: IsolationLevel, **options) -> GraphDatabase:
-    """An in-memory database for benchmarking (WAL on, fsync off)."""
+    """An in-memory database for benchmarking (WAL on, fsync off).
+
+    Transaction tracing is on at the default sampling rate: the committed
+    BENCH_*.json documents measure the engine as it would run with
+    observability enabled, and the ≥0.95x acceptance bar for the tracing
+    overhead is checked against these numbers.
+    """
+    options.setdefault("tracing", True)
     return GraphDatabase.in_memory(isolation=isolation, wal_sync=False, **options)
+
+
+def latency_percentiles(recorder: LatencyRecorder) -> Dict[str, float]:
+    """count/p50/p95/p99 (seconds) for one per-operation latency recorder."""
+    return {
+        "count": recorder.count(),
+        "p50": round(recorder.percentile(0.50), 6),
+        "p95": round(recorder.percentile(0.95), 6),
+        "p99": round(recorder.percentile(0.99), 6),
+    }
+
+
+def abort_reasons_of(db: GraphDatabase) -> Dict[str, int]:
+    """The engine's abort breakdown (ww-conflict / rw-antidependency / ...)."""
+    return dict(db.statistics()["engine"]["transactions"]["abort_reasons"])
 
 
 def print_row(experiment: str, row: Dict[str, object]) -> None:

@@ -1,0 +1,156 @@
+"""Observability tour: metrics, transaction traces, slow queries, Prometheus.
+
+Runs a short mixed workload against an in-memory database with tracing and
+the slow-query log enabled, then prints what each observability surface saw:
+
+* the metrics snapshot (``db.metrics_snapshot()``) — every registry
+  instrument plus the flattened legacy ``statistics()`` counters,
+* the slow-query log — statement text, latency, rows, plan and snapshot
+  timestamp of every execution above the threshold,
+* one full transaction trace — the per-phase timing breakdown of a write
+  commit (begin → read → stripe_wait → validate → install → wal → publish),
+* a sample of the Prometheus text exposition.
+
+Run with::
+
+    python examples/observability_demo.py
+
+or, to also start an HTTP scrape endpoint and keep serving until Ctrl-C::
+
+    python examples/observability_demo.py --serve
+"""
+
+import argparse
+import json
+import random
+import time
+
+from repro import GraphDatabase, IsolationLevel
+
+
+def build_and_run_workload(db: GraphDatabase) -> None:
+    """A small social graph plus a read/write mix to light every instrument up."""
+    rng = random.Random(7)
+    with db.transaction() as tx:
+        people = [
+            tx.create_node(["Person"], {"name": f"p{i}", "score": 0})
+            for i in range(50)
+        ]
+        for person in people:
+            for _ in range(3):
+                other = people[rng.randrange(len(people))]
+                if other.id != person.id:
+                    tx.create_relationship(person, other, "KNOWS")
+
+    for index in range(40):
+        name = f"p{rng.randrange(50)}"
+        if index % 4 == 0:
+            with db.transaction() as tx:
+                tx.execute(
+                    "MATCH (n:Person {name: $name}) SET n.score = $s",
+                    {"name": name, "s": index},
+                )
+        else:
+            with db.transaction(read_only=True) as tx:
+                tx.execute(
+                    "MATCH (n:Person {name: $name})-[:KNOWS]->(m) "
+                    "RETURN m.name ORDER BY m.name",
+                    {"name": name},
+                ).consume()
+
+    # One deliberately slow statement so the slow-query log has a headline
+    # entry even on fast machines.
+    with db.transaction(read_only=True) as tx:
+        result = tx.execute(
+            "MATCH (n:Person)-[:KNOWS]->(m:Person) RETURN n.name, m.name"
+        )
+        result.consume()
+        time.sleep(0.01)
+
+
+def show_metrics(db: GraphDatabase) -> None:
+    snapshot = db.metrics_snapshot()
+    print("== metrics snapshot (selected instruments) ==")
+    for name in sorted(snapshot["instruments"]):
+        info = snapshot["instruments"][name]
+        if info["type"] != "counter":
+            continue
+        for sample in info["samples"]:
+            labels = (
+                "{" + ", ".join(f"{k}={v}" for k, v in sample["labels"].items()) + "}"
+                if sample["labels"]
+                else ""
+            )
+            print(f"  {name}{labels} = {sample['value']:.0f}")
+    histogram = snapshot["instruments"]["repro_txn_seconds"]["samples"][0]
+    print(f"  repro_txn_seconds: count={histogram['count']} sum={histogram['sum']:.4f}s")
+
+
+def show_slow_queries(db: GraphDatabase) -> None:
+    print("\n== slow-query log ==")
+    entries = db.slow_queries()
+    if not entries:
+        print("  (empty — raise --slow-ms if this machine is very fast)")
+    for entry in entries[-3:]:
+        payload = entry.as_dict()
+        print(
+            f"  {payload['seconds'] * 1000:.2f}ms rows={payload['rows']} "
+            f"snapshot_ts={payload['snapshot_ts']} read_only={payload['read_only']}"
+        )
+        print(f"    {payload['text']}")
+
+
+def show_trace(db: GraphDatabase) -> None:
+    print("\n== one transaction trace ==")
+    # Prefer a committed writer: its trace exercises every phase.
+    traces = db.recent_traces()
+    chosen = next(
+        (t for t in reversed(traces) if dict(t.phases).get("wal")), traces[-1]
+    )
+    print(json.dumps(chosen.as_dict(), indent=2))
+
+
+def show_prometheus(db: GraphDatabase) -> None:
+    print("\n== Prometheus exposition (first 20 lines) ==")
+    for line in db.prometheus_metrics().splitlines()[:20]:
+        print(f"  {line}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="after the demo, serve /metrics over HTTP until interrupted",
+    )
+    parser.add_argument(
+        "--slow-ms", type=float, default=1.0,
+        help="slow-query threshold in milliseconds (default 1.0)",
+    )
+    args = parser.parse_args()
+
+    db = GraphDatabase.in_memory(
+        isolation=IsolationLevel.SNAPSHOT,
+        tracing=True,
+        slow_query_seconds=args.slow_ms / 1000.0,
+    )
+    build_and_run_workload(db)
+    show_metrics(db)
+    show_slow_queries(db)
+    show_trace(db)
+    show_prometheus(db)
+
+    if args.serve:
+        exporter = db.serve_metrics()
+        print(f"\nServing {exporter.url}/metrics — Ctrl-C to stop.")
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            exporter.stop()
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,7 @@ from repro.errors import ReproError, TransactionAbortedError
 from repro.graph.store_manager import StoreManager
 from repro.locking.lock_manager import LockManager
 from repro.locking.rc_manager import ReadCommittedEngine
+from repro.obs import MetricsRegistry, Observability, flatten_statistics
 
 T = TypeVar("T")
 
@@ -103,6 +104,13 @@ class GraphDatabase:
         rc_eager_read_unlock: bool = True,
         safe_snapshots: bool = True,
         defer_readonly: bool = False,
+        tracing: bool = False,
+        trace_sample_rate: float = 1.0,
+        trace_ring_size: int = 256,
+        slow_query_seconds: Optional[float] = None,
+        slow_query_capacity: int = 128,
+        redact_parameters: bool = False,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ) -> None:
         """Open (or create) a database.
 
@@ -133,10 +141,30 @@ class GraphDatabase:
         safe snapshot is available and then runs completely untracked
         (override per transaction with ``begin(deferrable=...)``).  See
         ``statistics()["safe_snapshots"]``.
+
+        Observability knobs: ``tracing`` samples transactions into timed
+        lifecycle traces (``trace_sample_rate`` traces every
+        ``round(1/rate)``-th transaction; ``trace_ring_size`` bounds the
+        recent-trace window); ``slow_query_seconds`` enables the slow-query
+        log for statements above the threshold (``redact_parameters``
+        replaces captured parameter values); ``metrics_registry`` shares a
+        registry across databases (each database gets a private
+        :class:`~repro.obs.registry.MetricsRegistry` by default).  See
+        :meth:`metrics_snapshot`, :meth:`prometheus_metrics` and
+        :meth:`serve_metrics`.
         """
         self._isolation = _coerce_isolation(isolation)
         self._closed = False
         self._close_lock = threading.Lock()
+        self.observability = Observability(
+            registry=metrics_registry,
+            tracing=tracing,
+            trace_sample_rate=trace_sample_rate,
+            trace_ring_size=trace_ring_size,
+            slow_query_seconds=slow_query_seconds,
+            slow_query_capacity=slow_query_capacity,
+            redact_parameters=redact_parameters,
+        )
         self.store = StoreManager(
             path,
             page_cache_pages=page_cache_pages,
@@ -147,6 +175,8 @@ class GraphDatabase:
             reuse_entity_ids=(self._isolation is IsolationLevel.READ_COMMITTED),
             group_commit=group_commit,
         )
+        self.store.obs = self.observability
+        self.store.wal.obs = self.observability
         locks = LockManager(default_timeout=lock_timeout)
         if self._isolation is not IsolationLevel.READ_COMMITTED:
             # SNAPSHOT and SERIALIZABLE share the MVCC engine; the isolation
@@ -164,6 +194,7 @@ class GraphDatabase:
                 query_cache_size=query_cache_size,
                 safe_snapshots=safe_snapshots,
                 defer_readonly=defer_readonly,
+                obs=self.observability,
             )
         else:
             self.engine = ReadCommittedEngine(
@@ -171,7 +202,15 @@ class GraphDatabase:
                 lock_manager=locks,
                 eager_read_unlock=rc_eager_read_unlock,
                 query_cache_size=query_cache_size,
+                obs=self.observability,
             )
+        # Exposition-side bridge: every numeric leaf of ``statistics()``
+        # becomes a ``repro_stat_*`` entry in snapshots and the Prometheus
+        # text, so the registry reproduces the whole legacy counter surface
+        # by construction (asserted equal in tests).
+        self.observability.registry.register_collector(
+            lambda: flatten_statistics(self.statistics())
+        )
 
     # ------------------------------------------------------------------
     # constructors
@@ -373,10 +412,12 @@ class GraphDatabase:
             "isolation": self._isolation.value,
             "store": self.store.stats.as_dict(),
             "page_cache": self.store.page_cache.stats.as_dict(),
+            "wal": self.store.wal_stats(),
             "query_cache": dict(
                 self.engine.query_caches.stats(),
                 stats_epoch=self.engine.stats_epoch.as_dict(),
             ),
+            "observability": self.observability.stats(),
         }
         if isinstance(self.engine, SnapshotIsolationEngine):
             stats["engine"] = self.engine.statistics()
@@ -395,6 +436,41 @@ class GraphDatabase:
             }
             stats["locks"] = self.engine.locks.stats.as_dict()
         return stats
+
+    # ------------------------------------------------------------------
+    # observability exposition
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The metrics registry as one JSON-able dictionary.
+
+        ``instruments`` holds every registered counter/gauge/histogram with
+        its samples; ``collected`` holds the flattened ``statistics()``
+        surface (``repro_stat_*``), so every legacy counter appears here too.
+        """
+        return self.observability.metrics_snapshot()
+
+    def prometheus_metrics(self) -> str:
+        """The metrics registry in Prometheus text exposition format."""
+        return self.observability.prometheus_text()
+
+    def serve_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Start an HTTP scrape endpoint (``/metrics``) for this database.
+
+        Returns the running :class:`~repro.obs.exporter.MetricsExporter`
+        (``exporter.url`` is the scrape URL; ``port=0`` picks a free port).
+        The server runs on a daemon thread; call ``exporter.stop()`` or use
+        it as a context manager.
+        """
+        return self.observability.serve(host, port)
+
+    def slow_queries(self, limit: Optional[int] = None):
+        """Entries of the slow-query log, oldest first."""
+        return self.observability.slow_queries.entries(limit)
+
+    def recent_traces(self, limit: Optional[int] = None):
+        """Recent finished transaction traces, oldest first."""
+        return self.observability.recent_traces(limit)
 
     def close(self) -> None:
         """Close the engine and the store files (idempotent)."""

@@ -37,6 +37,7 @@ from repro.errors import (
     NodeNotFoundError,
     RelationshipNotFoundError,
     ReservedNameError,
+    classify_abort,
 )
 from repro.graph.entity import Direction, NodeData, RelationshipData
 from repro.graph.properties import (
@@ -305,6 +306,11 @@ class Transaction:
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         if exc_type is not None:
+            # Attribute the abort before rolling back: write-time conflicts
+            # (first-updater-wins) surface mid-block rather than in commit(),
+            # and the trace/abort-reason counters should still name them.
+            if getattr(self._txn, "abort_reason", None) is None:
+                self._txn.abort_reason = classify_abort(exc_value)
             self.rollback()
             return
         if self._txn.state is TransactionState.ACTIVE:

@@ -55,6 +55,7 @@ from repro.graph.operations import (
 from repro.graph.properties import RESERVED_PROPERTY_PREFIX
 from repro.graph.store_manager import StoreManager
 from repro.locking.lock_manager import LockManager
+from repro.obs import Observability
 from repro.query.cache import DEFAULT_QUERY_CACHE_SIZE, QueryCaches
 from repro.stats import CardinalityEpoch, CommitPipelineStats, EngineStats
 
@@ -101,6 +102,7 @@ class SnapshotIsolationEngine(GraphEngine):
         query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
         safe_snapshots: bool = True,
         defer_readonly: bool = False,
+        obs: Optional[Observability] = None,
     ) -> None:
         """Create an engine over an open store.
 
@@ -132,6 +134,10 @@ class SnapshotIsolationEngine(GraphEngine):
         serializable begins *deferrable* by default: ``begin`` blocks until
         a safe snapshot is available instead of tracking the reader
         optimistically (per-transaction override via ``begin(deferrable=)``).
+
+        ``obs`` is the observability bundle (metrics registry + transaction
+        tracer + slow-query log) this engine reports into; a bare engine
+        gets its own private bundle with tracing disabled.
         """
         if commit_stripes < 1:
             raise ValueError("the engine needs at least one commit stripe")
@@ -166,7 +172,8 @@ class SnapshotIsolationEngine(GraphEngine):
             ThreadedVersionList(),
             cc_policy=self.cc,
         )
-        self.stats = EngineStats()
+        self.obs = obs if obs is not None else Observability()
+        self.stats = EngineStats(self.obs.registry)
         self.commit_pipeline_stats = CommitPipelineStats()
         self._gc_every_n_commits = gc_every_n_commits
         self._versioned_commits = 0
@@ -206,19 +213,23 @@ class SnapshotIsolationEngine(GraphEngine):
         runs completely untracked and can never interact with the
         serializability machinery at all.
         """
-        with self._counter_lock:
-            self.stats.begun += 1
+        self.stats.record_begin()
+        # Tracing starts before the oracle grant so the `begin` phase covers
+        # the grant itself, the census and any safe-snapshot retake loop.
+        trace = self.obs.tracer.maybe_start(0, read_only=read_only)
         if deferrable is None:
             deferrable = self.defer_readonly
         if not (read_only and self.cc.tracks_reads):
             txn_id, start_ts = self.oracle.begin_transaction()
             record = self.cc.begin_transaction(txn_id, start_ts, read_only=read_only)
-            return SnapshotTransaction(
+            txn = SnapshotTransaction(
                 self,
                 Snapshot(txn_id=txn_id, start_ts=start_ts),
                 read_only=read_only,
                 cc_record=record,
             )
+            return self._attach_trace(txn, trace)
+        retakes = 0
         while True:
             txn_id, start_ts, census = self.oracle.begin_read_only_transaction()
             handle = self.cc.begin_read_only(
@@ -229,20 +240,34 @@ class SnapshotIsolationEngine(GraphEngine):
                 # published; its publication completes within its commit
                 # critical section, so the fresh snapshot covers it.
                 self.oracle.retire_transaction(txn_id)
+                retakes += 1
                 continue
             if handle is not None and deferrable:
                 safe = self.cc.wait_for_safe_snapshot(handle)
                 if not safe:
                     self.oracle.retire_transaction(txn_id)
+                    retakes += 1
                     continue
                 handle = None  # proven safe: run fully untracked
-            return SnapshotTransaction(
+            txn = SnapshotTransaction(
                 self,
                 Snapshot(txn_id=txn_id, start_ts=start_ts),
                 read_only=True,
                 cc_record=None,
                 safe_snapshot=handle,
             )
+            if trace is not None and retakes:
+                trace.annotate("snapshot_retakes", retakes)
+            return self._attach_trace(txn, trace)
+
+    @staticmethod
+    def _attach_trace(txn: SnapshotTransaction, trace) -> SnapshotTransaction:
+        """Bind a sampled trace to its transaction and close the begin phase."""
+        if trace is not None:
+            trace.txn_id = txn.txn_id
+            trace.mark("begin")
+            txn.trace = trace
+        return txn
 
     def commit_transaction(self, txn: SnapshotTransaction) -> None:
         """Commit: validate the write rule, install versions, persist, publish.
@@ -255,6 +280,10 @@ class SnapshotIsolationEngine(GraphEngine):
         oracle's pending-commit protocol keeps new snapshots behind any
         committer that is still installing.
         """
+        trace = txn.trace
+        if trace is not None:
+            # Everything since the begin mark was the transaction's own work.
+            trace.mark("read")
         if not txn.has_writes():
             self.oracle.retire_transaction(txn.txn_id)
             if txn.safe_snapshot is not None:
@@ -270,8 +299,8 @@ class SnapshotIsolationEngine(GraphEngine):
                 finish_seq=self.oracle.newest_txn_id(),
             )
             self.cc.release_locks(txn.txn_id)
+            self.stats.record_commit()
             with self._counter_lock:
-                self.stats.committed += 1
                 self._writeless_commits += 1
                 # Writeless commits leave tracking records too (their SIREADs
                 # must outlive concurrent writers), so they drive the policy
@@ -284,10 +313,18 @@ class SnapshotIsolationEngine(GraphEngine):
                 )
             if cc_reclaim_due:
                 self._reclaim_cc_state()
+            if trace is not None:
+                trace.mark("publish")
+                trace.finish("committed")
+                self.obs.tracer.record(trace)
             return
         writes = self._effective_writes(txn)
         try:
-            with self._acquire_stripes(self._commit_stripe_set(txn, writes)):
+            stripe_set = self._commit_stripe_set(txn, writes)
+            with self._acquire_stripes(stripe_set):
+                if trace is not None:
+                    trace.mark("stripe_wait")
+                    trace.annotate("stripes", len(stripe_set))
                 self._validate(txn, writes)
                 changes = self._collect_changes(writes) if self.cc.tracks_reads else ()
                 commit_ts = self.oracle.issue_commit_timestamp()
@@ -296,10 +333,17 @@ class SnapshotIsolationEngine(GraphEngine):
                     # policy, before any version installs: a serialization
                     # abort raised here leaves nothing to undo.
                     self.cc.record_commit(txn.cc_record, changes, commit_ts)
+                    if trace is not None:
+                        trace.mark("validate")
                     old_states = self._install_versions(txn, writes, commit_ts)
                     self._update_indexes(writes, old_states, commit_ts)
+                    if trace is not None:
+                        trace.mark("install")
                     operations = self._build_store_operations(writes, commit_ts)
                     self.store.apply_batch(txn.txn_id, operations)
+                    if trace is not None:
+                        trace.mark("wal")
+                        trace.annotate("writes", len(writes))
                 finally:
                     # Publish unconditionally so a failed install can never
                     # wedge the snapshot watermark (store operations are not
@@ -309,11 +353,11 @@ class SnapshotIsolationEngine(GraphEngine):
                 txn.commit_ts = commit_ts
         finally:
             self.cc.release_locks(txn.txn_id)
+        self.stats.record_commit()
         # The counter and the modulo decision must move together: concurrent
         # committers racing an unlocked += can jump the counter past the
         # trigger boundary and skip a scheduled GC pass entirely.
         with self._counter_lock:
-            self.stats.committed += 1
             self._versioned_commits += 1
             gc_due = (
                 self._gc_every_n_commits != 0
@@ -327,6 +371,10 @@ class SnapshotIsolationEngine(GraphEngine):
             self.gc.collect()
         elif cc_reclaim_due:
             self._reclaim_cc_state()
+        if trace is not None:
+            trace.mark("publish")
+            trace.finish("committed")
+            self.obs.tracer.record(trace)
 
     def _reclaim_cc_state(self) -> int:
         """One opportunistic pass over the CC policy's tracking state."""
@@ -408,8 +456,14 @@ class SnapshotIsolationEngine(GraphEngine):
         self.cc.finish_transaction(txn.txn_id, txn.cc_record, committed=False)
         self.cc.release_locks(txn.txn_id)
         self.oracle.retire_transaction(txn.txn_id)
-        with self._counter_lock:
-            self.stats.aborted += 1
+        self.stats.record_abort()
+        reason = txn.abort_reason or "rollback"
+        self.obs.txn_abort_reasons.labels(reason=reason).inc()
+        trace = txn.trace
+        if trace is not None:
+            txn.trace = None
+            trace.finish("aborted", reason)
+            self.obs.tracer.record(trace)
 
     # ------------------------------------------------------------------
     # read path

@@ -27,7 +27,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 from repro.core.snapshot import Snapshot
 from repro.core.versioned_iterator import SnapshotIterator
 from repro.engine import EngineTransaction, TransactionState
-from repro.errors import ReadOnlyTransactionError
+from repro.errors import ReadOnlyTransactionError, classify_abort
 from repro.graph.entity import (
     Direction,
     EntityKey,
@@ -95,6 +95,11 @@ class SnapshotTransaction(EngineTransaction):
         #: Cache effectiveness counters (surfaced by bench_e11 and tests).
         self.snapshot_cache_hits = 0
         self.snapshot_cache_misses = 0
+        #: Observability trace (set by the engine for sampled transactions).
+        self.trace = None
+        #: Classified cause when :meth:`commit` aborts (``None`` for explicit
+        #: rollbacks); feeds the labelled abort counter and the trace.
+        self.abort_reason: Optional[str] = None
 
     @property
     def start_ts(self) -> int:
@@ -421,7 +426,8 @@ class SnapshotTransaction(EngineTransaction):
         try:
             self._engine.commit_transaction(self)
             self.state = TransactionState.COMMITTED
-        except BaseException:
+        except BaseException as exc:
+            self.abort_reason = classify_abort(exc)
             self._engine.abort_transaction(self)
             self.state = TransactionState.ABORTED
             raise

@@ -108,6 +108,27 @@ class ReadOnlyTransactionError(TransactionError):
     """A write was attempted inside a transaction opened as read-only."""
 
 
+def classify_abort(exc: BaseException) -> str:
+    """Map an abort-raising exception to the abort-reason vocabulary.
+
+    The labels match the engines' ``abort_reasons()`` breakdown so the
+    observability layer's labelled abort counter and the statistics surface
+    agree: ``safe-snapshot``, ``rw-antidependency``, ``ww-conflict``,
+    ``deadlock``, or ``error`` for anything outside the conflict taxonomy.
+    Order matters — the safe-snapshot and serialization classes subclass the
+    broader abort classes they refine.
+    """
+    if isinstance(exc, UnsafeSnapshotError):
+        return "safe-snapshot"
+    if isinstance(exc, SerializationError):
+        return "rw-antidependency"
+    if isinstance(exc, WriteWriteConflictError):
+        return "ww-conflict"
+    if isinstance(exc, (DeadlockError, LockTimeoutError)):
+        return "deadlock"
+    return "error"
+
+
 # ---------------------------------------------------------------------------
 # Graph model
 # ---------------------------------------------------------------------------

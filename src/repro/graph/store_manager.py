@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import threading
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional
 
 from repro.errors import (
@@ -138,6 +139,9 @@ class StoreManager:
         self._group_gate = threading.Lock()
         self._group_pending: List[_PendingCommit] = []
         self.stats = StoreManagerStats()
+        #: Observability bundle (set by the database); when present, the
+        #: commit flush path times WAL appends into its latency histogram.
+        self.obs = None
         self.page_cache = PageCache(page_cache_pages, page_size)
 
         def paged(name: str) -> PagedFile:
@@ -179,6 +183,10 @@ class StoreManager:
     def path(self) -> Optional[str]:
         """Directory holding the store files (``None`` when in memory)."""
         return self._path
+
+    def wal_stats(self) -> Dict[str, object]:
+        """Write-ahead-log counters (the database's ``statistics()["wal"]``)."""
+        return dict(self.wal.stats(), enabled=self._wal_enabled)
 
     def checkpoint(self) -> None:
         """Flush all dirty pages to the backends and reset the write-ahead log."""
@@ -282,12 +290,17 @@ class StoreManager:
         """
         try:
             if self._wal_enabled:
-                self.wal.append_commits(
-                    [
-                        (entry.txn_id, operations_to_payloads(entry.operations))
-                        for entry in batch
-                    ]
-                )
+                payloads = [
+                    (entry.txn_id, operations_to_payloads(entry.operations))
+                    for entry in batch
+                ]
+                obs = self.obs
+                if obs is not None:
+                    wal_started = perf_counter()
+                    self.wal.append_commits(payloads)
+                    obs.wal_append_seconds.observe(perf_counter() - wal_started)
+                else:
+                    self.wal.append_commits(payloads)
         except BaseException as exc:  # noqa: BLE001 - re-raised in the owners
             for entry in batch:
                 entry.error = exc

@@ -60,6 +60,11 @@ class WriteAheadLog:
             self._fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
         self.appended_batches = 0
         self.replayed_batches = 0
+        self.fsyncs = 0
+        self.bytes_appended = 0
+        #: Observability bundle (set by the database); when present, the
+        #: append path mirrors its counters into the metrics registry.
+        self.obs = None
 
     @property
     def path(self) -> Optional[str]:
@@ -94,11 +99,20 @@ class WriteAheadLog:
                 frames.append(self._frame(LogRecordType.OPERATION, txn_id, encoded))
             frames.append(self._frame(LogRecordType.COMMIT, txn_id, b""))
         data = b"".join(frames)
+        synced = False
         with self._lock:
             self._append_bytes(data)
             if self._sync_on_commit and self._fd is not None:
                 os.fsync(self._fd)
+                self.fsyncs += 1
+                synced = True
             self.appended_batches += len(batches)
+            self.bytes_appended += len(data)
+        obs = self.obs
+        if obs is not None:
+            obs.wal_bytes.inc(len(data))
+            if synced:
+                obs.wal_fsyncs.inc()
 
     def checkpoint(self) -> None:
         """Mark everything so far as applied and reset the log.
@@ -168,6 +182,18 @@ class WriteAheadLog:
             if self._fd is not None:
                 return os.fstat(self._fd).st_size
             return len(self._memory_buffer)
+
+    def stats(self) -> Dict[str, Any]:
+        """Append-path counters (see ``StoreManager.wal_stats``)."""
+        with self._lock:
+            return {
+                "in_memory": self._path is None,
+                "sync_on_commit": self._sync_on_commit,
+                "appended_batches": self.appended_batches,
+                "replayed_batches": self.replayed_batches,
+                "fsyncs": self.fsyncs,
+                "bytes_appended": self.bytes_appended,
+            }
 
     def close(self) -> None:
         """Close the log file (in-memory logs keep their buffer for inspection)."""

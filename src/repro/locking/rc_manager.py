@@ -17,6 +17,7 @@ from repro.graph.store_manager import StoreManager
 from repro.index.index_manager import IndexManager
 from repro.locking.lock_manager import LockManager
 from repro.locking.rc_transaction import ReadCommittedTransaction
+from repro.obs import Observability
 from repro.query.cache import DEFAULT_QUERY_CACHE_SIZE, QueryCaches
 from repro.stats import CardinalityEpoch, EngineStats
 
@@ -37,6 +38,7 @@ class ReadCommittedEngine(GraphEngine):
         lock_timeout: Optional[float] = None,
         eager_read_unlock: bool = True,
         query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
+        obs: Optional[Observability] = None,
     ) -> None:
         """``eager_read_unlock`` routes point reads through the lock manager's
         short shared guard — one lock-table visit instead of two, no holder
@@ -70,7 +72,8 @@ class ReadCommittedEngine(GraphEngine):
         from repro.core.cc_policy import TwoPhaseLockingPolicy
 
         self.cc = TwoPhaseLockingPolicy(self.locks)
-        self.stats = EngineStats()
+        self.obs = obs if obs is not None else Observability()
+        self.stats = EngineStats(self.obs.registry)
         self._txn_ids = itertools.count(1)
         self._commit_lock = threading.Lock()
 
@@ -84,25 +87,48 @@ class ReadCommittedEngine(GraphEngine):
         ``deferrable`` (a safe-snapshot concept) has no meaning under read
         committed and is accepted for interface uniformity.
         """
-        self.stats.begun += 1
-        return ReadCommittedTransaction(self, next(self._txn_ids), read_only=read_only)
+        self.stats.record_begin()
+        txn = ReadCommittedTransaction(self, next(self._txn_ids), read_only=read_only)
+        trace = self.obs.tracer.maybe_start(txn.txn_id, read_only=read_only)
+        if trace is not None:
+            trace.mark("begin")
+            txn.trace = trace
+        return txn
 
     def commit_transaction(self, txn: ReadCommittedTransaction) -> None:
         """Apply a transaction's writes to the store and indexes."""
+        trace = getattr(txn, "trace", None)
+        if trace is not None:
+            trace.mark("read")
         writes = txn.pending_writes()
         if writes:
             with self._commit_lock:
+                if trace is not None:
+                    trace.mark("stripe_wait")  # the 2PL engine's one "stripe"
                 old_states = self._capture_old_states(writes)
                 operations = txn.build_store_operations()
                 self.store.apply_batch(txn.txn_id, operations)
                 self._update_indexes(writes, old_states)
+            if trace is not None:
+                trace.mark("wal")
         self.locks.release_all(txn.txn_id)
-        self.stats.committed += 1
+        self.stats.record_commit()
+        if trace is not None:
+            trace.mark("publish")
+            trace.finish("committed")
+            self.obs.tracer.record(trace)
 
     def abort_transaction(self, txn: ReadCommittedTransaction) -> None:
         """Discard a transaction's writes and release its locks."""
         self.locks.release_all(txn.txn_id)
-        self.stats.aborted += 1
+        self.stats.record_abort()
+        reason = getattr(txn, "abort_reason", None) or "rollback"
+        self.obs.txn_abort_reasons.labels(reason=reason).inc()
+        trace = getattr(txn, "trace", None)
+        if trace is not None:
+            txn.trace = None
+            trace.finish("aborted", reason)
+            self.obs.tracer.record(trace)
 
     # -- cardinality fast paths (query planner estimates) ---------------------
 

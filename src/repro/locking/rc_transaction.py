@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.engine import EngineTransaction, TransactionState
-from repro.errors import ReadOnlyTransactionError
+from repro.errors import ReadOnlyTransactionError, classify_abort
 from repro.graph.entity import Direction, EntityKey, EntityKind, NodeData, RelationshipData
 from repro.graph.operations import (
     DeleteNodeOp,
@@ -37,6 +37,11 @@ class ReadCommittedTransaction(EngineTransaction):
         self._writes: Dict[EntityKey, Optional[object]] = {}
         #: Keys created by this transaction (they do not exist in the store yet).
         self._created: Set[EntityKey] = set()
+        #: Observability trace (set by the engine for sampled transactions).
+        self.trace = None
+        #: Classified cause when :meth:`commit` aborts (``None`` for explicit
+        #: rollbacks); feeds the labelled abort counter and the trace.
+        self.abort_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # reads
@@ -239,7 +244,8 @@ class ReadCommittedTransaction(EngineTransaction):
         try:
             self._engine.commit_transaction(self)
             self.state = TransactionState.COMMITTED
-        except BaseException:
+        except BaseException as exc:
+            self.abort_reason = classify_abort(exc)
             self._engine.abort_transaction(self)
             self.state = TransactionState.ABORTED
             raise

@@ -1,0 +1,113 @@
+"""Optional HTTP scrape endpoint built on stdlib ``http.server``.
+
+:class:`MetricsExporter` serves the registry's Prometheus text at
+``/metrics`` and the JSON snapshot at ``/metrics.json`` from a daemon
+thread.  It is deliberately minimal — the future network service layer
+mounts the same render functions behind its own server; this endpoint
+exists so a standalone process (benchmarks, the observability demo, the CI
+smoke step) can be scraped today.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs.prometheus import render_snapshot
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["MetricsExporter", "serve_registry"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsExporter:
+    """A tiny scrape server bound to one snapshot source."""
+
+    def __init__(
+        self,
+        snapshot_source: Callable[[], dict],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._snapshot_source = snapshot_source
+
+        exporter = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path in ("/metrics", "/"):
+                    body = render_snapshot(exporter._snapshot_source())
+                    payload = body.encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+                elif path == "/metrics.json":
+                    payload = json.dumps(
+                        exporter._snapshot_source(), sort_keys=True
+                    ).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", "application/json")
+                else:
+                    payload = b"not found\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, format: str, *args: object) -> None:
+                pass  # scrapes must not spam stderr
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        """Bound host."""
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (useful with ``port=0`` for an ephemeral port)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL; append ``/metrics`` or ``/metrics.json`` to scrape."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsExporter":
+        """Start serving from a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-metrics-exporter",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def serve_registry(
+    registry: MetricsRegistry, host: str = "127.0.0.1", port: int = 0
+) -> MetricsExporter:
+    """Start a scrape endpoint for ``registry``; returns the exporter."""
+    return MetricsExporter(registry.snapshot, host, port).start()

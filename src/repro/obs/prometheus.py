@@ -1,0 +1,91 @@
+"""Prometheus text exposition (version 0.0.4) without dependencies.
+
+Renders a :meth:`repro.obs.registry.MetricsRegistry.snapshot` structure:
+instrument families become ``# HELP`` / ``# TYPE`` blocks with their
+samples; histogram families expand to cumulative ``_bucket{le="..."}``
+series plus ``_sum`` and ``_count``; collector output is rendered as
+untyped gauges.  The format is the subset every Prometheus-compatible
+scraper accepts — the CI smoke test validates it with
+``tests/prometheus_parser.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.obs.registry import MetricsRegistry, sanitize_metric_name
+
+__all__ = ["render", "render_snapshot"]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    as_int = int(value)
+    if float(as_int) == value:
+        return str(as_int)
+    return repr(value)
+
+
+def _labels_text(labels: Mapping[str, str], extra: Mapping[str, str] = {}) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    parts = ",".join(
+        f'{sanitize_metric_name(str(key))}="{_escape_label_value(str(value))}"'
+        for key, value in merged.items()
+    )
+    return "{" + parts + "}"
+
+
+def render_snapshot(snapshot: Mapping[str, object]) -> str:
+    """Render a registry snapshot dict to Prometheus text format."""
+    lines = []
+    instruments: Dict[str, dict] = snapshot.get("instruments", {})  # type: ignore[assignment]
+    for name in sorted(instruments):
+        family = instruments[name]
+        kind = family["type"]
+        help_text = family.get("help") or name
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels: Mapping[str, str] = sample.get("labels", {})
+            if kind == "histogram":
+                cumulative = 0
+                for bound, bucket_count in sample["buckets"].items():
+                    cumulative += bucket_count
+                    le = "+Inf" if bound == "+Inf" else _format_value(float(bound))
+                    lines.append(
+                        f"{name}_bucket{_labels_text(labels, {'le': le})} {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} {_format_value(sample['sum'])}"
+                )
+                lines.append(f"{name}_count{_labels_text(labels)} {sample['count']}")
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} {_format_value(sample['value'])}"
+                )
+    collected: Mapping[str, float] = snapshot.get("collected", {})  # type: ignore[assignment]
+    for name in sorted(collected):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(collected[name])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render(registry: MetricsRegistry) -> str:
+    """Render a live registry to Prometheus text format."""
+    return render_snapshot(registry.snapshot())

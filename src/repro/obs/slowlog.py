@@ -1,0 +1,138 @@
+"""Slow-query log: a bounded record of statements above a latency threshold.
+
+The query layer reports every execution to :meth:`SlowQueryLog.observe`;
+entries slower than ``threshold_seconds`` are kept in a ring buffer with
+statement text, parameters (redactable — parameter *names* survive
+redaction, values do not), the chosen plan rendering, the transaction's
+snapshot timestamp and the row count.  ``threshold_seconds=None`` disables
+the log entirely (the observe call is then one comparison).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional
+
+__all__ = ["SlowQueryEntry", "SlowQueryLog"]
+
+
+class SlowQueryEntry:
+    """One slow execution."""
+
+    __slots__ = (
+        "text",
+        "parameters",
+        "seconds",
+        "rows",
+        "plan",
+        "snapshot_ts",
+        "read_only",
+    )
+
+    def __init__(
+        self,
+        text: str,
+        parameters: Optional[Dict[str, object]],
+        seconds: float,
+        rows: int,
+        plan: Optional[str],
+        snapshot_ts: Optional[int],
+        read_only: bool,
+    ) -> None:
+        self.text = text
+        self.parameters = parameters
+        self.seconds = seconds
+        self.rows = rows
+        self.plan = plan
+        self.snapshot_ts = snapshot_ts
+        self.read_only = read_only
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able view of the entry."""
+        return {
+            "text": self.text,
+            "parameters": self.parameters,
+            "seconds": self.seconds,
+            "rows": self.rows,
+            "plan": self.plan,
+            "snapshot_ts": self.snapshot_ts,
+            "read_only": self.read_only,
+        }
+
+
+class SlowQueryLog:
+    """Ring buffer of executions slower than the threshold."""
+
+    def __init__(
+        self,
+        threshold_seconds: Optional[float] = None,
+        *,
+        capacity: int = 128,
+        redact_parameters: bool = False,
+    ) -> None:
+        if threshold_seconds is not None and threshold_seconds < 0:
+            raise ValueError("threshold_seconds must be >= 0 or None")
+        self.threshold_seconds = threshold_seconds
+        self.redact_parameters = redact_parameters
+        self._entries: Deque[SlowQueryEntry] = deque(maxlen=max(1, capacity))
+        self._lock = threading.Lock()
+        self.slow_queries_total = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any execution can ever be logged."""
+        return self.threshold_seconds is not None
+
+    def observe(
+        self,
+        text: str,
+        parameters: Optional[Mapping[str, object]],
+        seconds: float,
+        *,
+        rows: int = 0,
+        plan: Optional[str] = None,
+        snapshot_ts: Optional[int] = None,
+        read_only: bool = False,
+    ) -> bool:
+        """Record the execution if slow enough; returns whether it was."""
+        threshold = self.threshold_seconds
+        if threshold is None or seconds < threshold:
+            return False
+        if parameters is None:
+            captured: Optional[Dict[str, object]] = None
+        elif self.redact_parameters:
+            captured = {name: "<redacted>" for name in parameters}
+        else:
+            captured = dict(parameters)
+        entry = SlowQueryEntry(
+            text, captured, seconds, rows, plan, snapshot_ts, read_only
+        )
+        with self._lock:
+            self._entries.append(entry)
+            self.slow_queries_total += 1
+        return True
+
+    def entries(self, limit: Optional[int] = None) -> List[SlowQueryEntry]:
+        """Logged entries, oldest first."""
+        with self._lock:
+            entries = list(self._entries)
+        if limit is not None:
+            entries = entries[-limit:]
+        return entries
+
+    def clear(self) -> None:
+        """Drop every logged entry (the total counter is kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, object]:
+        """Log counters for ``statistics()`` / snapshots."""
+        with self._lock:
+            length = len(self._entries)
+        return {
+            "enabled": self.enabled,
+            "threshold_seconds": self.threshold_seconds,
+            "total": self.slow_queries_total,
+            "buffered": length,
+        }

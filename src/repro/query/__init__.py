@@ -83,9 +83,21 @@ def execute(tx, engine, text: str,
     ``PROFILE`` always plan fresh — their per-operator actual/estimated row
     counts must describe exactly this execution, not a cached tree being
     raced by other executions.
+
+    Every execution reports into the engine's observability bundle: wall
+    time (parse to last pulled row) and produced rows go to the metrics
+    registry, plan-cache hits/misses to first-class counters, and
+    executions above the slow-query threshold — statement text, parameters,
+    rendered plan, snapshot timestamp — to the slow-query log.  Lazy
+    results are finalised when their row stream is exhausted or closed, so
+    the recorded duration covers the whole pull, not just planning.
     """
+    from time import perf_counter
+
     from repro.query.executor import ExecutionContext, run_plan
 
+    started = perf_counter()
+    obs = getattr(engine, "obs", None)
     params = dict(parameters or {})
     caches: Optional[QueryCaches] = getattr(engine, "query_caches", None)
     if caches is not None:
@@ -102,14 +114,20 @@ def execute(tx, engine, text: str,
     ):
         plan_key = PlanCache.key(text, engine.cardinality_epoch(), params)
         plan = caches.plan.get(plan_key)
+        if obs is not None:
+            (obs.plan_cache_hits if plan is not None else obs.plan_cache_misses).inc()
     if plan is None:
         plan = plan_query(query, PlannerStatistics(engine), params)
         if plan_key is not None:
             caches.plan.put(plan_key, plan)
-    context = ExecutionContext(tx, params, QueryStatistics())
+    context = ExecutionContext(tx, params, QueryStatistics(), timed=query.profile)
     if query.explain:
         return QueryResult(plan.columns, iter(()), context.stats, plan=plan)
     rows = run_plan(plan, context)
+    if obs is not None:
+        rows = _observed_rows(
+            rows, obs, tx, query, text, params, plan, started
+        )
     result = QueryResult(
         plan.columns, rows, context.stats,
         plan=plan if query.profile else None,
@@ -119,6 +137,48 @@ def execute(tx, engine, text: str,
         # row counts, so both drain the pipeline before returning.
         result.consume()
     return result
+
+
+def _observed_rows(rows, obs, tx, query, text, params, plan, started):
+    """Wrap a row stream so its completion reports to the observability bundle.
+
+    The wall time and row count are recorded when the stream is exhausted,
+    closed, or garbage-collected — for eager (write/``PROFILE``) queries
+    that happens inside :func:`execute` itself; a lazy read result reports
+    when its consumer finishes pulling.  The slow-query plan text is only
+    rendered for executions that crossed the threshold.
+    """
+    from time import perf_counter
+
+    produced = 0
+    outcome = "ok"
+    try:
+        for row in rows:
+            produced += 1
+            yield row
+    except BaseException:
+        outcome = "error"
+        raise
+    finally:
+        seconds = perf_counter() - started
+        obs.query_seconds.observe(seconds)
+        if produced:
+            obs.query_rows.inc(produced)
+        kind = "write" if query.has_writes else "read"
+        obs.queries.labels(kind=kind if outcome == "ok" else "error").inc()
+        slowlog = obs.slow_queries
+        threshold = slowlog.threshold_seconds
+        if threshold is not None and seconds >= threshold:
+            inner = getattr(tx, "_txn", None)
+            slowlog.observe(
+                text,
+                params,
+                seconds,
+                rows=produced,
+                plan=plan.render(),
+                snapshot_ts=getattr(inner, "start_ts", None),
+                read_only=not query.has_writes,
+            )
 
 
 __all__ = [

@@ -19,6 +19,7 @@ never recompiles anything.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import (
@@ -55,13 +56,20 @@ Row = Dict[str, object]
 
 
 class ExecutionContext:
-    """Everything operators need at runtime: the transaction, parameters, stats."""
+    """Everything operators need at runtime: the transaction, parameters, stats.
+
+    ``timed`` turns on per-operator wall-time accounting (``PROFILE``):
+    every pull through an operator adds its inclusive duration to the plan
+    node's ``actual_time_seconds``.  Off by default — plain execution pays
+    no clock calls per row.
+    """
 
     def __init__(self, tx: Transaction, parameters: Mapping[str, object],
-                 stats: QueryStatistics) -> None:
+                 stats: QueryStatistics, *, timed: bool = False) -> None:
         self.tx = tx
         self.parameters = parameters
         self.stats = stats
+        self.timed = timed
 
 
 def run_plan(plan: Plan, ctx: ExecutionContext) -> Iterator[List[object]]:
@@ -82,6 +90,9 @@ def _run(op, ctx: ExecutionContext) -> Iterator[Row]:
     """Instantiate one operator's generator, counting rows into the plan node."""
     runner = _RUNNERS[type(op)]
     op.actual_rows = 0
+    if ctx.timed:
+        op.actual_time_seconds = 0.0
+        return _timed_runner(op, runner, ctx)
 
     def counted() -> Iterator[Row]:
         for row in runner(op, ctx):
@@ -89,6 +100,26 @@ def _run(op, ctx: ExecutionContext) -> Iterator[Row]:
             yield row
 
     return counted()
+
+
+def _timed_runner(op, runner, ctx: ExecutionContext) -> Iterator[Row]:
+    """PROFILE variant of :func:`_run`: rows counted *and* pulls timed.
+
+    The measured time is inclusive — pulling an operator pulls its children
+    from inside the same ``next()`` call — matching how PROFILE output is
+    conventionally read (a parent's time covers its subtree).
+    """
+    generator = runner(op, ctx)
+    while True:
+        started = perf_counter()
+        try:
+            row = next(generator)
+        except StopIteration:
+            op.actual_time_seconds += perf_counter() - started
+            return
+        op.actual_time_seconds += perf_counter() - started
+        op.actual_rows += 1
+        yield row
 
 
 def _run_argument(op: Argument, ctx: ExecutionContext) -> Iterator[Row]:

@@ -88,6 +88,10 @@ class PlanOperator:
         self.estimated_rows = max(0.0, estimated_rows)
         #: Filled in by the executor; ``None`` until the operator has run.
         self.actual_rows: Optional[int] = None
+        #: Inclusive wall time spent pulling this operator (children
+        #: included, since they are pulled from inside it); filled in only
+        #: under ``PROFILE``, ``None`` otherwise.
+        self.actual_time_seconds: Optional[float] = None
 
     def detail(self) -> str:
         """Human-readable operator arguments for EXPLAIN output."""
@@ -108,7 +112,15 @@ class PlanOperator:
             if self.estimated_rows < 10
             else f"{self.estimated_rows:.0f}"
         )
-        line = f"{' ' * indent}+{self.name}{suffix} [est={estimate} actual={actual}]"
+        timing = (
+            f" time={self.actual_time_seconds * 1000:.3f}ms"
+            if self.actual_time_seconds is not None
+            else ""
+        )
+        line = (
+            f"{' ' * indent}+{self.name}{suffix} "
+            f"[est={estimate} actual={actual}{timing}]"
+        )
         lines = [line]
         for child in self.children:
             lines.append(child.render(indent + 2))

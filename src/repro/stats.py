@@ -10,17 +10,59 @@ a re-export for backward compatibility.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
 
 
-@dataclass
 class EngineStats:
-    """Transaction outcome counters shared by both engines."""
+    """Transaction outcome counters shared by both engines.
 
-    begun: int = 0
-    committed: int = 0
-    aborted: int = 0
+    Backed by :class:`repro.obs.registry.MetricsRegistry` counters
+    (``repro_txn_begun_total`` / ``repro_txn_committed_total`` /
+    ``repro_txn_aborted_total``), so the same numbers appear in
+    ``statistics()``, ``metrics_snapshot()`` and the Prometheus exposition
+    without double bookkeeping.  The registry counters shard per thread, so
+    :meth:`record_begin` and friends need no engine-level lock — concurrent
+    transactions increment disjoint cells and reads merge them.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        reg = registry if registry is not None else MetricsRegistry()
+        self._begun = reg.counter("repro_txn_begun_total", "Transactions begun")
+        self._committed = reg.counter(
+            "repro_txn_committed_total", "Transactions committed"
+        )
+        self._aborted = reg.counter(
+            "repro_txn_aborted_total", "Transactions aborted (any reason)"
+        )
+
+    def record_begin(self) -> None:
+        """Count one transaction begin (lock-free)."""
+        self._begun.inc()
+
+    def record_commit(self) -> None:
+        """Count one transaction commit (lock-free)."""
+        self._committed.inc()
+
+    def record_abort(self) -> None:
+        """Count one transaction abort (lock-free)."""
+        self._aborted.inc()
+
+    @property
+    def begun(self) -> int:
+        """Transactions begun (merged across threads)."""
+        return int(self._begun.value())
+
+    @property
+    def committed(self) -> int:
+        """Transactions committed (merged across threads)."""
+        return int(self._committed.value())
+
+    @property
+    def aborted(self) -> int:
+        """Transactions aborted (merged across threads)."""
+        return int(self._aborted.value())
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view of the counters."""

@@ -2,65 +2,54 @@
 
 from __future__ import annotations
 
-import statistics
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.registry import Histogram
 from repro.workload.anomaly import AnomalyCounters
 
 
 class LatencyRecorder:
-    """Thread-safe collection of per-operation latencies (seconds)."""
+    """Thread-safe collection of per-operation latencies (seconds).
+
+    A thin facade over :class:`repro.obs.registry.Histogram` in
+    exact-sample mode: benchmarks keep every observation, so percentiles
+    are linearly-interpolated order statistics (the same definition the
+    metrics registry uses) rather than bucket approximations.
+    """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._samples: List[float] = []
+        self._histogram = Histogram(track_samples=True)
 
     def record(self, latency_seconds: float) -> None:
         """Add one latency sample."""
-        with self._lock:
-            self._samples.append(latency_seconds)
+        self._histogram.observe(latency_seconds)
 
     def extend(self, samples: List[float]) -> None:
         """Add a batch of latency samples."""
-        with self._lock:
-            self._samples.extend(samples)
+        observe = self._histogram.observe
+        for sample in samples:
+            observe(sample)
 
     def count(self) -> int:
         """Number of recorded samples."""
-        with self._lock:
-            return len(self._samples)
+        return self._histogram.count()
 
     def samples(self) -> List[float]:
         """A copy of every recorded sample."""
-        with self._lock:
-            return list(self._samples)
+        return self._histogram.samples()
 
     def percentile(self, fraction: float) -> float:
         """Latency at the given fraction (0..1); 0.0 with no samples."""
-        with self._lock:
-            if not self._samples:
-                return 0.0
-            ordered = sorted(self._samples)
-            index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
-            return ordered[index]
+        return self._histogram.percentile(fraction)
 
     def mean(self) -> float:
         """Mean latency; 0.0 with no samples."""
-        with self._lock:
-            return statistics.fmean(self._samples) if self._samples else 0.0
+        return self._histogram.mean()
 
     def summary(self) -> Dict[str, float]:
         """Mean and common percentiles in one dictionary."""
-        return {
-            "count": self.count(),
-            "mean": self.mean(),
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-            "max": self.percentile(1.0),
-        }
+        return self._histogram.summary()
 
 
 @dataclass

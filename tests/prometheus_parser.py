@@ -1,0 +1,42 @@
+"""Minimal Prometheus text-format (0.0.4) parser for test/CI validation.
+
+Importable (``parse_prometheus_text``) and runnable: ``python
+tests/prometheus_parser.py < metrics.txt`` exits non-zero on malformed
+input and prints the sample count on success.
+"""
+
+import re
+import sys
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"$')
+
+
+def parse_prometheus_text(text):
+    """``{(name, ((label, value), ...)): float}`` — raises ValueError on bad lines."""
+    samples = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {line!r}")
+        labels = []
+        for part in filter(None, (match.group("labels") or "").split(",")):
+            label = _LABEL.match(part.strip())
+            if label is None:
+                raise ValueError(f"malformed label in line: {line!r}")
+            labels.append((label.group("key"), label.group("value")))
+        samples[(match.group("name"), tuple(labels))] = float(match.group("value"))
+    return samples
+
+
+if __name__ == "__main__":
+    parsed = parse_prometheus_text(sys.stdin.read())
+    if not parsed:
+        sys.exit("no samples parsed")
+    print(f"parsed {len(parsed)} samples")
