@@ -28,7 +28,9 @@ from repro.core.conflict import ConflictPolicy
 from repro.engine import IsolationLevel
 from repro.errors import (
     ConstraintViolationError,
+    DatabaseReadOnlyError,
     DeadlockError,
+    DegradedModeError,
     EntityNotFoundError,
     LockTimeoutError,
     NodeNotFoundError,
@@ -39,6 +41,7 @@ from repro.errors import (
     TransactionAbortedError,
     WriteWriteConflictError,
 )
+from repro.fault import FailpointRegistry
 from repro.graph.entity import Direction
 from repro.query.result import QueryResult, QueryStatistics, Record
 
@@ -47,9 +50,12 @@ __version__ = "1.0.0"
 __all__ = [
     "ConflictPolicy",
     "ConstraintViolationError",
+    "DatabaseReadOnlyError",
     "DeadlockError",
+    "DegradedModeError",
     "Direction",
     "EntityNotFoundError",
+    "FailpointRegistry",
     "GraphDatabase",
     "IsolationLevel",
     "LockTimeoutError",

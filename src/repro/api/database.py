@@ -30,32 +30,17 @@ from repro.query.cache import DEFAULT_QUERY_CACHE_SIZE
 from repro.core.vacuum import VacuumCollector
 from repro.engine import GraphEngine, IsolationLevel
 from repro.errors import ReproError, TransactionAbortedError
+from repro.fault import FailpointRegistry
 from repro.graph.store_manager import StoreManager
 from repro.locking.lock_manager import LockManager
 from repro.locking.rc_manager import ReadCommittedEngine
 from repro.obs import MetricsRegistry, Observability, flatten_statistics
 
+# Re-exported from its new home so existing imports keep working; the WAL's
+# bounded IO-retry loop shares the same backoff (see repro.retry).
+from repro.retry import jittered_backoff  # noqa: F401
+
 T = TypeVar("T")
-
-
-def jittered_backoff(
-    attempt: int,
-    *,
-    base_seconds: float = 0.002,
-    max_seconds: float = 0.25,
-    rng: Optional[random.Random] = None,
-) -> float:
-    """Delay before retry ``attempt`` (0-based): exponential with equal jitter.
-
-    Retrying transactions that aborted on the same conflict at the same
-    cadence just re-collides them; the uniform draw over ``[cap/2, cap]``
-    (the "equal jitter" scheme) de-synchronises the contenders while still
-    guaranteeing a minimum gap for the winner to finish committing.  Shared
-    by :meth:`GraphDatabase.run_transaction` and the workload runner.
-    """
-    cap = min(max_seconds, base_seconds * (2 ** attempt))
-    draw = rng.random() if rng is not None else random.random()
-    return cap * (0.5 + 0.5 * draw)
 
 
 def _coerce_isolation(isolation: Union[IsolationLevel, str]) -> IsolationLevel:
@@ -111,6 +96,7 @@ class GraphDatabase:
         slow_query_capacity: int = 128,
         redact_parameters: bool = False,
         metrics_registry: Optional[MetricsRegistry] = None,
+        failpoints: Union[FailpointRegistry, Mapping[str, str], str, None] = None,
     ) -> None:
         """Open (or create) a database.
 
@@ -152,10 +138,22 @@ class GraphDatabase:
         :class:`~repro.obs.registry.MetricsRegistry` by default).  See
         :meth:`metrics_snapshot`, :meth:`prometheus_metrics` and
         :meth:`serve_metrics`.
+
+        ``failpoints`` enables deterministic fault injection on the
+        durability path: pass a prepared
+        :class:`~repro.fault.FailpointRegistry`, a ``{site: spec}`` mapping,
+        or a ``"site=spec;..."`` string (see :data:`repro.fault.FAILPOINT_SITES`
+        for the site catalog and :mod:`repro.fault.policies` for the spec
+        syntax).  When omitted, the ``REPRO_FAILPOINTS`` environment variable
+        is consulted (the CI hook); when that is unset too, every component
+        carries ``failpoints=None`` and the injection sites are dead
+        branches.  See also :meth:`health` for the degraded read-only mode
+        that unrecoverable IO errors (injected or real) trigger.
         """
         self._isolation = _coerce_isolation(isolation)
         self._closed = False
         self._close_lock = threading.Lock()
+        self.failpoints = FailpointRegistry.from_config(failpoints)
         self.observability = Observability(
             registry=metrics_registry,
             tracing=tracing,
@@ -174,9 +172,23 @@ class GraphDatabase:
             # entity may still be readable by open snapshots.
             reuse_entity_ids=(self._isolation is IsolationLevel.READ_COMMITTED),
             group_commit=group_commit,
+            failpoints=self.failpoints,
         )
         self.store.obs = self.observability
         self.store.wal.obs = self.observability
+        if self.failpoints is not None and self.failpoints.on_fire is None:
+            faults_injected = self.observability.faults_injected
+            self.failpoints.on_fire = lambda fault: faults_injected.labels(
+                site=fault.site
+            ).inc()
+        # The degraded gauge is computed at scrape time from the health
+        # switch (the store also pushes 1 eagerly when it degrades, which
+        # set_function supersedes — both views agree by construction).
+        health = self.store.health
+        self.observability.engine_degraded.set_function(
+            lambda: 1 if health.is_degraded else 0
+        )
+        self.observability.health_source = health.as_dict
         locks = LockManager(default_timeout=lock_timeout)
         if self._isolation is not IsolationLevel.READ_COMMITTED:
             # SNAPSHOT and SERIALIZABLE share the MVCC engine; the isolation
@@ -406,10 +418,23 @@ class GraphDatabase:
         self._ensure_open()
         self.store.checkpoint()
 
+    def health(self) -> Dict[str, object]:
+        """The engine health view: ``{"status": "ok"|"degraded", ...}``.
+
+        A degraded engine rejects write transactions with
+        :class:`~repro.errors.DatabaseReadOnlyError` (a retryable abort —
+        but retrying against the same process keeps failing; the recovery
+        story is reopening the database, which replays the WAL) while
+        snapshot reads keep working.  The same view backs the exporter's
+        ``/healthz`` endpoint and the ``repro_engine_degraded`` gauge.
+        """
+        return self.store.health.as_dict()
+
     def statistics(self) -> Dict[str, object]:
         """Aggregated statistics from the engine, stores and caches."""
         stats: Dict[str, object] = {
             "isolation": self._isolation.value,
+            "health": self.store.health.as_dict(),
             "store": self.store.stats.as_dict(),
             "page_cache": self.store.page_cache.stats.as_dict(),
             "wal": self.store.wal_stats(),
@@ -419,6 +444,8 @@ class GraphDatabase:
             ),
             "observability": self.observability.stats(),
         }
+        if self.failpoints is not None:
+            stats["failpoints"] = self.failpoints.stats()
         if isinstance(self.engine, SnapshotIsolationEngine):
             stats["engine"] = self.engine.statistics()
             stats["object_cache"] = self.engine.versions.cache.stats.as_dict()

@@ -178,6 +178,10 @@ class SnapshotIsolationEngine(GraphEngine):
         self._gc_every_n_commits = gc_every_n_commits
         self._versioned_commits = 0
         self._writeless_commits = 0
+        self._failpoints = store.failpoints
+        # IO-path abort causes surfaced by `abort_reasons()`; the policy
+        # cannot count these (they originate below it, in the store layer).
+        self._io_abort_counts = {"io-error": 0, "degraded-mode": 0}
         # Guards the outcome counters and the GC trigger: the commit path is
         # concurrent now, and unsynchronised `+=` loses increments.
         self._counter_lock = threading.Lock()
@@ -212,7 +216,13 @@ class SnapshotIsolationEngine(GraphEngine):
         snapshot until a safe one is available, after which the transaction
         runs completely untracked and can never interact with the
         serializability machinery at all.
+
+        A degraded engine fences write transactions here with
+        :class:`~repro.errors.DatabaseReadOnlyError`; read-only transactions
+        keep working from the in-memory version chains and the object cache.
         """
+        if not read_only:
+            self.store.health.ensure_writable()
         self.stats.record_begin()
         # Tracing starts before the oracle grant so the `begin` phase covers
         # the grant itself, the census and any safe-snapshot retake loop.
@@ -319,7 +329,16 @@ class SnapshotIsolationEngine(GraphEngine):
                 self.obs.tracer.record(trace)
             return
         writes = self._effective_writes(txn)
+        # Fence before any version install: a writer committing after the
+        # engine degraded must not publish in-memory versions that can never
+        # be made durable (apply_batch fences again, for commits racing the
+        # degradation itself).
+        self.store.health.ensure_writable()
         try:
+            if self._failpoints is not None:
+                fault = self._failpoints.hit("commit.stripe_acquire")
+                if fault is not None:
+                    fault.raise_fault()
             stripe_set = self._commit_stripe_set(txn, writes)
             with self._acquire_stripes(stripe_set):
                 if trace is not None:
@@ -340,7 +359,22 @@ class SnapshotIsolationEngine(GraphEngine):
                     if trace is not None:
                         trace.mark("install")
                     operations = self._build_store_operations(writes, commit_ts)
-                    self.store.apply_batch(txn.txn_id, operations)
+                    try:
+                        self.store.apply_batch(txn.txn_id, operations)
+                    except BaseException:
+                        # The batch never became durable, but publish_commit
+                        # below still advances the watermark past commit_ts —
+                        # anything left installed would become visible to
+                        # every later snapshot while recovery would drop it.
+                        self._revert_installs(writes, old_states, commit_ts)
+                        raise
+                    if self._failpoints is not None:
+                        # Fires after the durable append but before the
+                        # commit is acknowledged — the deterministic probe
+                        # for the "durable but un-acked" window.
+                        fault = self._failpoints.hit("commit.publish")
+                        if fault is not None:
+                            fault.raise_fault()
                     if trace is not None:
                         trace.mark("wal")
                         trace.annotate("writes", len(writes))
@@ -458,6 +492,9 @@ class SnapshotIsolationEngine(GraphEngine):
         self.oracle.retire_transaction(txn.txn_id)
         self.stats.record_abort()
         reason = txn.abort_reason or "rollback"
+        if reason in self._io_abort_counts:
+            with self._counter_lock:
+                self._io_abort_counts[reason] += 1
         self.obs.txn_abort_reasons.labels(reason=reason).inc()
         trace = txn.trace
         if trace is not None:
@@ -596,16 +633,22 @@ class SnapshotIsolationEngine(GraphEngine):
         the transaction), ``rw-antidependency`` the SSI dangerous-structure
         aborts (zero under plain snapshot isolation), ``safe-snapshot`` the
         writers aborted to keep a concurrent read-only snapshot safe
-        (counted separately so benchmarks can attribute retries), and
+        (counted separately so benchmarks can attribute retries),
         ``deadlock`` the lock-wait cycles and timeouts resolved by killing a
-        transaction.
+        transaction, ``io-error`` the transactions killed by a storage-layer
+        failure, and ``degraded-mode`` the writers fenced off after the
+        engine entered degraded read-only mode.
         """
         ww_stats = self.cc.ww_conflict_stats()
+        with self._counter_lock:
+            io_counts = dict(self._io_abort_counts)
         return {
             "ww-conflict": ww_stats["write_time"] + ww_stats["commit_time"],
             "rw-antidependency": self.cc.rw_antidependency_aborts(),
             "safe-snapshot": self.cc.safe_snapshot_aborts(),
             "deadlock": self.locks.stats.deadlocks + self.locks.stats.timeouts,
+            "io-error": io_counts["io-error"],
+            "degraded-mode": io_counts["degraded-mode"],
         }
 
     def statistics(self) -> Dict[str, object]:
@@ -768,6 +811,30 @@ class SnapshotIsolationEngine(GraphEngine):
             if version.is_tombstone:
                 self.gc.tombstone_installed(version)
         return old_states
+
+    def _revert_installs(
+        self,
+        writes: Dict[EntityKey, Optional[object]],
+        old_states: Dict[EntityKey, Optional[object]],
+        commit_ts: int,
+    ) -> None:
+        """Unwind version installs and index deltas after a failed durable apply.
+
+        Index deltas are cancelled by applying the inverse change at the same
+        timestamp, which collapses the membership interval to the empty
+        ``[ts, ts)``.  The written chains are dropped outright rather than
+        surgically trimmed: readers rebuild them from the page store, which
+        reflects exactly the durably applied batches.  GC-list entries
+        registered by the forward install are left behind on purpose — the
+        reclaim pass tolerates versions whose chain no longer holds them.
+        """
+        for key, payload in writes.items():
+            old_state = old_states.get(key)
+            if key.kind is EntityKind.NODE:
+                self.indexes.apply_node_change(payload, old_state, commit_ts)
+            else:
+                self.indexes.apply_relationship_change(payload, old_state, commit_ts)
+            self.versions.remove_chain(key)
 
     def _update_indexes(
         self,

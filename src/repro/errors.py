@@ -46,6 +46,32 @@ class WalError(StorageError):
     """The write-ahead log could not be appended to or read."""
 
 
+class InjectedFaultError(StorageError, OSError):
+    """An IO error raised by an armed failpoint (see :mod:`repro.fault`).
+
+    Subclasses :class:`OSError` on purpose: the durability hardening treats
+    injected faults exactly like real IO errors — same retry loop, same
+    degradation policy — so a test that arms a failpoint exercises precisely
+    the code paths a failing disk would.
+    """
+
+    def __init__(self, message: str, *, site: str = "", hit: int = 0) -> None:
+        super().__init__(message)
+        self.site = site
+        self.hit = hit
+
+
+class SimulatedCrashError(InjectedFaultError):
+    """A failpoint's ``crash`` action fired: the process "died" at this point.
+
+    Unlike a plain injected error this is never retried and never repaired —
+    the durability machinery re-raises it immediately, leaving the on-disk
+    state exactly as a power cut at that instant would.  Tests catch it, copy
+    the store directory as a crash image, and reopen the copy to exercise
+    recovery.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Transactions
 # ---------------------------------------------------------------------------
@@ -108,16 +134,44 @@ class ReadOnlyTransactionError(TransactionError):
     """A write was attempted inside a transaction opened as read-only."""
 
 
+class DegradedModeError(TransactionAbortedError):
+    """The engine entered degraded read-only mode while this write was in flight.
+
+    Raised when an unrecoverable IO error (a failed fsync after retries, a
+    torn append that could not be repaired, a broken checkpoint) flipped the
+    engine into degraded mode during the transaction's commit.  Snapshot
+    readers keep working; the write was **not** made durable.  The error is
+    retryable in the formal sense (it subclasses
+    :class:`TransactionAbortedError`, so ``run_transaction`` backs off and
+    retries), which gives a transient-at-the-OS-level outage a chance to
+    clear; a persistently degraded engine keeps rejecting the retries.
+    """
+
+
+class DatabaseReadOnlyError(DegradedModeError):
+    """A write transaction was attempted while the engine is degraded.
+
+    The fence raised at ``begin``/``commit`` once degraded mode is already
+    established (as opposed to :class:`DegradedModeError`, which reports the
+    commit that *hit* the IO failure).  Read-only transactions are unaffected.
+    """
+
+
 def classify_abort(exc: BaseException) -> str:
     """Map an abort-raising exception to the abort-reason vocabulary.
 
     The labels match the engines' ``abort_reasons()`` breakdown so the
     observability layer's labelled abort counter and the statistics surface
     agree: ``safe-snapshot``, ``rw-antidependency``, ``ww-conflict``,
-    ``deadlock``, or ``error`` for anything outside the conflict taxonomy.
-    Order matters — the safe-snapshot and serialization classes subclass the
-    broader abort classes they refine.
+    ``deadlock``, ``degraded-mode`` (writes fenced or failed because the
+    engine is in degraded read-only mode), ``io-error`` (a storage/OS-level
+    IO failure aborted the commit, injected faults included), or ``error``
+    for anything outside the taxonomy.  Order matters — the safe-snapshot
+    and serialization classes subclass the broader abort classes they
+    refine, and degraded-mode errors subclass the abort base class.
     """
+    if isinstance(exc, DegradedModeError):
+        return "degraded-mode"
     if isinstance(exc, UnsafeSnapshotError):
         return "safe-snapshot"
     if isinstance(exc, SerializationError):
@@ -126,6 +180,8 @@ def classify_abort(exc: BaseException) -> str:
         return "ww-conflict"
     if isinstance(exc, (DeadlockError, LockTimeoutError)):
         return "deadlock"
+    if isinstance(exc, (StorageError, OSError)):
+        return "io-error"
     return "error"
 
 

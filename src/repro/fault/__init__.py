@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the durability path.
+
+The subsystem has two halves:
+
+* :mod:`repro.fault.policies` — trigger policies (``always``, ``once``,
+  ``nth(N)``, ``every(K)``, ``times(N)``, seeded ``prob(P)``) and fault
+  actions (``error``, ``torn``, ``crash``) with a compact spec syntax, and
+* :mod:`repro.fault.registry` — the :class:`FailpointRegistry` mapping named
+  injection sites (``wal.fsync``, ``store.checkpoint``, ``commit.publish``,
+  ...) to armed specs, recording every firing into a reproducible fault
+  schedule.
+
+Open a database with injection enabled::
+
+    db = GraphDatabase.open(path, failpoints={"wal.fsync": "times(2):error"})
+    db.failpoints.arm("store.checkpoint", "once:crash")
+
+or, for CI, via ``REPRO_FAILPOINTS="wal.fsync=times(2):error"``.  A database
+opened without either carries ``failpoints=None`` through every component —
+the sites are genuine no-ops on the hot path.
+"""
+
+from repro.fault.policies import FaultAction, FiredFault, TriggerPolicy, parse_spec
+from repro.fault.registry import (
+    FAILPOINT_SITES,
+    FAILPOINTS_ENV_VAR,
+    FailpointRegistry,
+)
+
+__all__ = [
+    "FAILPOINT_SITES",
+    "FAILPOINTS_ENV_VAR",
+    "FailpointRegistry",
+    "FaultAction",
+    "FiredFault",
+    "TriggerPolicy",
+    "parse_spec",
+]

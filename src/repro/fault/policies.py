@@ -1,0 +1,267 @@
+"""Trigger policies and fault actions for the failpoint subsystem.
+
+A failpoint spec is a compact string ``"<policy>:<action>"``:
+
+======================  =====================================================
+policy                  fires on
+======================  =====================================================
+``always``              every hit
+``once``                the first hit only
+``nth(N)``              hit number N only (1-based)
+``every(K)``            hits K, 2K, 3K, ...
+``times(N)``            the first N hits (models a transient error burst)
+``prob(P[,SEED])``      each hit independently with probability P, drawn
+                        from a seeded RNG — the set of firing hit indices is
+                        a pure function of (P, seed), which is what makes a
+                        fault *schedule* reproducible
+======================  =====================================================
+
+======================  =====================================================
+action                  effect at the site
+======================  =====================================================
+``error``               raise :class:`~repro.errors.InjectedFaultError`
+``error(NAME)``         same, tagged with an errno name (e.g. ``ENOSPC``)
+``torn``                at write sites: write only a prefix of the payload,
+                        then raise (a short/partial write *reported* to the
+                        caller — the repairable kind); ``torn(F)`` cuts at
+                        fraction F of the payload (default 0.5)
+``crash``               raise :class:`~repro.errors.SimulatedCrashError` —
+                        never retried, never repaired: the on-disk state is
+                        left exactly as a power cut at that instant would;
+                        ``crash(F)`` additionally persists fraction F of the
+                        payload first (a torn write the process never got to
+                        see — the unrepairable kind)
+======================  =====================================================
+
+Examples: ``"times(2):error"`` (two transient failures, then healthy),
+``"once:torn(0.25)"`` (one torn write at a quarter of the payload),
+``"prob(0.05,42):crash"`` (seeded random crash schedule).
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import random
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InjectedFaultError, SimulatedCrashError
+
+__all__ = [
+    "FaultAction",
+    "FiredFault",
+    "TriggerPolicy",
+    "parse_spec",
+]
+
+
+class TriggerPolicy:
+    """Decides, per hit, whether a failpoint fires.
+
+    ``should_fire`` is called with the 1-based hit index, under the owning
+    failpoint's lock — implementations need no synchronisation of their own.
+    """
+
+    def should_fire(self, hit: int) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class _Always(TriggerPolicy):
+    def should_fire(self, hit: int) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "always"
+
+
+class _Nth(TriggerPolicy):
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("nth(N) needs N >= 1")
+        self.n = n
+
+    def should_fire(self, hit: int) -> bool:
+        return hit == self.n
+
+    def describe(self) -> str:
+        return f"nth({self.n})"
+
+
+class _Every(TriggerPolicy):
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("every(K) needs K >= 1")
+        self.k = k
+
+    def should_fire(self, hit: int) -> bool:
+        return hit % self.k == 0
+
+    def describe(self) -> str:
+        return f"every({self.k})"
+
+
+class _Times(TriggerPolicy):
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("times(N) needs N >= 1")
+        self.n = n
+
+    def should_fire(self, hit: int) -> bool:
+        return hit <= self.n
+
+    def describe(self) -> str:
+        return f"times({self.n})"
+
+
+class _Probabilistic(TriggerPolicy):
+    """Seeded per-hit coin flip.
+
+    One RNG draw happens per hit regardless of the outcome, so the sequence
+    of firing hit indices depends only on ``(p, seed)`` — not on wall-clock,
+    thread identity, or anything else about the run.
+    """
+
+    def __init__(self, p: float, seed: int) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("prob(P) needs 0 <= P <= 1")
+        self.p = p
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def should_fire(self, hit: int) -> bool:
+        return self._rng.random() < self.p
+
+    def describe(self) -> str:
+        return f"prob({self.p},{self.seed})"
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What happens when a failpoint fires."""
+
+    kind: str  # "error" | "torn" | "crash"
+    errno_name: Optional[str] = None
+    #: Payload fraction persisted before raising (torn always has one;
+    #: crash has one only for ``crash(F)``; plain errors have none).
+    fraction: Optional[float] = None
+
+    def describe(self) -> str:
+        if self.kind == "error" and self.errno_name:
+            return f"error({self.errno_name})"
+        if self.fraction is not None:
+            return f"{self.kind}({self.fraction})"
+        return self.kind
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One firing of a failpoint, handed to the site that hit it.
+
+    Plain-``error`` and ``crash`` actions are fully handled by
+    :meth:`raise_fault`; ``torn`` actions additionally ask the site to write
+    only ``cut(len(payload))`` bytes before raising — partial writes are a
+    property of the site, not of the registry.
+    """
+
+    site: str
+    hit: int
+    action: FaultAction
+
+    @property
+    def is_torn(self) -> bool:
+        """Whether the site should persist a payload prefix before raising."""
+        return self.action.fraction is not None
+
+    def cut(self, length: int) -> int:
+        """Bytes of an ``length``-byte payload a torn write should persist."""
+        fraction = self.action.fraction or 0.0
+        return max(0, min(length - 1, int(length * fraction)))
+
+    def to_exception(self) -> InjectedFaultError:
+        message = (
+            f"injected fault at failpoint {self.site!r} "
+            f"(hit {self.hit}, action {self.action.describe()})"
+        )
+        if self.action.kind == "crash":
+            return SimulatedCrashError(message, site=self.site, hit=self.hit)
+        exc = InjectedFaultError(message, site=self.site, hit=self.hit)
+        if self.action.errno_name:
+            exc.errno = getattr(_errno, self.action.errno_name, None)
+        return exc
+
+    def raise_fault(self) -> None:
+        """Raise the injected error (the common site idiom for non-torn)."""
+        raise self.to_exception()
+
+    def as_dict(self) -> dict:
+        return {"site": self.site, "hit": self.hit, "action": self.action.describe()}
+
+
+_POLICY_RE = re.compile(r"^(?P<name>[a-z]+)(?:\((?P<args>[^)]*)\))?$")
+
+
+def _parse_policy(text: str, default_seed: int) -> TriggerPolicy:
+    match = _POLICY_RE.match(text.strip())
+    if match is None:
+        raise ValueError(f"unparsable trigger policy {text!r}")
+    name, args = match.group("name"), match.group("args")
+    if name == "always":
+        return _Always()
+    if name == "once":
+        return _Nth(1)
+    if name == "nth":
+        return _Nth(int(args))
+    if name == "every":
+        return _Every(int(args))
+    if name == "times":
+        return _Times(int(args))
+    if name == "prob":
+        parts = [part.strip() for part in (args or "").split(",") if part.strip()]
+        if not parts:
+            raise ValueError("prob(P[,SEED]) needs a probability")
+        p = float(parts[0])
+        seed = int(parts[1]) if len(parts) > 1 else default_seed
+        return _Probabilistic(p, seed)
+    raise ValueError(
+        f"unknown trigger policy {name!r}; expected one of: "
+        "always, once, nth(N), every(K), times(N), prob(P[,SEED])"
+    )
+
+
+def _parse_action(text: str) -> FaultAction:
+    match = _POLICY_RE.match(text.strip())
+    if match is None:
+        raise ValueError(f"unparsable fault action {text!r}")
+    name, args = match.group("name"), match.group("args")
+    if name == "error":
+        errno_name = (args or "").strip() or None
+        if errno_name is not None and not hasattr(_errno, errno_name):
+            raise ValueError(f"unknown errno name {errno_name!r} in fault action")
+        return FaultAction("error", errno_name=errno_name)
+    if name in ("torn", "crash"):
+        if args:
+            fraction = float(args)
+            if not 0.0 <= fraction < 1.0:
+                raise ValueError(f"{name}(F) needs 0 <= F < 1")
+        else:
+            fraction = 0.5 if name == "torn" else None
+        return FaultAction(name, fraction=fraction)
+    raise ValueError(
+        f"unknown fault action {name!r}; expected one of: "
+        "error, error(ERRNO), torn, torn(F), crash, crash(F)"
+    )
+
+
+def parse_spec(spec: str, *, default_seed: int = 0) -> tuple:
+    """Parse ``"<policy>:<action>"`` into ``(TriggerPolicy, FaultAction)``."""
+    if ":" not in spec:
+        raise ValueError(
+            f"failpoint spec {spec!r} must look like '<policy>:<action>', "
+            "e.g. 'times(2):error' or 'once:torn(0.5)'"
+        )
+    policy_text, action_text = spec.split(":", 1)
+    return _parse_policy(policy_text, default_seed), _parse_action(action_text)

@@ -1,0 +1,228 @@
+"""The failpoint registry: named, deterministic fault-injection sites.
+
+Every durability-critical boundary in the engine is wrapped in a *failpoint
+site* — a stable name hit once per traversal of that boundary.  A
+:class:`FailpointRegistry` maps site names to (trigger policy, fault action)
+pairs; unarmed sites cost one ``None`` check on the hot path (components hold
+``failpoints=None`` unless the database was opened with injection enabled,
+so production runs pay nothing).
+
+The registry records every firing into a *fault schedule* — the ordered list
+of ``(site, hit index, action)`` triples — which is what the fault-storm
+stress asserts determinism over and what CI uploads as an artifact when a
+storm run fails.
+
+Configuration sources, in increasing precedence:
+
+* ``GraphDatabase(failpoints={"wal.fsync": "times(2):error"})``
+* the ``REPRO_FAILPOINTS`` environment variable, e.g.
+  ``REPRO_FAILPOINTS="wal.fsync=times(2):error;store.checkpoint=once:crash"``
+  (applied when the database is opened without an explicit registry — the CI
+  hook)
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.fault.policies import FaultAction, FiredFault, TriggerPolicy, parse_spec
+
+__all__ = ["FAILPOINT_SITES", "FAILPOINTS_ENV_VAR", "FailpointRegistry"]
+
+#: Environment variable holding ``site=spec;site=spec`` pairs for CI runs.
+FAILPOINTS_ENV_VAR = "REPRO_FAILPOINTS"
+
+#: The failpoint catalog: every site threaded through the engine.  Arming an
+#: unknown name is an error — a misspelt site would otherwise silently never
+#: fire, which is the worst possible failure mode for a fault-injection test.
+FAILPOINT_SITES: Dict[str, str] = {
+    "wal.append": "WAL batch append (supports torn: partial frame bytes hit disk)",
+    "wal.fsync": "WAL fsync after a group append",
+    "wal.truncate": "WAL truncation during checkpoint",
+    "store.group_flush": "group-commit flush, before the WAL append",
+    "store.flush": "store-file flush during checkpoint",
+    "store.checkpoint": "checkpoint entry, before any flushing",
+    "checkpoint.marker": "checkpoint marker write (write-temp + rename)",
+    "recovery.replay": "WAL replay on startup, once per committed batch",
+    "commit.stripe_acquire": "SI commit, before acquiring the commit stripes",
+    "commit.publish": "SI commit, after durable append, before the ack",
+}
+
+
+class _Failpoint:
+    """One armed site: hit counter + policy + action, under a private lock."""
+
+    __slots__ = ("site", "policy", "action", "lock", "hits", "fires")
+
+    def __init__(self, site: str, policy: TriggerPolicy, action: FaultAction) -> None:
+        self.site = site
+        self.policy = policy
+        self.action = action
+        self.lock = threading.Lock()
+        self.hits = 0
+        self.fires = 0
+
+
+class FailpointRegistry:
+    """Registry of armed failpoints, shared by every component of one database."""
+
+    def __init__(
+        self,
+        config: Optional[Union[Mapping[str, str], str]] = None,
+        *,
+        seed: int = 0,
+        on_fire: Optional[Callable[[FiredFault], None]] = None,
+        extra_sites: Iterable[str] = (),
+    ) -> None:
+        """``config`` is a ``{site: spec}`` mapping or a ``site=spec;...``
+        string; ``seed`` is the default RNG seed for ``prob`` policies that
+        do not carry their own, so one registry seed reproduces one fault
+        schedule.  ``on_fire`` is invoked for every firing (the database
+        wires the observability counter through it).  ``extra_sites``
+        extends the catalog for out-of-tree components (tests, future
+        subsystems)."""
+        self._lock = threading.Lock()
+        self._sites: Dict[str, _Failpoint] = {}
+        self._known = dict(FAILPOINT_SITES)
+        for site in extra_sites:
+            self._known.setdefault(site, "caller-registered site")
+        self._seed = seed
+        self._schedule: List[FiredFault] = []
+        self.on_fire = on_fire
+        if config:
+            self.arm_many(config)
+
+    # -- configuration -------------------------------------------------------
+
+    @classmethod
+    def from_config(
+        cls,
+        config: Optional[Union[Mapping[str, str], str, "FailpointRegistry"]],
+        *,
+        seed: int = 0,
+        env: Optional[Mapping[str, str]] = None,
+    ) -> Optional["FailpointRegistry"]:
+        """Coerce a user-facing ``failpoints=`` value into a registry.
+
+        ``None`` falls back to :data:`FAILPOINTS_ENV_VAR` (and returns
+        ``None`` when that is unset too, keeping the hot path free); an
+        existing registry passes through untouched.
+        """
+        if isinstance(config, FailpointRegistry):
+            return config
+        if config:
+            return cls(config, seed=seed)
+        env_value = (env if env is not None else os.environ).get(FAILPOINTS_ENV_VAR)
+        if env_value:
+            return cls(env_value, seed=seed)
+        return None
+
+    def arm(self, site: str, spec: str) -> None:
+        """Arm (or re-arm) one site with a ``"<policy>:<action>"`` spec."""
+        if site not in self._known:
+            known = ", ".join(sorted(self._known))
+            raise ValueError(f"unknown failpoint site {site!r}; catalog: {known}")
+        policy, action = parse_spec(spec, default_seed=self._seed)
+        with self._lock:
+            self._sites[site] = _Failpoint(site, policy, action)
+
+    def arm_many(self, config: Union[Mapping[str, str], str]) -> None:
+        """Arm several sites from a mapping or a ``site=spec;...`` string."""
+        if isinstance(config, str):
+            pairs = []
+            for chunk in config.split(";"):
+                chunk = chunk.strip()
+                if not chunk:
+                    continue
+                if "=" not in chunk:
+                    raise ValueError(
+                        f"unparsable failpoint config chunk {chunk!r}; "
+                        "expected 'site=policy:action'"
+                    )
+                site, spec = chunk.split("=", 1)
+                pairs.append((site.strip(), spec.strip()))
+        else:
+            pairs = list(config.items())
+        for site, spec in pairs:
+            self.arm(site, spec)
+
+    def disarm(self, site: str) -> None:
+        """Disarm one site (keeping its contribution to the schedule)."""
+        with self._lock:
+            self._sites.pop(site, None)
+
+    def clear(self) -> None:
+        """Disarm every site."""
+        with self._lock:
+            self._sites.clear()
+
+    # -- the site-facing hot call -------------------------------------------
+
+    def hit(self, site: str) -> Optional[FiredFault]:
+        """Record one traversal of ``site``; returns the fault iff it fires.
+
+        Unarmed sites return ``None`` after a single dict probe.  Components
+        additionally guard the call behind ``failpoints is not None``, so a
+        database opened without injection never reaches here at all.
+        """
+        failpoint = self._sites.get(site)
+        if failpoint is None:
+            return None
+        with failpoint.lock:
+            failpoint.hits += 1
+            hit_index = failpoint.hits
+            fired = failpoint.policy.should_fire(hit_index)
+            if fired:
+                failpoint.fires += 1
+        if not fired:
+            return None
+        fault = FiredFault(site=site, hit=hit_index, action=failpoint.action)
+        with self._lock:
+            self._schedule.append(fault)
+        callback = self.on_fire
+        if callback is not None:
+            callback(fault)
+        return fault
+
+    # -- introspection -------------------------------------------------------
+
+    def armed_sites(self) -> List[str]:
+        """Names of currently armed sites, sorted."""
+        with self._lock:
+            return sorted(self._sites)
+
+    def hits(self, site: str) -> int:
+        """Traversal count of ``site`` since it was (last) armed."""
+        failpoint = self._sites.get(site)
+        return failpoint.hits if failpoint is not None else 0
+
+    def fires(self, site: str) -> int:
+        """Firing count of ``site`` since it was (last) armed."""
+        failpoint = self._sites.get(site)
+        return failpoint.fires if failpoint is not None else 0
+
+    def schedule(self) -> List[dict]:
+        """The fault schedule: every firing, in order, as plain dicts.
+
+        With only seeded policies armed, the schedule is a deterministic
+        function of (registry seed, per-site hit sequences) — two runs of
+        the same single-threaded workload produce identical schedules, which
+        is the reproducibility contract the fault-storm stress asserts.
+        """
+        with self._lock:
+            return [fault.as_dict() for fault in self._schedule]
+
+    def stats(self) -> Dict[str, object]:
+        """Per-site hit/fire counters plus the schedule length."""
+        with self._lock:
+            sites = {
+                name: {
+                    "spec": f"{fp.policy.describe()}:{fp.action.describe()}",
+                    "hits": fp.hits,
+                    "fires": fp.fires,
+                }
+                for name, fp in sorted(self._sites.items())
+            }
+            return {"armed": sites, "fired_total": len(self._schedule)}

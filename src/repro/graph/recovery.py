@@ -2,19 +2,88 @@
 
 Write-ahead-log replay itself lives in
 :meth:`repro.graph.store_manager.StoreManager._recover` (it runs automatically
-when a store is opened).  This module provides the complementary tool: a
-consistency checker that walks the record files and verifies the structural
-invariants the store manager is supposed to maintain — useful in tests, after
-crash-recovery scenarios, and as a debugging aid.
+when a store is opened).  This module provides the complementary tools:
+
+* the *checkpoint marker* — a tiny metadata file updated crash-atomically
+  (write-temp + ``os.replace``) as the last step of every checkpoint before
+  the WAL is truncated.  Recovery does not strictly need it (WAL replay is
+  idempotent), but it records the checkpoint generation and lets operators
+  and tests confirm which checkpoint a directory is at; and
+* a consistency checker that walks the record files and verifies the
+  structural invariants the store manager is supposed to maintain — useful in
+  tests, after crash-recovery scenarios, and as a debugging aid.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import List
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.graph.records import NULL_REF
-from repro.graph.store_manager import StoreManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.store_manager import StoreManager
+
+#: File name of the checkpoint marker inside a database directory.
+CHECKPOINT_MARKER = "checkpoint.meta"
+_MARKER_TMP = CHECKPOINT_MARKER + ".tmp"
+
+
+def write_checkpoint_marker(
+    directory: str, generation: int, *, failpoints=None
+) -> None:
+    """Crash-atomically persist the checkpoint marker for ``directory``.
+
+    The marker is written to a temp file, fsynced, then ``os.replace``d over
+    the real name — a crash at any instant leaves either the old marker or
+    the new one, never a torn file.  The ``checkpoint.marker`` failpoint
+    fires before any byte is written (so an injected crash leaves the
+    previous marker intact, exactly like a real power cut before the write).
+    """
+    if failpoints is not None:
+        fault = failpoints.hit("checkpoint.marker")
+        if fault is not None:
+            fault.raise_fault()
+    payload = json.dumps({"generation": generation}, sort_keys=True).encode("utf-8")
+    tmp_path = os.path.join(directory, _MARKER_TMP)
+    final_path = os.path.join(directory, CHECKPOINT_MARKER)
+    fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, payload)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp_path, final_path)
+
+
+def read_checkpoint_marker(directory: str) -> Optional[Dict[str, Any]]:
+    """Read the checkpoint marker, tolerating absence and corruption.
+
+    A missing or unparsable marker returns ``None`` (a crash before the
+    first checkpoint, or mid-replace on filesystems without atomic rename,
+    simply means "no checkpoint recorded").  A stale temp file from a crash
+    mid-write is cleaned up on the way through.
+    """
+    tmp_path = os.path.join(directory, _MARKER_TMP)
+    try:
+        os.unlink(tmp_path)
+    except OSError:
+        pass
+    final_path = os.path.join(directory, CHECKPOINT_MARKER)
+    try:
+        with open(final_path, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return None
+    try:
+        marker = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(marker, dict):
+        return None
+    return marker
 
 
 @dataclass

@@ -23,10 +23,14 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.errors import (
     ConstraintViolationError,
+    DatabaseReadOnlyError,
     EntityNotFoundError,
     NodeNotFoundError,
     RelationshipNotFoundError,
+    SimulatedCrashError,
+    WalError,
 )
+from repro.health import EngineHealth
 from repro.graph.dynamic_store import DynamicStore
 from repro.graph.entity import Direction, NodeData, RelationshipData
 from repro.graph.node_store import NodeStore
@@ -51,6 +55,10 @@ from repro.graph.records import NULL_REF, RelationshipRecord, NodeRecord
 from repro.graph.relationship_store import RelationshipStore
 from repro.graph.token_store import TokenStore
 from repro.graph.tokens import TokenSet
+from repro.graph.recovery import (
+    read_checkpoint_marker,
+    write_checkpoint_marker,
+)
 from repro.graph.wal import WriteAheadLog
 from repro.graph.properties import PropertyValue
 
@@ -114,6 +122,8 @@ class StoreManager:
         wal_sync: bool = False,
         reuse_entity_ids: bool = True,
         group_commit: bool = False,
+        failpoints=None,
+        health: Optional[EngineHealth] = None,
     ) -> None:
         """Open (or create) a graph store.
 
@@ -131,10 +141,18 @@ class StoreManager:
         queue and flushes every queued batch with one WAL append (and one
         fsync, when ``wal_sync`` is on) — the classic group commit that makes
         the sharded commit pipeline pay one disk round trip per *group*.
+
+        ``failpoints`` is an optional
+        :class:`~repro.fault.FailpointRegistry` threaded into the WAL, the
+        checkpoint path and the group-commit flush; ``health`` is the shared
+        :class:`~repro.health.EngineHealth` switch (one is created here when
+        the caller does not supply it).
         """
         self._path = path
         self._lock = threading.RLock()
         self._closed = False
+        self._failpoints = failpoints
+        self.health = health if health is not None else EngineHealth()
         self._group_commit = group_commit
         self._group_gate = threading.Lock()
         self._group_pending: List[_PendingCommit] = []
@@ -171,7 +189,15 @@ class StoreManager:
 
         wal_path = None if path is None else os.path.join(path, "wal.log")
         self._wal_enabled = wal_enabled
-        self.wal = WriteAheadLog(wal_path if wal_enabled else None, sync_on_commit=wal_sync)
+        self.wal = WriteAheadLog(
+            wal_path if wal_enabled else None,
+            sync_on_commit=wal_sync,
+            failpoints=failpoints,
+        )
+        marker = read_checkpoint_marker(path) if path is not None else None
+        self._checkpoint_generation = (
+            int(marker.get("generation", 0)) if marker else 0
+        )
         if wal_enabled:
             self._recover()
 
@@ -184,30 +210,89 @@ class StoreManager:
         """Directory holding the store files (``None`` when in memory)."""
         return self._path
 
+    @property
+    def failpoints(self):
+        """The fault-injection registry, or ``None`` (the production default)."""
+        return self._failpoints
+
     def wal_stats(self) -> Dict[str, object]:
         """Write-ahead-log counters (the database's ``statistics()["wal"]``)."""
         return dict(self.wal.stats(), enabled=self._wal_enabled)
 
     def checkpoint(self) -> None:
-        """Flush all dirty pages to the backends and reset the write-ahead log."""
+        """Flush all dirty pages, persist the checkpoint marker, reset the WAL.
+
+        The three steps are strictly ordered so that a crash at *any* point
+        is repaired by WAL replay on the next open:
+
+        1. every store file is flushed and fsynced (crash after: the WAL is
+           still intact, replay re-applies — harmless, replay is idempotent);
+        2. the checkpoint marker is written crash-atomically via a temp file
+           and ``os.replace`` (crash after: same as 1);
+        3. only then is the WAL truncated — nothing is ever dropped from the
+           log before the stores durably contain it.
+
+        A degraded engine refuses to checkpoint: after a failed durability
+        operation the store files cannot be trusted to contain everything in
+        the WAL, and truncating the log would turn a transient fault into
+        data loss.  Any checkpoint failure likewise flips the engine into
+        degraded read-only mode, for the same reason.
+        """
         with self._lock:
-            self.page_cache.flush()
-            for store in (self.nodes, self.relationships, self.properties):
-                store.flush()
-            self._label_dynamic.flush()
-            self._value_dynamic.flush()
-            self._name_dynamic.flush()
-            self._label_tokens.flush()
-            self._type_tokens.flush()
-            self._key_tokens.flush()
-            self.wal.checkpoint()
+            self.health.ensure_writable()
+            try:
+                if self._failpoints is not None:
+                    fault = self._failpoints.hit("store.checkpoint")
+                    if fault is not None:
+                        fault.raise_fault()
+                self.page_cache.flush()
+                if self._failpoints is not None:
+                    fault = self._failpoints.hit("store.flush")
+                    if fault is not None:
+                        fault.raise_fault()
+                for store in (self.nodes, self.relationships, self.properties):
+                    store.flush()
+                self._label_dynamic.flush()
+                self._value_dynamic.flush()
+                self._name_dynamic.flush()
+                self._label_tokens.flush()
+                self._type_tokens.flush()
+                self._key_tokens.flush()
+                if self._path is not None and self._wal_enabled:
+                    write_checkpoint_marker(
+                        self._path,
+                        self._checkpoint_generation + 1,
+                        failpoints=self._failpoints,
+                    )
+                self.wal.checkpoint()
+                self._checkpoint_generation += 1
+            except BaseException as exc:  # noqa: BLE001 - degrade, then surface
+                self.health.mark_degraded("checkpoint-failed", exc)
+                self._note_degraded_obs()
+                raise
+
+    def checkpoint_generation(self) -> int:
+        """Number of checkpoints this directory has completed (0 when fresh)."""
+        with self._lock:
+            return self._checkpoint_generation
 
     def close(self) -> None:
-        """Checkpoint and close every store file."""
+        """Checkpoint (when healthy) and close every store file.
+
+        The file descriptors are *always* released, even when the final
+        checkpoint fails — the failure is re-raised after cleanup.  A
+        degraded engine skips the checkpoint entirely: its WAL must survive
+        for replay on the next open.
+        """
         with self._lock:
             if self._closed:
                 return
-            self.checkpoint()
+            checkpoint_error: Optional[BaseException] = None
+            if not self.health.is_degraded:
+                try:
+                    self.checkpoint()
+                except BaseException as exc:  # noqa: BLE001 - close fds first
+                    checkpoint_error = exc
             for closable in (
                 self.nodes,
                 self.relationships,
@@ -222,6 +307,14 @@ class StoreManager:
                 closable.close()
             self.wal.close()
             self._closed = True
+            if checkpoint_error is not None:
+                raise checkpoint_error
+
+    def _note_degraded_obs(self) -> None:
+        """Mirror a degradation into the metrics registry, when wired."""
+        obs = self.obs
+        if obs is not None:
+            obs.engine_degraded.set(1)
 
     # ------------------------------------------------------------------
     # id allocation
@@ -253,6 +346,7 @@ class StoreManager:
         """
         if not operations:
             return
+        self.health.ensure_writable()
         entry = _PendingCommit(txn_id, operations)
         if not self._group_commit:
             with self._lock:
@@ -287,8 +381,20 @@ class StoreManager:
         log entry.  As in the seed's single-batch path, an apply failure
         after the durable append leaves the store to be repaired by WAL
         replay on the next open.
+
+        Unrecoverable failures additionally flip the engine into degraded
+        read-only mode: a failed WAL append after the retry budget (or a
+        simulated crash) means durability can no longer be promised, and a
+        failed store apply after a *durable* append means a later checkpoint
+        would truncate operations out of the log that never reached the
+        store files.  Either way the safe continuation is "stop writing,
+        keep serving snapshot reads, repair by replay on the next open".
         """
         try:
+            if self._failpoints is not None:
+                fault = self._failpoints.hit("store.group_flush")
+                if fault is not None:
+                    fault.raise_fault()
             if self._wal_enabled:
                 payloads = [
                     (entry.txn_id, operations_to_payloads(entry.operations))
@@ -302,6 +408,11 @@ class StoreManager:
                 else:
                     self.wal.append_commits(payloads)
         except BaseException as exc:  # noqa: BLE001 - re-raised in the owners
+            if isinstance(exc, (WalError, SimulatedCrashError)) or not isinstance(
+                exc, Exception
+            ):
+                self.health.mark_degraded("wal-append-failed", exc)
+                self._note_degraded_obs()
             for entry in batch:
                 entry.error = exc
                 entry.done.set()
@@ -312,6 +423,9 @@ class StoreManager:
                     self._apply_operation(operation)
                 self.stats.batches_applied += 1
             except BaseException as exc:  # noqa: BLE001 - re-raised in the owner
+                if self._wal_enabled:
+                    self.health.mark_degraded("store-apply-failed", exc)
+                    self._note_degraded_obs()
                 entry.error = exc
             entry.done.set()
 
@@ -642,9 +756,19 @@ class StoreManager:
         self._key_tokens.populate_registry(self.tokens.property_keys)
 
     def _recover(self) -> None:
-        """Replay committed write-ahead-log batches left over from a crash."""
+        """Replay committed write-ahead-log batches left over from a crash.
+
+        Replay is idempotent (writes overwrite, deletes tolerate absence), so
+        a crash *during* recovery simply replays the same prefix again on the
+        next open — the ``recovery.replay`` failpoint (hit once per committed
+        batch) exists exactly to prove that in tests.
+        """
         replayed = 0
         for payloads in self.wal.replay():
+            if self._failpoints is not None:
+                fault = self._failpoints.hit("recovery.replay")
+                if fault is not None:
+                    fault.raise_fault()
             operations = operations_from_payloads(payloads)
             for operation in operations:
                 self._apply_operation(operation)

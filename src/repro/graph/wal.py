@@ -20,10 +20,17 @@ import json
 import os
 import struct
 import threading
+import time
 import zlib
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import WalError
+from repro.errors import SimulatedCrashError, WalError
+from repro.retry import (
+    DEFAULT_IO_RETRIES,
+    IO_RETRY_BASE_SECONDS,
+    IO_RETRY_MAX_SECONDS,
+    jittered_backoff,
+)
 
 _ENTRY_MAGIC = 0xA5
 _HEADER_FORMAT = "<BBqI"
@@ -47,21 +54,40 @@ class WriteAheadLog:
     identical (useful for benchmarks) without touching disk.
     """
 
-    def __init__(self, path: Optional[str] = None, *, sync_on_commit: bool = True) -> None:
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        sync_on_commit: bool = True,
+        failpoints=None,
+        io_retries: int = DEFAULT_IO_RETRIES,
+    ) -> None:
+        """``failpoints`` is an optional
+        :class:`~repro.fault.FailpointRegistry`; when ``None`` (the default)
+        the injection sites are dead branches.  ``io_retries`` bounds the
+        transient-IO retry loop on the append and truncate paths (the error
+        becomes unrecoverable once the budget is spent)."""
         self._path = path
         self._sync_on_commit = sync_on_commit
         self._lock = threading.Lock()
         self._memory_buffer = bytearray()
         self._fd: Optional[int] = None
+        self._failpoints = failpoints
+        self._io_retry_limit = max(0, io_retries)
         if path is not None:
             directory = os.path.dirname(path)
             if directory:
                 os.makedirs(directory, exist_ok=True)
             self._fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+            self._size = os.fstat(self._fd).st_size
+        else:
+            self._size = 0
         self.appended_batches = 0
         self.replayed_batches = 0
         self.fsyncs = 0
         self.bytes_appended = 0
+        #: Transient IO errors absorbed by the bounded retry loop.
+        self.io_retries = 0
         #: Observability bundle (set by the database); when present, the
         #: append path mirrors its counters into the metrics registry.
         self.obs = None
@@ -99,13 +125,8 @@ class WriteAheadLog:
                 frames.append(self._frame(LogRecordType.OPERATION, txn_id, encoded))
             frames.append(self._frame(LogRecordType.COMMIT, txn_id, b""))
         data = b"".join(frames)
-        synced = False
         with self._lock:
-            self._append_bytes(data)
-            if self._sync_on_commit and self._fd is not None:
-                os.fsync(self._fd)
-                self.fsyncs += 1
-                synced = True
+            synced = self._append_durably(data)
             self.appended_batches += len(batches)
             self.bytes_appended += len(data)
         obs = self.obs
@@ -114,18 +135,133 @@ class WriteAheadLog:
             if synced:
                 obs.wal_fsyncs.inc()
 
+    def _append_durably(self, data: bytes) -> bool:
+        """Append ``data`` and (optionally) fsync, retrying transient errors.
+
+        Holds the append invariant: when this returns, the log grew by
+        exactly ``len(data)`` bytes; when it raises, the log did not grow at
+        all — a failed attempt is truncated back to its pre-append size
+        before retrying *and* before surfacing the final error, so an
+        un-acknowledged commit leaves zero durable trace.  A
+        :class:`SimulatedCrashError` is the one exception: it models a power
+        cut, so whatever bytes the injected fault persisted stay on disk and
+        no repair or retry happens.  Returns whether an fsync was issued.
+
+        Caller must hold ``self._lock``.
+        """
+        start_size = self._size
+        attempt = 0
+        while True:
+            try:
+                self._write_with_injection(data)
+                self._size = start_size + len(data)
+                if self._sync_on_commit and self._fd is not None:
+                    if self._failpoints is not None:
+                        fault = self._failpoints.hit("wal.fsync")
+                        if fault is not None:
+                            fault.raise_fault()
+                    os.fsync(self._fd)
+                    self.fsyncs += 1
+                    return True
+                return False
+            except SimulatedCrashError:
+                raise
+            except OSError as exc:
+                self._repair_tail(start_size, exc)
+                if attempt >= self._io_retry_limit:
+                    raise WalError(
+                        f"WAL append failed after {attempt + 1} attempt(s): {exc}"
+                    ) from exc
+                self.io_retries += 1
+                obs = self.obs
+                if obs is not None:
+                    obs.io_retries.inc()
+                time.sleep(
+                    jittered_backoff(
+                        attempt,
+                        base_seconds=IO_RETRY_BASE_SECONDS,
+                        max_seconds=IO_RETRY_MAX_SECONDS,
+                    )
+                )
+                attempt += 1
+
+    def _write_with_injection(self, data: bytes) -> None:
+        """One append attempt, honouring an armed ``wal.append`` failpoint.
+
+        Torn actions persist ``fault.cut(len(data))`` bytes before raising —
+        a short write either reported to the caller (``torn``, repairable by
+        :meth:`_repair_tail`) or swallowed by a simulated power cut
+        (``crash(F)``, left on disk for recovery to skip).
+        """
+        if self._failpoints is not None:
+            fault = self._failpoints.hit("wal.append")
+            if fault is not None:
+                if fault.is_torn:
+                    self._append_bytes(data[: fault.cut(len(data))])
+                fault.raise_fault()
+        self._append_bytes(data)
+
+    def _repair_tail(self, start_size: int, cause: OSError) -> None:
+        """Truncate a failed append back to the pre-append log size.
+
+        If the repair itself fails the log tail is in an unknown state and
+        retrying would risk interleaving garbage with real frames — that is
+        escalated as an unrecoverable :class:`WalError` immediately.
+        """
+        try:
+            if self._fd is not None:
+                os.ftruncate(self._fd, start_size)
+                os.lseek(self._fd, 0, os.SEEK_END)
+            else:
+                del self._memory_buffer[start_size:]
+            self._size = start_size
+        except OSError as repair_exc:
+            raise WalError(
+                f"WAL append failed ({cause}) and truncate-back repair "
+                f"also failed ({repair_exc}); log tail state unknown"
+            ) from repair_exc
+
     def checkpoint(self) -> None:
         """Mark everything so far as applied and reset the log.
 
         The caller must flush the store files *before* checkpointing.
         """
         with self._lock:
-            if self._fd is not None:
-                os.ftruncate(self._fd, 0)
-                os.lseek(self._fd, 0, os.SEEK_SET)
-                os.fsync(self._fd)
-            else:
-                self._memory_buffer.clear()
+            attempt = 0
+            while True:
+                try:
+                    if self._failpoints is not None:
+                        fault = self._failpoints.hit("wal.truncate")
+                        if fault is not None:
+                            fault.raise_fault()
+                    if self._fd is not None:
+                        os.ftruncate(self._fd, 0)
+                        os.lseek(self._fd, 0, os.SEEK_SET)
+                        os.fsync(self._fd)
+                    else:
+                        self._memory_buffer.clear()
+                    self._size = 0
+                    return
+                except SimulatedCrashError:
+                    raise
+                except OSError as exc:
+                    if attempt >= self._io_retry_limit:
+                        raise WalError(
+                            f"WAL truncation failed after {attempt + 1} "
+                            f"attempt(s): {exc}"
+                        ) from exc
+                    self.io_retries += 1
+                    obs = self.obs
+                    if obs is not None:
+                        obs.io_retries.inc()
+                    time.sleep(
+                        jittered_backoff(
+                            attempt,
+                            base_seconds=IO_RETRY_BASE_SECONDS,
+                            max_seconds=IO_RETRY_MAX_SECONDS,
+                        )
+                    )
+                    attempt += 1
 
     # -- replay ----------------------------------------------------------------
 
@@ -193,6 +329,7 @@ class WriteAheadLog:
                 "replayed_batches": self.replayed_batches,
                 "fsyncs": self.fsyncs,
                 "bytes_appended": self.bytes_appended,
+                "io_retries": self.io_retries,
             }
 
     def close(self) -> None:

@@ -1,0 +1,93 @@
+"""Engine health state: the degraded read-only mode switch.
+
+One :class:`EngineHealth` per store manager (and therefore per database).
+Healthy engines pay a single attribute read on the write path; the first
+unrecoverable IO error flips the switch, after which:
+
+* write transactions are fenced with
+  :class:`~repro.errors.DatabaseReadOnlyError` at ``begin`` and at the store
+  boundary,
+* snapshot readers keep working from the in-memory version chains, and
+* ``db.health()``, the ``repro_engine_degraded`` gauge and the exporter's
+  ``/healthz`` endpoint report the degradation and its cause.
+
+Degradation is deliberately one-way for the life of the process: the on-disk
+state after a failed durability operation is only known-good again after a
+fresh open replays the WAL, so the recovery story is "restart onto the same
+directory", not "flip the bit back".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.errors import DatabaseReadOnlyError
+
+__all__ = ["EngineHealth"]
+
+
+class EngineHealth:
+    """Thread-safe, monotonic ok -> degraded switch with a recorded cause."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: Read lock-free on the hot path (a Python attribute read is atomic;
+        #: the switch is monotonic, so a stale ``False`` only delays the
+        #: fence by one racing write, which then fails at the store anyway).
+        self.degraded = False
+        self._reason: Optional[str] = None
+        self._cause: Optional[str] = None
+        self._since_monotonic: Optional[float] = None
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether the engine is in degraded read-only mode."""
+        return self.degraded
+
+    @property
+    def status(self) -> str:
+        """``"ok"`` or ``"degraded"`` (the ``/healthz`` vocabulary)."""
+        return "degraded" if self.degraded else "ok"
+
+    def mark_degraded(self, reason: str, cause: Optional[BaseException] = None) -> bool:
+        """Flip into degraded mode; returns True iff this call flipped it.
+
+        Only the first cause is retained — later failures are consequences
+        of an engine that should already have stopped writing.
+        """
+        with self._lock:
+            if self.degraded:
+                return False
+            self._reason = reason
+            self._cause = repr(cause) if cause is not None else None
+            self._since_monotonic = time.monotonic()
+            self.degraded = True
+            return True
+
+    def ensure_writable(self) -> None:
+        """Raise :class:`DatabaseReadOnlyError` when degraded (write fence)."""
+        if self.degraded:
+            raise DatabaseReadOnlyError(
+                "the engine is in degraded read-only mode "
+                f"(reason: {self._reason}; cause: {self._cause}); "
+                "snapshot reads remain available, writes are rejected"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able view for ``db.health()`` and the statistics surface."""
+        with self._lock:
+            payload: Dict[str, object] = {
+                "status": self.status,
+                "degraded": self.degraded,
+            }
+            if self.degraded:
+                payload["reason"] = self._reason
+                payload["cause"] = self._cause
+                payload["degraded_for_seconds"] = (
+                    time.monotonic() - self._since_monotonic
+                    if self._since_monotonic is not None
+                    else None
+                )
+            return payload

@@ -76,6 +76,8 @@ class ReadCommittedEngine(GraphEngine):
         self.stats = EngineStats(self.obs.registry)
         self._txn_ids = itertools.count(1)
         self._commit_lock = threading.Lock()
+        self._io_abort_lock = threading.Lock()
+        self._io_abort_counts = {"io-error": 0, "degraded-mode": 0}
 
     # -- transaction lifecycle ---------------------------------------------
 
@@ -85,8 +87,11 @@ class ReadCommittedEngine(GraphEngine):
         """Start a new read-committed transaction.
 
         ``deferrable`` (a safe-snapshot concept) has no meaning under read
-        committed and is accepted for interface uniformity.
+        committed and is accepted for interface uniformity.  A degraded
+        engine fences write transactions here (read-only ones proceed).
         """
+        if not read_only:
+            self.store.health.ensure_writable()
         self.stats.record_begin()
         txn = ReadCommittedTransaction(self, next(self._txn_ids), read_only=read_only)
         trace = self.obs.tracer.maybe_start(txn.txn_id, read_only=read_only)
@@ -123,6 +128,9 @@ class ReadCommittedEngine(GraphEngine):
         self.locks.release_all(txn.txn_id)
         self.stats.record_abort()
         reason = getattr(txn, "abort_reason", None) or "rollback"
+        if reason in self._io_abort_counts:
+            with self._io_abort_lock:
+                self._io_abort_counts[reason] += 1
         self.obs.txn_abort_reasons.labels(reason=reason).inc()
         trace = getattr(txn, "trace", None)
         if trace is not None:
@@ -153,12 +161,16 @@ class ReadCommittedEngine(GraphEngine):
         return self.indexes.cardinalities()
 
     def abort_reasons(self) -> Dict[str, int]:
-        """Abort counts by cause; under 2PL only deadlock victims exist."""
+        """Abort counts by cause; 2PL adds only deadlock and IO-path victims."""
+        with self._io_abort_lock:
+            io_counts = dict(self._io_abort_counts)
         return {
             "ww-conflict": 0,
             "rw-antidependency": 0,
             "safe-snapshot": 0,
             "deadlock": self.locks.stats.deadlocks + self.locks.stats.timeouts,
+            "io-error": io_counts["io-error"],
+            "degraded-mode": io_counts["degraded-mode"],
         }
 
     # -- ids ------------------------------------------------------------------

@@ -85,6 +85,10 @@ class Observability:
             capacity=slow_query_capacity,
             redact_parameters=redact_parameters,
         )
+        #: Health view callable backing the exporter's ``/healthz`` endpoint;
+        #: the database wires ``store.health.as_dict`` here.  Left ``None``,
+        #: ``/healthz`` is a bare liveness probe.
+        self.health_source = None
 
         reg = self.registry
         # -- transaction lifecycle ------------------------------------------
@@ -122,6 +126,20 @@ class Observability:
         )
         self.wal_bytes = reg.counter(
             "repro_wal_appended_bytes_total", "Bytes appended to the WAL"
+        )
+        # -- durability / fault tolerance -----------------------------------
+        self.io_retries = reg.counter(
+            "repro_io_retries_total",
+            "Transient IO errors absorbed by the bounded retry loop",
+        )
+        self.engine_degraded = reg.gauge(
+            "repro_engine_degraded",
+            "1 when the engine is in degraded read-only mode, else 0",
+        )
+        self.faults_injected = reg.counter(
+            "repro_faults_injected_total",
+            "Failpoint firings, by injection site (testing only)",
+            labelnames=("site",),
         )
         # -- query layer ----------------------------------------------------
         self.query_seconds = reg.histogram(
@@ -190,7 +208,9 @@ class Observability:
 
     def serve(self, host: str = "127.0.0.1", port: int = 0) -> MetricsExporter:
         """Start an HTTP scrape endpoint for this bundle's registry."""
-        return serve_registry(self.registry, host, port)
+        return serve_registry(
+            self.registry, host, port, health_source=self.health_source
+        )
 
     def stats(self) -> Dict[str, object]:
         """Bundle counters for ``statistics()`` (tracing + slow-query log)."""

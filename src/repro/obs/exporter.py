@@ -1,7 +1,9 @@
 """Optional HTTP scrape endpoint built on stdlib ``http.server``.
 
 :class:`MetricsExporter` serves the registry's Prometheus text at
-``/metrics`` and the JSON snapshot at ``/metrics.json`` from a daemon
+``/metrics``, the JSON snapshot at ``/metrics.json``, and — when a health
+source is wired — a load-balancer-style ``/healthz`` endpoint (200 while the
+engine is healthy, 503 once it enters degraded read-only mode) from a daemon
 thread.  It is deliberately minimal — the future network service layer
 mounts the same render functions behind its own server; this endpoint
 exists so a standalone process (benchmarks, the observability demo, the CI
@@ -31,15 +33,28 @@ class MetricsExporter:
         snapshot_source: Callable[[], dict],
         host: str = "127.0.0.1",
         port: int = 0,
+        health_source: Optional[Callable[[], dict]] = None,
     ) -> None:
+        """``health_source`` returns the engine health view (see
+        :meth:`repro.api.database.GraphDatabase.health`); without one,
+        ``/healthz`` degenerates to a liveness probe that always answers
+        200 (the server being up is all it can attest to)."""
         self._snapshot_source = snapshot_source
+        self._health_source = health_source
 
         exporter = self
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - http.server API
                 path = self.path.split("?", 1)[0]
-                if path in ("/metrics", "/"):
+                if path == "/healthz":
+                    source = exporter._health_source
+                    health = source() if source is not None else {"status": "ok"}
+                    payload = json.dumps(health, sort_keys=True).encode("utf-8")
+                    degraded = health.get("status") != "ok"
+                    self.send_response(503 if degraded else 200)
+                    self.send_header("Content-Type", "application/json")
+                elif path in ("/metrics", "/"):
                     body = render_snapshot(exporter._snapshot_source())
                     payload = body.encode("utf-8")
                     self.send_response(200)
@@ -107,7 +122,12 @@ class MetricsExporter:
 
 
 def serve_registry(
-    registry: MetricsRegistry, host: str = "127.0.0.1", port: int = 0
+    registry: MetricsRegistry,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    health_source: Optional[Callable[[], dict]] = None,
 ) -> MetricsExporter:
     """Start a scrape endpoint for ``registry``; returns the exporter."""
-    return MetricsExporter(registry.snapshot, host, port).start()
+    return MetricsExporter(
+        registry.snapshot, host, port, health_source=health_source
+    ).start()

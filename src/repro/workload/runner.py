@@ -26,8 +26,10 @@ from repro.api.transaction import Transaction
 from repro.errors import (
     DeadlockError,
     LockTimeoutError,
+    StorageError,
     TransactionAbortedError,
     WriteWriteConflictError,
+    classify_abort,
 )
 from repro.workload.anomaly import AnomalyCounters
 from repro.workload.metrics import WorkloadResult
@@ -195,9 +197,20 @@ class ConcurrentWorkloadRunner:
                 started = time.perf_counter()
                 try:
                     outcome = self._invoke(work_fn, rng, worker_id, iteration, report)
-                except (WriteWriteConflictError, TransactionAbortedError) as exc:
+                except (WriteWriteConflictError, TransactionAbortedError,
+                        StorageError, OSError) as exc:
+                    # Storage/OS errors are caught alongside aborts so a
+                    # workload run against a faulty disk degrades into
+                    # counters instead of a crashed worker thread.
                     report.aborted += 1
-                    report.conflicts += 1
+                    reason = classify_abort(exc)
+                    if reason in ("io-error", "degraded-mode"):
+                        # Storage-layer casualties, not concurrency conflicts:
+                        # counted apart so throughput runs against a faulty
+                        # disk do not read as contention.
+                        report.extra[reason] = report.extra.get(reason, 0.0) + 1
+                    else:
+                        report.conflicts += 1
                     if isinstance(exc, DeadlockError) or isinstance(exc, LockTimeoutError):
                         report.deadlocks += 1
                     continue

@@ -116,7 +116,14 @@ class TestMoneyConservation:
             combined = sum(int(tx.get_node(i)["balance"]) for i in ids)
         assert combined >= 0
         reasons = db.statistics()["engine"]["transactions"]["abort_reasons"]
-        assert set(reasons) == {"ww-conflict", "rw-antidependency", "safe-snapshot", "deadlock"}
+        assert set(reasons) == {
+            "ww-conflict",
+            "rw-antidependency",
+            "safe-snapshot",
+            "deadlock",
+            "io-error",
+            "degraded-mode",
+        }
         # Every abort the engine counted must be attributed to some cause
         # (the breakdown is not allowed to silently under-report).
         engine_stats = db.statistics()["engine"]["transactions"]

@@ -1,0 +1,596 @@
+"""Failpoint subsystem + durability hardening, deterministically.
+
+Each test arms a specific failpoint (see ``repro.fault.FAILPOINT_SITES``)
+and asserts the exact hardening contract for that boundary:
+
+* transient IO errors on the WAL append/fsync path are absorbed by the
+  bounded retry loop (with truncate-back repair, so a failed attempt leaves
+  zero durable trace);
+* unrecoverable failures flip the engine into degraded read-only mode —
+  writers are fenced with :class:`DatabaseReadOnlyError`, snapshot readers
+  keep working, ``db.health()`` / the ``repro_engine_degraded`` gauge /
+  ``/healthz`` report it;
+* checkpoints are crash-atomic (stores flushed and fsynced strictly before
+  the WAL is truncated, marker written via temp + rename), so a crash at any
+  checkpoint step recovers by idempotent WAL replay;
+* ``close()`` always releases the file descriptors, even when its final
+  checkpoint fails.
+
+Storage-layer failures surface to the caller as the *raw* error (``WalError``,
+``InjectedFaultError``, ``SimulatedCrashError``) — not wrapped in an abort
+class — while the transaction is aborted underneath and the failure is
+attributed through ``classify_abort`` into the ``abort_reasons()`` breakdown.
+"""
+
+import json
+import os
+import re
+import shutil
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import (
+    DatabaseReadOnlyError,
+    FailpointRegistry,
+    GraphDatabase,
+    IsolationLevel,
+    TransactionAbortedError,
+)
+from repro.errors import (
+    InjectedFaultError,
+    SimulatedCrashError,
+    WalError,
+    classify_abort,
+)
+from repro.fault import FAILPOINT_SITES, parse_spec
+from repro.graph.recovery import (
+    CHECKPOINT_MARKER,
+    check_store,
+    read_checkpoint_marker,
+)
+
+
+def _crash_image(live_path, crash_path):
+    """Copy the store directory as a crash would leave it (no close/flush)."""
+    shutil.copytree(live_path, crash_path)
+    return crash_path
+
+
+def _commit_items(db, names):
+    for name in names:
+        with db.transaction() as tx:
+            tx.create_node(labels=["Item"], properties={"name": name})
+
+
+def _committed_names(db):
+    with db.transaction(read_only=True) as tx:
+        return sorted(node.get("name") for node in tx.find_nodes(label="Item"))
+
+
+# ---------------------------------------------------------------------------
+# policies and registry
+# ---------------------------------------------------------------------------
+
+
+class TestSpecParsing:
+    def test_policy_firing_patterns(self):
+        cases = {
+            "always:error": [True] * 6,
+            "once:error": [True] + [False] * 5,
+            "nth(3):error": [False, False, True, False, False, False],
+            "every(2):error": [False, True, False, True, False, True],
+            "times(2):error": [True, True, False, False, False, False],
+        }
+        for spec, expected in cases.items():
+            policy, _ = parse_spec(spec)
+            got = [policy.should_fire(hit) for hit in range(1, 7)]
+            assert got == expected, spec
+
+    def test_prob_policy_is_a_pure_function_of_seed(self):
+        first, _ = parse_spec("prob(0.3,42):error")
+        second, _ = parse_spec("prob(0.3,42):error")
+        pattern = [first.should_fire(hit) for hit in range(1, 200)]
+        assert pattern == [second.should_fire(hit) for hit in range(1, 200)]
+        assert any(pattern) and not all(pattern)
+        different, _ = parse_spec("prob(0.3,43):error")
+        assert pattern != [different.should_fire(hit) for hit in range(1, 200)]
+
+    def test_action_variants(self):
+        _, error = parse_spec("once:error")
+        assert error.kind == "error" and error.fraction is None
+        _, enospc = parse_spec("once:error(ENOSPC)")
+        assert enospc.errno_name == "ENOSPC"
+        _, torn = parse_spec("once:torn")
+        assert torn.fraction == 0.5
+        _, torn_f = parse_spec("once:torn(0.25)")
+        assert torn_f.fraction == 0.25
+        _, crash = parse_spec("once:crash")
+        assert crash.kind == "crash" and crash.fraction is None
+        _, crash_f = parse_spec("once:crash(0.75)")
+        assert crash_f.fraction == 0.75
+
+    def test_bad_specs_are_rejected(self):
+        for bad in (
+            "error",  # no policy separator
+            "nope:error",
+            "once:explode",
+            "once:error(EWHATEVER)",
+            "nth(0):error",
+            "prob(2):error",
+            "once:torn(1.5)",
+        ):
+            with pytest.raises(ValueError):
+                parse_spec(bad)
+
+
+class TestRegistry:
+    def test_unknown_site_is_an_error(self):
+        registry = FailpointRegistry()
+        with pytest.raises(ValueError, match="wal.append"):
+            registry.arm("wal.apend", "once:error")  # typo must not silently no-op
+
+    def test_hit_counting_and_schedule(self):
+        registry = FailpointRegistry({"wal.fsync": "every(2):error"})
+        fires = [registry.hit("wal.fsync") for _ in range(5)]
+        assert [fault is not None for fault in fires] == [
+            False, True, False, True, False,
+        ]
+        assert registry.hits("wal.fsync") == 5
+        assert registry.fires("wal.fsync") == 2
+        assert registry.schedule() == [
+            {"site": "wal.fsync", "hit": 2, "action": "error"},
+            {"site": "wal.fsync", "hit": 4, "action": "error"},
+        ]
+        assert registry.hit("wal.append") is None  # unarmed site: dict probe
+
+    def test_string_config_and_env_fallback(self):
+        registry = FailpointRegistry.from_config(
+            "wal.fsync=once:error; store.checkpoint=times(2):error(EIO)"
+        )
+        assert registry.armed_sites() == ["store.checkpoint", "wal.fsync"]
+        env = {"REPRO_FAILPOINTS": "wal.append=once:torn"}
+        from_env = FailpointRegistry.from_config(None, env=env)
+        assert from_env is not None and from_env.armed_sites() == ["wal.append"]
+        assert FailpointRegistry.from_config(None, env={}) is None
+        passthrough = FailpointRegistry()
+        assert FailpointRegistry.from_config(passthrough) is passthrough
+
+    def test_catalog_covers_every_threaded_site(self):
+        assert set(FAILPOINT_SITES) == {
+            "wal.append",
+            "wal.fsync",
+            "wal.truncate",
+            "store.group_flush",
+            "store.flush",
+            "store.checkpoint",
+            "checkpoint.marker",
+            "recovery.replay",
+            "commit.stripe_acquire",
+            "commit.publish",
+        }
+
+
+# ---------------------------------------------------------------------------
+# WAL retries and torn-write repair
+# ---------------------------------------------------------------------------
+
+
+class TestWalRetries:
+    def test_transient_append_errors_are_retried(self, tmp_path):
+        db = GraphDatabase.open(
+            str(tmp_path / "db"), failpoints={"wal.append": "times(2):error(EIO)"}
+        )
+        _commit_items(db, ["a"])  # survives two injected failures
+        assert db.store.wal.io_retries == 2
+        assert db.statistics()["wal"]["io_retries"] == 2
+        assert db.health()["status"] == "ok"
+        snapshot = db.metrics_snapshot()["instruments"]
+        assert snapshot["repro_io_retries_total"]["samples"][0]["value"] == 2
+        db.close()
+        reopened = GraphDatabase.open(str(tmp_path / "db"))
+        assert _committed_names(reopened) == ["a"]
+        reopened.close()
+
+    def test_transient_fsync_errors_are_retried(self, tmp_path):
+        db = GraphDatabase.open(
+            str(tmp_path / "db"),
+            wal_sync=True,
+            failpoints={"wal.fsync": "once:error"},
+        )
+        _commit_items(db, ["a"])
+        assert db.store.wal.io_retries == 1
+        assert db.health()["status"] == "ok"
+        db.close()
+
+    def test_torn_write_is_repaired_and_retried(self, tmp_path):
+        db = GraphDatabase.open(
+            str(tmp_path / "db"), failpoints={"wal.append": "once:torn(0.5)"}
+        )
+        _commit_items(db, ["a", "b"])
+        assert db.store.wal.io_retries == 1
+        # Truncate-back repair: the torn prefix was removed before the retry,
+        # so the log holds exactly the two committed batches, frame-aligned.
+        crash = _crash_image(str(tmp_path / "db"), str(tmp_path / "crash"))
+        db.close()
+        recovered = GraphDatabase.open(crash)
+        assert _committed_names(recovered) == ["a", "b"]
+        assert check_store(recovered.store).consistent
+        recovered.close()
+
+    def test_exhausted_retries_degrade_and_leave_no_durable_trace(self, tmp_path):
+        db = GraphDatabase.open(
+            str(tmp_path / "db"), failpoints={"wal.append": "always:error"}
+        )
+        with pytest.raises(WalError):
+            _commit_items(db, ["a"])
+        assert db.health()["status"] == "degraded"
+        assert db.health()["reason"] == "wal-append-failed"
+        # Truncate-back repair ran on the final failure too: the failed
+        # commit left zero durable bytes.
+        crash = _crash_image(str(tmp_path / "db"), str(tmp_path / "crash"))
+        db.close()
+        recovered = GraphDatabase.open(crash)
+        assert _committed_names(recovered) == []
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# simulated crashes (power-cut semantics)
+# ---------------------------------------------------------------------------
+
+
+class TestSimulatedCrash:
+    def test_crash_mid_append_leaves_a_committed_prefix(self, tmp_path):
+        db = GraphDatabase.open(
+            str(tmp_path / "db"), failpoints={"wal.append": "nth(3):crash(0.5)"}
+        )
+        _commit_items(db, ["a", "b"])
+        with pytest.raises(SimulatedCrashError):
+            _commit_items(db, ["c"])  # half the frame hits disk, then "power cut"
+        assert db.health()["status"] == "degraded"
+        crash = _crash_image(str(tmp_path / "db"), str(tmp_path / "crash"))
+        db.close()
+        recovered = GraphDatabase.open(crash)
+        # The torn half-frame is dropped by the CRC rule; the acked prefix
+        # survives in full.
+        assert _committed_names(recovered) == ["a", "b"]
+        assert check_store(recovered.store).consistent
+        recovered.close()
+
+    def test_crash_faults_are_never_retried(self, tmp_path):
+        db = GraphDatabase.open(
+            str(tmp_path / "db"), failpoints={"wal.append": "once:crash"}
+        )
+        with pytest.raises(SimulatedCrashError):
+            _commit_items(db, ["a"])
+        assert db.store.wal.io_retries == 0
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# checkpoint atomicity
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointAtomicity:
+    @pytest.mark.parametrize(
+        "site",
+        ["store.checkpoint", "store.flush", "checkpoint.marker", "wal.truncate"],
+    )
+    def test_crash_at_any_checkpoint_step_recovers_everything(self, tmp_path, site):
+        live = str(tmp_path / "db")
+        db = GraphDatabase.open(live, failpoints={site: "once:crash"})
+        _commit_items(db, ["a", "b", "c"])
+        with pytest.raises(SimulatedCrashError):
+            db.checkpoint()
+        assert db.health()["status"] == "degraded"
+        crash = _crash_image(live, str(tmp_path / "crash"))
+        db.close()
+        recovered = GraphDatabase.open(crash)
+        assert _committed_names(recovered) == ["a", "b", "c"]
+        assert check_store(recovered.store).consistent
+        recovered.close()
+
+    def test_plain_checkpoint_failure_degrades_but_preserves_the_wal(self, tmp_path):
+        live = str(tmp_path / "db")
+        db = GraphDatabase.open(live, failpoints={"store.flush": "always:error"})
+        _commit_items(db, ["a"])
+        with pytest.raises(InjectedFaultError):
+            db.checkpoint()
+        assert db.health()["status"] == "degraded"
+        assert db.health()["reason"] == "checkpoint-failed"
+        # Degraded mode refuses further checkpoints: truncating the WAL now
+        # would turn the fault into data loss.
+        with pytest.raises(DatabaseReadOnlyError):
+            db.checkpoint()
+        assert db.store.wal.size_bytes() > 0
+        db.close()  # degraded close skips the checkpoint, must not raise
+        recovered = GraphDatabase.open(live)
+        assert _committed_names(recovered) == ["a"]
+        recovered.close()
+
+    def test_marker_generation_advances_and_tolerates_corruption(self, tmp_path):
+        live = str(tmp_path / "db")
+        db = GraphDatabase.open(live)
+        _commit_items(db, ["a"])
+        db.checkpoint()
+        first = read_checkpoint_marker(live)["generation"]
+        _commit_items(db, ["b"])
+        db.checkpoint()
+        assert read_checkpoint_marker(live)["generation"] == first + 1
+        db.close()
+        with open(os.path.join(live, CHECKPOINT_MARKER), "wb") as handle:
+            handle.write(b"\x00garbage")
+        assert read_checkpoint_marker(live) is None
+        recovered = GraphDatabase.open(live)  # corrupt marker: not fatal
+        assert _committed_names(recovered) == ["a", "b"]
+        recovered.close()
+
+    def test_wal_survives_a_crash_after_the_marker_write(self, tmp_path):
+        """Step ordering: stores + marker are durable before the WAL shrinks."""
+        live = str(tmp_path / "db")
+        db = GraphDatabase.open(live, failpoints={"wal.truncate": "once:crash"})
+        _commit_items(db, ["a"])
+        entries_before = db.store.wal.entry_count()
+        assert entries_before > 0
+        with pytest.raises(SimulatedCrashError):
+            db.checkpoint()
+        # Stores flushed, marker written, WAL untouched.
+        assert db.store.wal.entry_count() == entries_before
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# degraded read-only mode
+# ---------------------------------------------------------------------------
+
+
+def _degrade(db):
+    """Drive the database into degraded mode via an unrecoverable append."""
+    db.failpoints.arm("wal.append", "always:error")
+    with pytest.raises(WalError):
+        _commit_items(db, ["victim"])
+    db.failpoints.disarm("wal.append")
+    assert db.health()["status"] == "degraded"
+
+
+class TestDegradedMode:
+    @pytest.mark.parametrize(
+        "isolation",
+        [
+            IsolationLevel.SNAPSHOT,
+            IsolationLevel.SERIALIZABLE,
+            IsolationLevel.READ_COMMITTED,
+        ],
+    )
+    def test_writers_fenced_readers_keep_working(self, tmp_path, isolation):
+        db = GraphDatabase.open(
+            str(tmp_path / "db"), isolation=isolation, failpoints=FailpointRegistry()
+        )
+        _commit_items(db, ["a", "b"])
+        _degrade(db)
+        # Snapshot readers keep working; read-only transactions never abort.
+        for _ in range(3):
+            assert _committed_names(db) == ["a", "b"]
+        # Writers are fenced at begin with a retryable, classified error.
+        with pytest.raises(DatabaseReadOnlyError) as excinfo:
+            db.begin()
+        assert isinstance(excinfo.value, TransactionAbortedError)
+        assert classify_abort(excinfo.value) == "degraded-mode"
+        db.close()
+
+    def test_abort_reasons_account_io_and_degraded(self, tmp_path):
+        db = GraphDatabase.open(str(tmp_path / "db"), failpoints=FailpointRegistry())
+        straggler = db.begin()  # in flight before the engine degrades
+        straggler.create_node(labels=["Item"], properties={"name": "late"})
+        _degrade(db)  # the commit that hit the fault: io-error
+        with pytest.raises(DatabaseReadOnlyError):
+            straggler.commit()  # fenced at commit: degraded-mode
+        reasons = db.statistics()["engine"]["transactions"]["abort_reasons"]
+        assert reasons["io-error"] == 1
+        assert reasons["degraded-mode"] == 1
+        db.close()
+
+    def test_statistics_health_and_metrics_gauge(self, tmp_path):
+        db = GraphDatabase.open(str(tmp_path / "db"), failpoints=FailpointRegistry())
+        assert db.statistics()["health"]["status"] == "ok"
+        gauge = db.metrics_snapshot()["instruments"]["repro_engine_degraded"]
+        assert gauge["samples"][0]["value"] == 0
+        _degrade(db)
+        health = db.statistics()["health"]
+        assert health["degraded"] and health["reason"] == "wal-append-failed"
+        assert health["cause"] is not None
+        gauge = db.metrics_snapshot()["instruments"]["repro_engine_degraded"]
+        assert gauge["samples"][0]["value"] == 1
+        assert re.search(
+            r"^repro_engine_degraded 1(\.0)?$", db.prometheus_metrics(), re.M
+        )
+        db.close()
+
+    def test_recovery_story_is_reopen(self, tmp_path):
+        live = str(tmp_path / "db")
+        db = GraphDatabase.open(live, failpoints=FailpointRegistry())
+        _commit_items(db, ["a"])
+        _degrade(db)
+        db.close()
+        recovered = GraphDatabase.open(live)
+        assert recovered.health()["status"] == "ok"
+        _commit_items(recovered, ["b"])  # writes work again
+        assert _committed_names(recovered) == ["a", "b"]
+        recovered.close()
+
+    def test_group_commit_waiters_get_classified_failures(self, tmp_path):
+        db = GraphDatabase.open(
+            str(tmp_path / "db"),
+            group_commit=True,
+            failpoints={"wal.append": "always:error"},
+        )
+        with pytest.raises(WalError) as excinfo:
+            _commit_items(db, ["a"])
+        assert classify_abort(excinfo.value) == "io-error"
+        assert db.health()["status"] == "degraded"
+        db.close()
+
+
+class TestHealthzEndpoint:
+    def test_healthz_flips_from_200_to_503(self, tmp_path):
+        db = GraphDatabase.open(str(tmp_path / "db"), failpoints=FailpointRegistry())
+        exporter = db.serve_metrics()
+        try:
+            with urllib.request.urlopen(exporter.url + "/healthz") as response:
+                assert response.status == 200
+                assert json.load(response)["status"] == "ok"
+            _degrade(db)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(exporter.url + "/healthz")
+            assert excinfo.value.code == 503
+            body = json.load(excinfo.value)
+            assert body["status"] == "degraded"
+            assert body["reason"] == "wal-append-failed"
+        finally:
+            exporter.stop()
+            db.close()
+
+
+# ---------------------------------------------------------------------------
+# close() always releases file descriptors
+# ---------------------------------------------------------------------------
+
+
+class TestCloseReleasesFds:
+    def test_failed_final_checkpoint_still_closes_and_reports(self, tmp_path):
+        live = str(tmp_path / "db")
+        db = GraphDatabase.open(live, failpoints={"store.flush": "always:error"})
+        _commit_items(db, ["a"])
+        with pytest.raises(InjectedFaultError):
+            db.close()
+        # The fds were released despite the error; a second close is a no-op.
+        assert db.store.wal._fd is None
+        db.close()
+        # And the WAL survived for replay: reopening recovers the data.
+        recovered = GraphDatabase.open(live)
+        assert _committed_names(recovered) == ["a"]
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# recovery idempotence
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveryIdempotence:
+    def test_crash_mid_replay_then_full_replay_recovers(self, tmp_path):
+        live = str(tmp_path / "db")
+        db = GraphDatabase.open(live)
+        _commit_items(db, ["a", "b", "c", "d"])
+        crash = _crash_image(live, str(tmp_path / "crash"))
+        db.close()
+        # First recovery attempt "crashes" after replaying two batches.
+        with pytest.raises(SimulatedCrashError):
+            GraphDatabase.open(crash, failpoints={"recovery.replay": "nth(3):crash"})
+        # The partial replay never checkpointed, so the WAL is intact;
+        # replaying again from scratch is idempotent and yields the full
+        # committed prefix.
+        recovered = GraphDatabase.open(crash)
+        assert _committed_names(recovered) == ["a", "b", "c", "d"]
+        assert check_store(recovered.store).consistent
+        recovered.close()
+
+    def test_replaying_twice_equals_replaying_once(self, tmp_path):
+        live = str(tmp_path / "db")
+        db = GraphDatabase.open(live)
+        _commit_items(db, ["a", "b"])
+        with db.transaction() as tx:  # a delete, so replay covers missing_ok
+            node = tx.find_nodes(label="Item", key="name", value="a")[0]
+            tx.delete_node(node)
+        crash = _crash_image(live, str(tmp_path / "crash"))
+        db.close()
+        once = GraphDatabase.open(_crash_image(crash, str(tmp_path / "once")))
+        names_once = _committed_names(once)
+        once.close()
+        # Replay the same image, crash at the recovery-completing checkpoint
+        # (before anything is flushed), then replay again.
+        twice_path = _crash_image(crash, str(tmp_path / "twice"))
+        with pytest.raises(SimulatedCrashError):
+            GraphDatabase.open(
+                twice_path, failpoints={"store.checkpoint": "once:crash"}
+            )
+        twice = GraphDatabase.open(twice_path)
+        assert _committed_names(twice) == names_once == ["b"]
+        assert check_store(twice.store).consistent
+        twice.close()
+
+
+# ---------------------------------------------------------------------------
+# commit-pipeline sites (SI engine)
+# ---------------------------------------------------------------------------
+
+
+class TestCommitPipelineSites:
+    def test_stripe_acquire_fault_aborts_before_anything_durable(self, tmp_path):
+        live = str(tmp_path / "db")
+        db = GraphDatabase.open(live, failpoints=FailpointRegistry())
+        _commit_items(db, ["a"])
+        db.failpoints.arm("commit.stripe_acquire", "once:error")
+        with pytest.raises(InjectedFaultError) as excinfo:
+            _commit_items(db, ["b"])
+        assert classify_abort(excinfo.value) == "io-error"
+        # Failed before the durable append: engine healthy, nothing persisted.
+        assert db.health()["status"] == "ok"
+        _commit_items(db, ["c"])
+        db.close()
+        recovered = GraphDatabase.open(live)
+        assert _committed_names(recovered) == ["a", "c"]
+        recovered.close()
+
+    def test_publish_fault_is_durable_but_unacked(self, tmp_path):
+        live = str(tmp_path / "db")
+        db = GraphDatabase.open(live, failpoints={"commit.publish": "nth(2):error"})
+        _commit_items(db, ["a"])
+        with pytest.raises(InjectedFaultError):
+            _commit_items(db, ["b"])  # durable append succeeded, ack failed
+        db.close()
+        recovered = GraphDatabase.open(live)
+        # The classic commit ambiguity: the client saw an error, but the
+        # write carries a COMMIT frame in the log — recovery keeps it.
+        assert _committed_names(recovered) == ["a", "b"]
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# configuration surfaces
+# ---------------------------------------------------------------------------
+
+
+class TestConfiguration:
+    def test_env_var_arms_failpoints(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAILPOINTS", "wal.append=times(1):error")
+        db = GraphDatabase.open(str(tmp_path / "db"))
+        assert db.failpoints is not None
+        assert db.failpoints.armed_sites() == ["wal.append"]
+        _commit_items(db, ["a"])
+        assert db.store.wal.io_retries == 1
+        db.close()
+
+    def test_no_failpoints_means_none_everywhere(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_FAILPOINTS", raising=False)
+        db = GraphDatabase.open(str(tmp_path / "db"))
+        assert db.failpoints is None
+        assert db.store.failpoints is None
+        assert db.store.wal._failpoints is None
+        assert "failpoints" not in db.statistics()
+        db.close()
+
+    def test_firings_are_counted_per_site_in_metrics(self, tmp_path):
+        db = GraphDatabase.open(
+            str(tmp_path / "db"), failpoints={"wal.append": "times(2):error"}
+        )
+        _commit_items(db, ["a"])
+        stats = db.statistics()["failpoints"]
+        assert stats["armed"]["wal.append"]["fires"] == 2
+        counter = db.metrics_snapshot()["instruments"]["repro_faults_injected_total"]
+        sample = counter["samples"][0]
+        assert sample["labels"] == {"site": "wal.append"} and sample["value"] == 2
+        db.close()

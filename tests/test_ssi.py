@@ -340,7 +340,14 @@ class TestAbortReasonBreakdown:
         for isolation in IsolationLevel:
             db = GraphDatabase.in_memory(isolation=isolation)
             reasons = db.statistics()["engine"]["transactions"]["abort_reasons"]
-            assert set(reasons) == {"ww-conflict", "rw-antidependency", "safe-snapshot", "deadlock"}
+            assert set(reasons) == {
+                "ww-conflict",
+                "rw-antidependency",
+                "safe-snapshot",
+                "deadlock",
+                "io-error",
+                "degraded-mode",
+            }
             policy = db.statistics()["engine"]["concurrency_control"]["policy"]
             expected = {
                 IsolationLevel.READ_COMMITTED: "2pl",
