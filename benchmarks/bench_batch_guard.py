@@ -1,0 +1,87 @@
+"""Executor regression guard: the batch runtime must not lose to the row one.
+
+A tiny single-threaded run of the E10 read mix against the same small social
+graph under both executors.  The vectorized batch executor is the default;
+if a change makes it slower than the row-at-a-time reference on even this
+mix, that is a regression worth failing CI over.  The guard asserts
+``batch >= 1.0x row`` (the real margin is far larger — see
+``BENCH_e10_query_throughput.json``) after taking the best of three rounds
+per executor to shrug off scheduler noise.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_batch_guard.py
+
+or through pytest (CI runs this)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch_guard.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro import GraphDatabase, IsolationLevel
+from repro.workload import QueryMix, READ_TEMPLATES, build_social_graph, person_names_of
+
+PEOPLE = 120
+AVG_FRIENDS = 4
+SEED = 7
+QUERIES = 150
+ROUNDS = 3
+
+
+def _mix_rate(executor: str) -> float:
+    """Best-of-N queries/second for one executor on the tiny mix."""
+    db = GraphDatabase.in_memory(
+        isolation=IsolationLevel.SNAPSHOT, query_executor=executor
+    )
+    try:
+        build_social_graph(db, people=PEOPLE, avg_friends=AVG_FRIENDS, seed=SEED)
+        mix = QueryMix(person_names_of(db), READ_TEMPLATES)
+        best = 0.0
+        for round_number in range(ROUNDS):
+            rng = random.Random(SEED * 31 + round_number)
+            started = time.perf_counter()
+            for _ in range(QUERIES):
+                template, params = mix.sample(rng)
+                with db.transaction(read_only=True) as tx:
+                    tx.execute(template.text, params).consume()
+            best = max(best, QUERIES / (time.perf_counter() - started))
+        return best
+    finally:
+        db.close()
+
+
+def run_guard() -> dict:
+    row_rate = _mix_rate("row")
+    batch_rate = _mix_rate("batch")
+    return {
+        "row_queries_per_second": round(row_rate, 1),
+        "batch_queries_per_second": round(batch_rate, 1),
+        "speedup": round(batch_rate / row_rate, 2),
+    }
+
+
+def test_batch_executor_not_slower_than_row():
+    result = run_guard()
+    print(f"[guard] {result}")
+    assert result["speedup"] >= 1.0, (
+        f"batch executor regressed below the row executor: {result}"
+    )
+
+
+if __name__ == "__main__":
+    result = run_guard()
+    print(
+        f"[guard] row={result['row_queries_per_second']} q/s  "
+        f"batch={result['batch_queries_per_second']} q/s  "
+        f"speedup={result['speedup']}x"
+    )
+    if result["speedup"] < 1.0:
+        raise SystemExit("batch executor regressed below the row executor")

@@ -13,9 +13,9 @@ Three series, each isolating one layer of the PR-3 read-path overhaul:
   under snapshot isolation (plan cache on and off) and read committed
   (eager read-unlock on and off — the RC satellite's before/after).
 
-When the repository's committed ``BENCH_e10_query_throughput.json`` (the
-PR-2 baseline) is present, the SI cell is also reported as a speedup over
-that baseline; the acceptance bar for this PR is ≥ 1.5×.
+When the repository's committed ``BENCH_e10_query_throughput.json`` is
+present, the SI cell is also reported as a ratio over that file's
+snapshot row — a same-code cross-check of the two harnesses.
 
 Run standalone::
 
@@ -246,7 +246,11 @@ def _bench_query_mix(label: str, *, seconds: float, readers: int, writers: int,
 
 
 def _load_baseline() -> Optional[float]:
-    """SI queries/sec from the committed PR-2 E10 result, if present."""
+    """SI queries/sec from the committed E10 result, if present.
+
+    The E10 artifact is refreshed whenever that benchmark runs, so this is
+    a same-code cross-check of the two harnesses, not a historical baseline.
+    """
     try:
         with open(_BASELINE_FILE, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
@@ -313,7 +317,7 @@ def run_benchmark(*, seconds: float = 4.0, readers: int = READERS,
         "series": [micro] + traversal_rows + mix_rows,
         "baseline": {
             "source": os.path.basename(_BASELINE_FILE),
-            "si_queries_per_second_pr2": baseline_qps,
+            "si_queries_per_second_e10": baseline_qps,
             "si_queries_per_second_now": si_row["queries_per_second"],
             "speedup": speedup,
         },
@@ -324,7 +328,7 @@ def run_benchmark(*, seconds: float = 4.0, readers: int = READERS,
     print(
         f"\n[E11] wrote {output}  "
         f"si_queries_per_second={si_row['queries_per_second']}"
-        + (f"  speedup_vs_pr2={speedup}x" if speedup else "")
+        + (f"  vs_committed_e10={speedup}x" if speedup else "")
     )
     return payload
 

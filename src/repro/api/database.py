@@ -86,6 +86,10 @@ class GraphDatabase:
         group_commit: bool = False,
         snapshot_read_cache: bool = True,
         query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
+        query_executor: str = "batch",
+        query_batch_size: int = 1024,
+        morsel_workers: int = 0,
+        morsel_threshold: int = 2048,
         rc_eager_read_unlock: bool = True,
         safe_snapshots: bool = True,
         defer_readonly: bool = False,
@@ -118,6 +122,16 @@ class GraphDatabase:
         ``rc_eager_read_unlock`` routes read-committed point reads through
         the lock manager's short shared guard instead of a full
         acquire/release pair (``False`` restores the seed behaviour).
+
+        Executor knobs: ``query_executor`` selects the operator runtime —
+        ``"batch"`` (default) runs the vectorized batch-at-a-time executor,
+        ``"row"`` the original row-at-a-time generators; ``query_batch_size``
+        caps the rows per batch.  ``morsel_workers`` > 1 lets leaf scans of
+        read-only snapshot transactions split their id range into that many
+        morsels across a shared thread pool when the planner estimates at
+        least ``morsel_threshold`` rows (0 — the default — keeps every scan
+        on the query thread; under the CPython GIL parallel morsels mostly
+        pay off on free-threaded builds, so this stays opt-in).
 
         Serializable-only knobs: ``safe_snapshots`` gates read-only
         transactions so the Fekete read-only-transaction anomaly cannot
@@ -204,6 +218,10 @@ class GraphDatabase:
                 commit_stripes=commit_stripes,
                 snapshot_read_cache=snapshot_read_cache,
                 query_cache_size=query_cache_size,
+                query_executor=query_executor,
+                query_batch_size=query_batch_size,
+                morsel_workers=morsel_workers,
+                morsel_threshold=morsel_threshold,
                 safe_snapshots=safe_snapshots,
                 defer_readonly=defer_readonly,
                 obs=self.observability,
@@ -216,6 +234,12 @@ class GraphDatabase:
                 query_cache_size=query_cache_size,
                 obs=self.observability,
             )
+            # The RC engine takes no executor knobs of its own; attach the
+            # shared query-executor configuration (morsels never apply — the
+            # eligibility check requires a multi-version snapshot reader).
+            self.engine.query_executor = query_executor
+            self.engine.query_batch_size = max(1, int(query_batch_size))
+            self.engine.morsel_workers = 0
         # Exposition-side bridge: every numeric leaf of ``statistics()``
         # becomes a ``repro_stat_*`` entry in snapshots and the Prometheus
         # text, so the registry reproduces the whole legacy counter surface

@@ -113,7 +113,9 @@ class Node:
         return isinstance(other, Node) and other.id == self.id
 
     def __hash__(self) -> int:
-        return hash(("node", self.id))
+        # Nodes hash even, relationships odd (see Relationship.__hash__):
+        # cheap, stable, and collision-free across the two handle types.
+        return self._data.node_id << 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         labels = ":".join(sorted(self._data.labels))
@@ -220,7 +222,7 @@ class Relationship:
         return isinstance(other, Relationship) and other.id == self.id
 
     def __hash__(self) -> int:
-        return hash(("relationship", self.id))
+        return (self._data.rel_id << 1) | 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -382,12 +384,21 @@ class Transaction:
         else:
             assert key is not None
             ids = self._txn.find_nodes_by_property(key, value)
-        result = []
-        for node_id in sorted(ids):
-            data = self._txn.read_node(node_id)
-            if data is not None:
-                result.append(Node(self, data))
-        return result
+        return self.nodes_by_ids(sorted(ids))
+
+    def nodes_by_ids(self, node_ids: Sequence[int]) -> List[Node]:
+        """Handles for the visible nodes among ``node_ids``, in input order.
+
+        Batch companion of :meth:`get_node`: one engine-level batch read
+        resolves every id (one SIREAD-registration visit under serializable
+        isolation) and invisible ids are silently skipped.  The vectorized
+        executor's scans are built on this.
+        """
+        return [
+            Node(self, data)
+            for data in self._txn.read_nodes_many(node_ids)
+            if data is not None
+        ]
 
     def set_node_property(self, node: NodeLike, key: str, value: PropertyValue) -> Node:
         """Set one property on a node (read-modify-write under the engine's rules)."""
@@ -542,6 +553,47 @@ class Transaction:
         """Visible relationships attached to ``node``."""
         data_list = self._txn.relationships_of(_node_id(node), direction, rel_types)
         return [Relationship(self, data) for data in data_list]
+
+    def relationships_of_many(
+        self,
+        nodes: Sequence[NodeLike],
+        direction: Direction = Direction.BOTH,
+        rel_types: Optional[Sequence[str]] = None,
+    ) -> List[List[Relationship]]:
+        """Visible relationships of each node, resolved as one batch.
+
+        Engines expose :meth:`~repro.engine.EngineTransaction.relationships_of_many`
+        (the SI engine resolves the whole candidate set in one pass and pays
+        one predicate-registration visit for the batch); this wraps the
+        results in handles, preserving per-node order.
+        """
+        node_ids = [_node_id(node) for node in nodes]
+        return [
+            [Relationship(self, data) for data in data_list]
+            for data_list in self._txn.relationships_of_many(
+                node_ids, direction, rel_types
+            )
+        ]
+
+    def count_relationships_of_many(
+        self,
+        nodes: Sequence[NodeLike],
+        direction: Direction = Direction.BOTH,
+        rel_types: Optional[Sequence[str]] = None,
+    ) -> List[int]:
+        """Visible-relationship count of each node, resolved as one batch.
+
+        Same reads (and, under SSI, the same predicate/SIREAD registration)
+        as :meth:`relationships_of_many`, but callers that only need the
+        degree skip the per-relationship handle wrapping.
+        """
+        node_ids = [_node_id(node) for node in nodes]
+        return [
+            len(data_list)
+            for data_list in self._txn.relationships_of_many(
+                node_ids, direction, rel_types
+            )
+        ]
 
     def expand(
         self,

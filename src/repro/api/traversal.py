@@ -201,6 +201,51 @@ class TraversalDescription:
 
 
 # ---------------------------------------------------------------------------
+# Batched single-hop expansion
+# ---------------------------------------------------------------------------
+
+def batch_expand(
+    tx: Transaction,
+    sources: Sequence[Node],
+    direction: Direction = Direction.BOTH,
+    rel_types: Optional[Sequence[str]] = None,
+) -> List[List[Tuple[Relationship, Node]]]:
+    """One-hop expansion of many source nodes as a single batched read.
+
+    The per-source equivalent of ``list(tx.expand(source, ...))``, but the
+    adjacency lists of *all* sources resolve in one engine visit and every
+    distinct neighbour id is materialised exactly once for the whole batch
+    (one batched point-read, one SIREAD-registration visit under
+    serializable isolation).  The vectorized executor's single-hop
+    ``Expand`` operator is built on this; per-source output order matches
+    ``tx.expand`` exactly.
+    """
+    adjacency = tx.relationships_of_many(sources, direction, rel_types)
+    neighbour_ids: List[int] = []
+    seen: Set[int] = set()
+    for source, relationships in zip(sources, adjacency):
+        source_id = source.id
+        for relationship in relationships:
+            other = relationship.other_node_id(source_id)
+            if other not in seen:
+                seen.add(other)
+                neighbour_ids.append(other)
+    neighbours = {
+        node.id: node for node in tx.nodes_by_ids(neighbour_ids)
+    }
+    expanded: List[List[Tuple[Relationship, Node]]] = []
+    for source, relationships in zip(sources, adjacency):
+        source_id = source.id
+        pairs: List[Tuple[Relationship, Node]] = []
+        for relationship in relationships:
+            neighbour = neighbours.get(relationship.other_node_id(source_id))
+            if neighbour is not None:
+                pairs.append((relationship, neighbour))
+        expanded.append(pairs)
+    return expanded
+
+
+# ---------------------------------------------------------------------------
 # Derived algorithms
 # ---------------------------------------------------------------------------
 

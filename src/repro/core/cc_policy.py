@@ -309,10 +309,28 @@ class ConcurrencyControlPolicy(abc.ABC):
     def register_point_read(self, record: SsiTransactionRecord, key: EntityKey) -> None:
         """Record that ``record`` read the committed state of ``key``."""
 
+    def register_point_reads(
+        self, record: SsiTransactionRecord, keys: Sequence[EntityKey]
+    ) -> None:
+        """Batch form of :meth:`register_point_read` (one call per read batch).
+
+        Policies with a tracker mutex override this so a whole batch pays a
+        single acquisition; the default simply loops.
+        """
+        for key in keys:
+            self.register_point_read(record, key)
+
     def register_predicate_read(
         self, record: SsiTransactionRecord, predicate: Predicate
     ) -> None:
         """Record that ``record`` evaluated a predicate over committed state."""
+
+    def register_predicate_reads(
+        self, record: SsiTransactionRecord, predicates: Sequence[Predicate]
+    ) -> None:
+        """Batch form of :meth:`register_predicate_read`."""
+        for predicate in predicates:
+            self.register_predicate_read(record, predicate)
 
     def validate_commit(
         self,
@@ -899,6 +917,35 @@ class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
                 if writer is not record and commit_ts > record.start_ts:
                     self._note_edge(record, writer, acting=record)
 
+    def register_point_reads(
+        self, record: SsiTransactionRecord, keys: Sequence[EntityKey]
+    ) -> None:
+        """Register a whole read batch under one tracker-mutex acquisition.
+
+        The dedup filter runs outside the mutex — only the owning thread
+        mutates ``read_keys``, exactly as in the scalar path — so a batch of
+        repeat reads (snapshot-cache hits included) costs one set-lookup per
+        key and never touches the lock.
+        """
+        fresh = [key for key in keys if key not in record.read_keys]
+        if not fresh:
+            return
+        if record.doomed:
+            self._abort_doomed(record)
+        with self._mutex:
+            read_keys = record.read_keys
+            sireads = self._sireads
+            write_registry = self._write_registry
+            for key in fresh:
+                if key in read_keys:
+                    # Duplicate within the batch itself.
+                    continue
+                read_keys.add(key)
+                sireads.setdefault(key, set()).add(record)
+                for commit_ts, writer in write_registry.get(key, ()):
+                    if writer is not record and commit_ts > record.start_ts:
+                        self._note_edge(record, writer, acting=record)
+
     def register_predicate_read(
         self, record: SsiTransactionRecord, predicate: Predicate
     ) -> None:
@@ -916,6 +963,31 @@ class SerializableSnapshotPolicy(SnapshotWriteRulePolicy):
                     if predicate_membership_changed(predicate, old, new):
                         self._note_edge(record, entry.record, acting=record)
                         break
+
+    def register_predicate_reads(
+        self, record: SsiTransactionRecord, predicates: Sequence[Predicate]
+    ) -> None:
+        """Register many predicates (e.g. a batch of adjacency expansions)
+        under one tracker-mutex acquisition."""
+        fresh = [p for p in predicates if p not in record.predicates]
+        if not fresh:
+            return
+        if record.doomed:
+            self._abort_doomed(record)
+        with self._mutex:
+            registered = record.predicates
+            for predicate in fresh:
+                if predicate in registered:
+                    continue
+                registered.add(predicate)
+                self._predicate_readers.add(record)
+                for entry in self._commit_log:
+                    if entry.record is record or entry.commit_ts <= record.start_ts:
+                        continue
+                    for _key, old, new in entry.changes:
+                        if predicate_membership_changed(predicate, old, new):
+                            self._note_edge(record, entry.record, acting=record)
+                            break
 
     # -- commit-time hooks -----------------------------------------------------
 

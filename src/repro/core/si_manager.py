@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.cc_policy import (
     RETAKE_SNAPSHOT,
@@ -36,6 +36,7 @@ from repro.core.timestamps import TimestampOracle
 from repro.core.vacuum import VacuumCollector
 from repro.core.version import Version, VersionChain
 from repro.core.version_store import VersionStore, stripe_of
+from repro.core.visibility import resolve_payloads
 from repro.core.versioned_index import VersionedIndexSet
 from repro.engine import GraphEngine, IsolationLevel
 from repro.errors import WriteWriteConflictError
@@ -65,6 +66,22 @@ COMMIT_TS_PROPERTY = RESERVED_PROPERTY_PREFIX + "commit_ts"
 
 #: Default number of commit stripes (1 restores the seed's global mutex).
 DEFAULT_COMMIT_STRIPES = 16
+
+#: Default rows per :class:`~repro.query.vectorized.RowBatch` in the
+#: vectorized executor (and the granularity of batched SIREAD registration).
+DEFAULT_QUERY_BATCH_SIZE = 1024
+
+#: Minimum *estimated* leaf-scan cardinality before the planner marks a scan
+#: for morsel-parallel execution (only consulted when ``morsel_workers`` > 1).
+DEFAULT_MORSEL_THRESHOLD = 2048
+
+#: Maximum nodes in the engine-level resolved-adjacency cache (entries for
+#: additional nodes are simply not stored; existing keys keep refreshing).
+ADJACENCY_CACHE_LIMIT = 16_384
+
+#: Maximum entries in the engine-level resolved-payload cache (same
+#: admission policy as the adjacency cache).
+PAYLOAD_CACHE_LIMIT = 65_536
 
 #: Under SSI, reclaim the policy's tracking state (SIREADs, commit log,
 #: write registry) every N version-installing commits, independently of the
@@ -100,6 +117,10 @@ class SnapshotIsolationEngine(GraphEngine):
         commit_stripes: int = DEFAULT_COMMIT_STRIPES,
         snapshot_read_cache: bool = True,
         query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
+        query_batch_size: int = DEFAULT_QUERY_BATCH_SIZE,
+        query_executor: str = "batch",
+        morsel_workers: int = 0,
+        morsel_threshold: int = DEFAULT_MORSEL_THRESHOLD,
         safe_snapshots: bool = True,
         defer_readonly: bool = False,
         obs: Optional[Observability] = None,
@@ -126,6 +147,16 @@ class SnapshotIsolationEngine(GraphEngine):
         payloads and adjacency lists (safe because a snapshot is immutable);
         ``query_cache_size`` sizes the per-database parse and plan caches
         (0 disables them).
+
+        ``query_batch_size`` sets the rows-per-batch of the vectorized
+        executor; ``query_executor`` selects ``"batch"`` (default) or
+        ``"row"`` (the pre-vectorization pull executor).  ``morsel_workers``
+        > 1 lets untracked read-only leaf scans split their id ranges into
+        that many morsels over a shared thread pool (0 — the default —
+        keeps scans single-threaded; the GIL makes parallel resolution pay
+        off only on free-threaded builds); ``morsel_threshold`` is the
+        estimated scan cardinality below which the planner never chooses
+        morsel execution.
 
         ``safe_snapshots`` (serializable only) gates read-only transactions
         PostgreSQL-style so the Fekete read-only-transaction anomaly cannot
@@ -155,6 +186,43 @@ class SnapshotIsolationEngine(GraphEngine):
         )
         self.snapshot_read_cache = snapshot_read_cache
         self.query_caches = QueryCaches(query_cache_size)
+        #: Engine-level cache of fully resolved committed adjacency lists,
+        #: shared across transactions: ``(node_id, variant) -> (built_ts,
+        #: payloads)``, where ``variant`` is ``None`` for the raw committed
+        #: list or a ``(direction, types)`` filter projection of it.
+        #: An entry is valid for a snapshot ``S`` iff ``built_ts <= S`` and
+        #: the node's adjacency has not changed since ``built_ts`` (tracked
+        #: by ``_adjacency_stamp``, bumped inside the commit critical
+        #: section *before* the commit is published — so a snapshot that can
+        #: see a change can never validate an entry predating it; in-flight
+        #: commits fail validation conservatively).  Only transactions that
+        #: do no read tracking consult it (plain snapshot isolation): SSI
+        #: readers must register per-relationship SIREADs and keep paying
+        #: the resolving path.
+        self._adjacency_payloads: Dict[
+            Tuple[int, object], Tuple[int, Sequence[object]]
+        ] = {}
+        self._adjacency_stamp: Dict[int, int] = {}
+        #: Engine-level cache of resolved committed payloads, shared across
+        #: transactions and isolation levels: ``key -> (built_ts, payload)``
+        #: with the same stamp-validation scheme as the adjacency cache
+        #: (``_payload_stamp[key]`` is bumped by every version install for
+        #: the key, inside the commit critical section before publish).
+        #: Unlike the adjacency cache this one is consulted by *all*
+        #: transactions: SIREAD/predicate registration happens in the
+        #: transaction layer before the engine read rule runs, so the
+        #: engine-level resolution is a pure function of ``(key, snapshot)``
+        #: and sharing it never skips read tracking.
+        self._payload_cache: Dict[EntityKey, Tuple[int, Optional[object]]] = {}
+        self._payload_stamp: Dict[EntityKey, int] = {}
+        #: Vectorized-executor knobs (read by :mod:`repro.query` at execute
+        #: time and by the planner's morsel decision; see the class docstring
+        #: additions below).  ``query_executor`` selects "batch" (default) or
+        #: "row" (the pre-vectorization pull executor, kept as a fallback).
+        self.query_batch_size = max(1, int(query_batch_size))
+        self.query_executor = query_executor
+        self.morsel_workers = max(0, int(morsel_workers))
+        self.morsel_threshold = max(1, int(morsel_threshold))
         if cc_policy is None:
             if isolation is IsolationLevel.SERIALIZABLE:
                 cc_policy = SerializableSnapshotPolicy(
@@ -508,13 +576,106 @@ class SnapshotIsolationEngine(GraphEngine):
 
     def read_committed_version(self, key: EntityKey, start_ts: int) -> Optional[object]:
         """The committed state of ``key`` visible at ``start_ts`` (read rule)."""
+        entry = self._payload_cache.get(key)
+        if entry is not None:
+            built_ts, payload = entry
+            if built_ts <= start_ts and \
+                    self._payload_stamp.get(key, 0) <= built_ts:
+                return payload
         chain = self.versions.get_or_load(key, lambda: self._load_persisted(key))
         if chain is None:
+            payload = None
+        else:
+            version = chain.visible_to(start_ts)
+            if version is None or version.is_tombstone:
+                payload = None
+            else:
+                payload = version.payload
+        self._store_committed_payload(key, start_ts, payload)
+        return payload
+
+    def read_committed_versions(
+        self, keys: Sequence[EntityKey], start_ts: int
+    ) -> List[Optional[object]]:
+        """Batch read rule: the committed state of each key, in order.
+
+        One pass collects the resident chains lock-free, one pass resolves
+        them against the snapshot — the per-key function-call and
+        lambda-allocation overhead of :meth:`read_committed_version` is paid
+        only for keys whose chain is not cached.  Thread-safe with no shared
+        mutable state, so the vectorized executor's morsel workers call it
+        concurrently for disjoint id ranges of the same snapshot.
+        """
+        cache = self._payload_cache
+        stamp = self._payload_stamp
+        results: List[Optional[object]] = [None] * len(keys)
+        misses: List[int] = []
+        miss_keys: List[EntityKey] = []
+        for index, key in enumerate(keys):
+            entry = cache.get(key)
+            if entry is not None:
+                built_ts, payload = entry
+                if built_ts <= start_ts and stamp.get(key, 0) <= built_ts:
+                    results[index] = payload
+                    continue
+            misses.append(index)
+            miss_keys.append(key)
+        if not miss_keys:
+            return results
+        chains = self.versions.get_many(
+            miss_keys, lambda key: (lambda: self._load_persisted(key))
+        )
+        store = self._store_committed_payload
+        for index, key, payload in zip(
+            misses, miss_keys, resolve_payloads(chains, start_ts)
+        ):
+            results[index] = payload
+            store(key, start_ts, payload)
+        return results
+
+    def _store_committed_payload(
+        self, key: EntityKey, built_ts: int, payload: Optional[object]
+    ) -> None:
+        """Publish one resolved payload into the shared read cache."""
+        if not self.snapshot_read_cache:
+            return
+        cache = self._payload_cache
+        if key in cache or len(cache) < PAYLOAD_CACHE_LIMIT:
+            cache[key] = (built_ts, payload)
+
+    def cached_committed_adjacency(
+        self, node_id: int, variant: object, start_ts: int
+    ) -> Optional[Sequence[object]]:
+        """The shared resolved adjacency of ``node_id`` if valid at ``start_ts``.
+
+        ``variant`` distinguishes the raw committed list (``None``) from
+        direction/type-filtered projections of it — all variants share the
+        node's validity stamp.  Valid means the entry was built at or before
+        this snapshot and no relationship touching the node has committed
+        since it was built (see ``_adjacency_payloads``).  Callers that
+        track reads (SSI) must not use this — they need the
+        per-relationship SIREADs the resolving path registers.
+        """
+        entry = self._adjacency_payloads.get((node_id, variant))
+        if entry is None:
             return None
-        version = chain.visible_to(start_ts)
-        if version is None or version.is_tombstone:
-            return None
-        return version.payload
+        built_ts, payloads = entry
+        if built_ts <= start_ts and \
+                self._adjacency_stamp.get(node_id, 0) <= built_ts:
+            return payloads
+        return None
+
+    def store_committed_adjacency(
+        self, node_id: int, variant: object, built_ts: int,
+        payloads: Sequence[object],
+    ) -> None:
+        """Publish one resolved adjacency list into the shared cache."""
+        if not self.snapshot_read_cache:
+            return
+        cache = self._adjacency_payloads
+        key = (node_id, variant)
+        if key in cache or len(cache) < ADJACENCY_CACHE_LIMIT:
+            cache[key] = (built_ts, payloads)
 
     def newest_committed_ts(self, key: EntityKey) -> Optional[int]:
         """Commit timestamp of the newest committed version of ``key``."""
@@ -796,7 +957,12 @@ class SnapshotIsolationEngine(GraphEngine):
         mid-install (see that method's docstring).
         """
         old_states: Dict[EntityKey, Optional[object]] = {}
+        payload_stamp = self._payload_stamp
         for key, payload in writes.items():
+            # Invalidate the shared resolved-payload cache for this key.
+            # This runs before the commit is published, so no snapshot that
+            # can see the new version validates a stale entry.
+            payload_stamp[key] = commit_ts
             version = Version(key, payload, commit_ts)
             superseded = self.versions.install_committed(
                 key, version, lambda k=key: self._load_persisted(k)
@@ -828,12 +994,19 @@ class SnapshotIsolationEngine(GraphEngine):
         registered by the forward install are left behind on purpose — the
         reclaim pass tolerates versions whose chain no longer holds them.
         """
+        stamp = self._adjacency_stamp
+        payload_stamp = self._payload_stamp
         for key, payload in writes.items():
             old_state = old_states.get(key)
+            payload_stamp[key] = commit_ts
             if key.kind is EntityKind.NODE:
                 self.indexes.apply_node_change(payload, old_state, commit_ts)
             else:
                 self.indexes.apply_relationship_change(payload, old_state, commit_ts)
+                state = payload if payload is not None else old_state
+                if state is not None:
+                    stamp[state.start_node] = commit_ts
+                    stamp[state.end_node] = commit_ts
             self.versions.remove_chain(key)
 
     def _update_indexes(
@@ -842,12 +1015,21 @@ class SnapshotIsolationEngine(GraphEngine):
         old_states: Dict[EntityKey, Optional[object]],
         commit_ts: int,
     ) -> None:
+        stamp = self._adjacency_stamp
         for key, payload in writes.items():
             old_state = old_states.get(key)
             if key.kind is EntityKind.NODE:
                 self.indexes.apply_node_change(old_state, payload, commit_ts)
             else:
                 self.indexes.apply_relationship_change(old_state, payload, commit_ts)
+                # Any relationship change (create, delete, property update)
+                # invalidates both endpoints' cached adjacency lists.  This
+                # runs before the commit is published, so no snapshot that
+                # can see the change validates a stale entry.
+                state = payload if payload is not None else old_state
+                if state is not None:
+                    stamp[state.start_node] = commit_ts
+                    stamp[state.end_node] = commit_ts
 
     def _build_store_operations(
         self, writes: Dict[EntityKey, Optional[object]], commit_ts: int

@@ -92,6 +92,16 @@ class SnapshotTransaction(EngineTransaction):
         self._adjacency_cache: Optional[Dict[int, Tuple[RelationshipData, ...]]] = (
             {} if enabled else None
         )
+        #: Memo of *filtered* adjacency answers keyed by (node, direction,
+        #: types), valid only while the write set is empty.  The raw
+        #: adjacency cache above saves chain resolution but a hit still pays
+        #: the full direction/type filter loop per call, which benchmarking
+        #: showed costs as much as re-resolving — this memo makes a repeat
+        #: ``relationships_of`` a single dict probe (see
+        #: :meth:`relationships_of`).
+        self._filtered_adjacency_cache: Optional[Dict[tuple, List[RelationshipData]]] = (
+            {} if enabled else None
+        )
         #: Cache effectiveness counters (surfaced by bench_e11 and tests).
         self.snapshot_cache_hits = 0
         self.snapshot_cache_misses = 0
@@ -158,6 +168,93 @@ class SnapshotTransaction(EngineTransaction):
         if len(cache) < SNAPSHOT_CACHE_LIMIT:
             cache[key] = resolved
         return resolved
+
+    # -- batch reads (vectorized executor) -----------------------------------
+
+    def _resolve_many(self, keys: Sequence[EntityKey]) -> List[Optional[object]]:
+        """Batch form of :meth:`_resolve`: own writes overlaid, then one
+        batched committed-state resolution for everything else."""
+        self.reads_performed += len(keys)
+        writes = self._writes
+        if not writes:
+            return self._resolve_committed_many(keys)
+        resolved: List[Optional[object]] = [None] * len(keys)
+        committed_keys: List[EntityKey] = []
+        committed_indexes: List[int] = []
+        for index, key in enumerate(keys):
+            if key in writes:
+                resolved[index] = writes[key]
+            else:
+                committed_indexes.append(index)
+                committed_keys.append(key)
+        if committed_keys:
+            for index, value in zip(
+                committed_indexes, self._resolve_committed_many(committed_keys)
+            ):
+                resolved[index] = value
+        return resolved
+
+    def _resolve_committed_many(self, keys: Sequence[EntityKey]) -> List[Optional[object]]:
+        """Batch committed-state resolution: the whole batch pays one SIREAD
+        registration visit (one tracker-mutex acquisition under SSI) and one
+        engine-level chain-resolution pass, instead of one of each per key.
+
+        Semantically identical to calling :meth:`_resolve_committed` per key
+        — same SIREADs registered, same cache interactions — just amortised.
+        """
+        if self._track_reads:
+            self._cc.register_point_reads(self.cc_record, keys)
+        elif self._pending_reader is not None:
+            handle = self._pending_reader
+            if not (handle.safe or handle.upgrade_required or handle.upgraded):
+                handle.record.read_keys.update(keys)
+            else:
+                for key in keys:
+                    self._observe_pending_read(key, None)
+        cache = self._payload_cache
+        start_ts = self.snapshot.start_ts
+        if cache is None:
+            return self._engine.read_committed_versions(keys, start_ts)
+        resolved: List[Optional[object]] = [None] * len(keys)
+        miss_keys: List[EntityKey] = []
+        miss_indexes: List[int] = []
+        hits = 0
+        for index, key in enumerate(keys):
+            cached = cache.get(key, _MISSING)
+            if cached is not _MISSING:
+                hits += 1
+                resolved[index] = cached
+            else:
+                miss_indexes.append(index)
+                miss_keys.append(key)
+        self.snapshot_cache_hits += hits
+        if miss_keys:
+            loaded = self._engine.read_committed_versions(miss_keys, start_ts)
+            self.snapshot_cache_misses += len(miss_keys)
+            for index, key, value in zip(miss_indexes, miss_keys, loaded):
+                resolved[index] = value
+                if len(cache) < SNAPSHOT_CACHE_LIMIT:
+                    cache[key] = value
+        return resolved
+
+    def read_nodes_many(self, node_ids: Sequence[int]) -> List[Optional[NodeData]]:
+        self.ensure_open()
+        resolved = self._resolve_many([EntityKey.node(i) for i in node_ids])
+        return [
+            value if isinstance(value, NodeData) else None for value in resolved
+        ]
+
+    def read_relationships_many(
+        self, rel_ids: Sequence[int]
+    ) -> List[Optional[RelationshipData]]:
+        self.ensure_open()
+        resolved = self._resolve_many(
+            [EntityKey.relationship(i) for i in rel_ids]
+        )
+        return [
+            value if isinstance(value, RelationshipData) else None
+            for value in resolved
+        ]
 
     def read_node(self, node_id: int) -> Optional[NodeData]:
         self.ensure_open()
@@ -314,6 +411,23 @@ class SnapshotTransaction(EngineTransaction):
                 # payload cache, which counts hits as served reads too.
                 self.reads_performed += len(cached)
                 return cached
+        # Untracked snapshot readers share one engine-level resolved cache:
+        # its validity stamp makes an entry a pure function of (node,
+        # snapshot), and with no SIREADs to register a hit is observably
+        # identical to resolving.  SSI transactions skip it — they need the
+        # per-relationship registrations the resolving path performs.
+        untracked = not self._track_reads and self._pending_reader is None
+        start_ts = self.snapshot.start_ts
+        if untracked:
+            shared = self._engine.cached_committed_adjacency(
+                node_id, None, start_ts
+            )
+            if shared is not None:
+                self.snapshot_cache_hits += 1
+                self.reads_performed += len(shared)
+                if cache is not None and len(cache) < SNAPSHOT_CACHE_LIMIT:
+                    cache[node_id] = shared
+                return shared
         candidates = self._engine.indexes.adjacency.candidate_rel_ids(node_id)
         resolved: List[RelationshipData] = []
         for rel_id in sorted(candidates):
@@ -324,20 +438,101 @@ class SnapshotTransaction(EngineTransaction):
                 resolved.append(payload)
         self.reads_performed += len(candidates)
         result = tuple(resolved)
+        if untracked:
+            self._engine.store_committed_adjacency(
+                node_id, None, start_ts, result
+            )
         if cache is not None:
             self.snapshot_cache_misses += 1
             if len(cache) < SNAPSHOT_CACHE_LIMIT:
                 cache[node_id] = result
         return result
 
-    def relationships_of(
+    def _committed_adjacency_many(
+        self, node_ids: Sequence[int]
+    ) -> List[Tuple[RelationshipData, ...]]:
+        """Batch form of :meth:`_committed_adjacency`.
+
+        One predicate-registration visit covers every expanded node and one
+        batched resolution covers every candidate relationship, so a
+        batch-expand of N sources pays two tracker-mutex acquisitions under
+        SSI instead of N + (total candidate) ones.
+        """
+        predicates = [("adjacency", node_id) for node_id in node_ids]
+        if self._track_reads:
+            self._cc.register_predicate_reads(self.cc_record, predicates)
+        elif self._pending_reader is not None:
+            handle = self._pending_reader
+            if not (handle.safe or handle.upgrade_required or handle.upgraded):
+                handle.record.predicates.update(predicates)
+            else:
+                for predicate in predicates:
+                    self._observe_pending_read(None, predicate)
+        cache = self._adjacency_cache
+        untracked = not self._track_reads and self._pending_reader is None
+        start_ts = self.snapshot.start_ts
+        engine = self._engine
+        results: List[Optional[Tuple[RelationshipData, ...]]] = [None] * len(node_ids)
+        miss_ids: List[int] = []
+        miss_indexes: List[int] = []
+        for index, node_id in enumerate(node_ids):
+            cached = cache.get(node_id) if cache is not None else None
+            if cached is None and untracked:
+                cached = engine.cached_committed_adjacency(
+                    node_id, None, start_ts
+                )
+                if cached is not None and cache is not None \
+                        and len(cache) < SNAPSHOT_CACHE_LIMIT:
+                    cache[node_id] = cached
+            if cached is not None:
+                self.snapshot_cache_hits += 1
+                self.reads_performed += len(cached)
+                results[index] = cached
+            else:
+                miss_indexes.append(index)
+                miss_ids.append(node_id)
+        if miss_ids:
+            candidate_rel_ids = self._engine.indexes.adjacency
+            per_node: List[List[int]] = [
+                sorted(candidate_rel_ids.candidate_rel_ids(node_id))
+                for node_id in miss_ids
+            ]
+            flat_keys = [
+                EntityKey.relationship(rel_id)
+                for rel_ids in per_node
+                for rel_id in rel_ids
+            ]
+            resolved = self._resolve_committed_many(flat_keys) if flat_keys else []
+            cursor = 0
+            for index, node_id, rel_ids in zip(miss_indexes, miss_ids, per_node):
+                count = len(rel_ids)
+                window = resolved[cursor:cursor + count]
+                cursor += count
+                adjacency = tuple(
+                    payload
+                    for payload in window
+                    if isinstance(payload, RelationshipData)
+                )
+                self.reads_performed += count
+                results[index] = adjacency
+                if untracked:
+                    engine.store_committed_adjacency(
+                        node_id, None, start_ts, adjacency
+                    )
+                if cache is not None:
+                    self.snapshot_cache_misses += 1
+                    if len(cache) < SNAPSHOT_CACHE_LIMIT:
+                        cache[node_id] = adjacency
+        return results  # type: ignore[return-value]
+
+    def _overlay_and_filter(
         self,
         node_id: int,
-        direction: Direction = Direction.BOTH,
-        rel_types: Optional[Sequence[str]] = None,
+        committed: Tuple[RelationshipData, ...],
+        direction: Direction,
+        wanted_types: Optional[Set[str]],
     ) -> List[RelationshipData]:
-        self.ensure_open()
-        committed = self._committed_adjacency(node_id)
+        """Write-set overlay + direction/type filter of one adjacency list."""
         # Overlay the private write set: relationship endpoints are immutable,
         # so an own write either replaces a committed entry (property update),
         # adds a new one (create) or removes one (delete).
@@ -358,7 +553,16 @@ class SnapshotTransaction(EngineTransaction):
                     changed = True
             if changed:
                 relationships = [merged[rel_id] for rel_id in sorted(merged)]
-        wanted_types = set(rel_types) if rel_types else None
+        # Adjacency candidates always touch the node, so BOTH never filters
+        # on direction — skip the per-relationship endpoint checks.
+        if direction is Direction.BOTH:
+            if wanted_types is None:
+                return list(relationships)
+            return [
+                relationship
+                for relationship in relationships
+                if relationship.rel_type in wanted_types
+            ]
         result: List[RelationshipData] = []
         for relationship in relationships:
             if not direction.matches(node_id, relationship.start_node, relationship.end_node):
@@ -367,6 +571,105 @@ class SnapshotTransaction(EngineTransaction):
                 continue
             result.append(relationship)
         return result
+
+    def relationships_of(
+        self,
+        node_id: int,
+        direction: Direction = Direction.BOTH,
+        rel_types: Optional[Sequence[str]] = None,
+    ) -> List[RelationshipData]:
+        self.ensure_open()
+        # Fast path for repeat expansions: while the transaction has written
+        # nothing, the *filtered* answer is as immutable as the snapshot, so
+        # a traversal revisiting a node skips the overlay and filter loops
+        # entirely.  (Predicate/SIREAD registration already happened when the
+        # entry was populated — both are per-transaction sets, so repeats
+        # register nothing new anyway.)
+        memo = self._filtered_adjacency_cache
+        memo_key = None
+        if memo is not None and not self._writes:
+            memo_key = (node_id, direction, tuple(rel_types) if rel_types else None)
+            cached = memo.get(memo_key)
+            if cached is None and not self._track_reads \
+                    and self._pending_reader is None:
+                cached = self._engine.cached_committed_adjacency(
+                    node_id, (direction, memo_key[2]), self.snapshot.start_ts
+                )
+                if cached is not None and len(memo) < SNAPSHOT_CACHE_LIMIT:
+                    memo[memo_key] = cached
+            if cached is not None:
+                self.snapshot_cache_hits += 1
+                self.reads_performed += len(cached)
+                return list(cached)
+        committed = self._committed_adjacency(node_id)
+        wanted_types = set(rel_types) if rel_types else None
+        result = self._overlay_and_filter(node_id, committed, direction, wanted_types)
+        if memo_key is not None:
+            if not self._track_reads and self._pending_reader is None:
+                self._engine.store_committed_adjacency(
+                    node_id, (direction, memo_key[2]),
+                    self.snapshot.start_ts, tuple(result),
+                )
+            if len(memo) < SNAPSHOT_CACHE_LIMIT:
+                memo[memo_key] = result
+                return list(result)
+        return result
+
+    def relationships_of_many(
+        self,
+        node_ids: Sequence[int],
+        direction: Direction = Direction.BOTH,
+        rel_types: Optional[Sequence[str]] = None,
+    ) -> List[List[RelationshipData]]:
+        """Visible relationships of each node, resolved as one batch."""
+        self.ensure_open()
+        wanted_types = set(rel_types) if rel_types else None
+        memo = self._filtered_adjacency_cache
+        if memo is None or self._writes:
+            committed_lists = self._committed_adjacency_many(node_ids)
+            return [
+                self._overlay_and_filter(node_id, committed, direction, wanted_types)
+                for node_id, committed in zip(node_ids, committed_lists)
+            ]
+        types_key = tuple(rel_types) if rel_types else None
+        variant = (direction, types_key)
+        untracked = not self._track_reads and self._pending_reader is None
+        start_ts = self.snapshot.start_ts
+        engine = self._engine
+        results: List[Optional[List[RelationshipData]]] = [None] * len(node_ids)
+        miss_ids: List[int] = []
+        miss_indexes: List[int] = []
+        for index, node_id in enumerate(node_ids):
+            cached = memo.get((node_id, direction, types_key))
+            if cached is None and untracked:
+                cached = engine.cached_committed_adjacency(
+                    node_id, variant, start_ts
+                )
+                if cached is not None and len(memo) < SNAPSHOT_CACHE_LIMIT:
+                    memo[(node_id, direction, types_key)] = cached
+            if cached is not None:
+                self.snapshot_cache_hits += 1
+                self.reads_performed += len(cached)
+                results[index] = list(cached)
+            else:
+                miss_indexes.append(index)
+                miss_ids.append(node_id)
+        if miss_ids:
+            committed_lists = self._committed_adjacency_many(miss_ids)
+            for index, node_id, committed in zip(miss_indexes, miss_ids, committed_lists):
+                filtered = self._overlay_and_filter(
+                    node_id, committed, direction, wanted_types
+                )
+                if untracked:
+                    engine.store_committed_adjacency(
+                        node_id, variant, start_ts, tuple(filtered)
+                    )
+                if len(memo) < SNAPSHOT_CACHE_LIMIT:
+                    memo[(node_id, direction, types_key)] = filtered
+                    results[index] = list(filtered)
+                else:
+                    results[index] = filtered
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # writes (write rule, first-updater-wins)
@@ -465,4 +768,5 @@ class SnapshotTransaction(EngineTransaction):
             "misses": self.snapshot_cache_misses,
             "payload_entries": len(self._payload_cache or ()),
             "adjacency_entries": len(self._adjacency_cache or ()),
+            "filtered_adjacency_entries": len(self._filtered_adjacency_cache or ()),
         }

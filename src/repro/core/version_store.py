@@ -21,7 +21,7 @@ thread-safe).  ``stripes=1`` restores the seed's single global lock.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.version import Version, VersionChain, VersionPayload
 from repro.graph.entity import EntityKey, EntityKind
@@ -101,6 +101,33 @@ class VersionStore:
             chain.add_committed(Version(key, payload, commit_ts))
             self._cache.put(key, chain)
             return chain
+
+    def get_many(
+        self,
+        keys: Sequence[EntityKey],
+        loader_for: Callable[[EntityKey], ChainLoader],
+    ) -> List[Optional[VersionChain]]:
+        """The chains for ``keys``, in order (``None`` for absent entities).
+
+        The batch companion of :meth:`get_or_load`: every cached chain is
+        collected through the lock-free ``peek`` fast path first, and only
+        the misses fall back to the locking get-or-load — so a batch that is
+        fully resident never touches a stripe lock at all.  ``loader_for``
+        maps a missed key to its persistent-store loader.
+        """
+        peek = self._cache.peek
+        chains: List[Optional[VersionChain]] = []
+        append = chains.append
+        misses: List[int] = []
+        for index, key in enumerate(keys):
+            chain = peek(key)
+            if chain is None:
+                misses.append(index)
+            append(chain)
+        for index in misses:
+            key = keys[index]
+            chains[index] = self.get_or_load(key, loader_for(key))
+        return chains
 
     def ensure_chain(self, key: EntityKey) -> VersionChain:
         """The chain for ``key``, creating an empty one if none is cached."""

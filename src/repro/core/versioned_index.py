@@ -42,6 +42,15 @@ class VersionedEntrySet:
         #: incrementally so current-cardinality reads are O(1) (no set copy) —
         #: the query planner's cost estimates hit this on every MATCH.
         self._open_count = 0
+        #: Memoised interval scan: ``(built_ts, members)`` — the result of
+        #: ``visible(built_ts)``.  Valid for a snapshot ``S`` iff
+        #: ``built_ts <= S`` and no interval changed since ``built_ts``
+        #: (``_change_ts``, bumped by every add/remove before the owning
+        #: commit publishes — so a snapshot that can see a change never
+        #: validates an entry predating it).  Turns the per-lookup
+        #: O(members × intervals) scan into a set copy on the hot path.
+        self._visible_cache: Optional[Tuple[int, frozenset]] = None
+        self._change_ts = 0
 
     def add(self, entity_id: int, commit_ts: int) -> None:
         """Record that the entity acquired this index key at ``commit_ts``.
@@ -53,6 +62,8 @@ class VersionedEntrySet:
         intervals = self._intervals.setdefault(entity_id, [])
         if intervals and intervals[-1][1] is _OPEN:
             return
+        if commit_ts > self._change_ts:
+            self._change_ts = commit_ts
         intervals.append([commit_ts, _OPEN])
         self._open_count += 1
 
@@ -63,18 +74,27 @@ class VersionedEntrySet:
             return
         for interval in reversed(intervals):
             if interval[1] is _OPEN:
+                if commit_ts > self._change_ts:
+                    self._change_ts = commit_ts
                 interval[1] = commit_ts
                 self._open_count -= 1
                 return
 
     def visible(self, start_ts: int) -> Set[int]:
         """Entities whose membership interval contains ``start_ts``."""
+        cached = self._visible_cache
+        if cached is not None:
+            built_ts, cached_members = cached
+            if built_ts <= start_ts and self._change_ts <= built_ts:
+                return set(cached_members)
         members: Set[int] = set()
         for entity_id, intervals in self._intervals.items():
             for created_ts, removed_ts in intervals:
                 if created_ts <= start_ts and (removed_ts is _OPEN or removed_ts > start_ts):
                     members.add(entity_id)
                     break
+        if self._change_ts <= start_ts:
+            self._visible_cache = (start_ts, frozenset(members))
         return members
 
     def current(self) -> Set[int]:
@@ -108,6 +128,7 @@ class VersionedEntrySet:
 
     def drop_entity(self, entity_id: int) -> None:
         """Remove every interval of one entity (full purge of a deleted entity)."""
+        self._visible_cache = None
         intervals = self._intervals.pop(entity_id, None)
         if intervals and intervals[-1][1] is _OPEN:
             self._open_count -= 1

@@ -131,6 +131,34 @@ class EngineTransaction(abc.ABC):
     ) -> List[RelationshipData]:
         """Visible relationships attached to ``node_id``."""
 
+    # -- batch reads (vectorized executor) -----------------------------------
+    #
+    # Engines that can resolve a whole batch more cheaply than N point reads
+    # override these; the defaults simply loop, so every engine supports the
+    # batch API with unchanged semantics (locking behaviour included).
+
+    def read_nodes_many(self, node_ids: Sequence[int]) -> List[Optional[NodeData]]:
+        """The visible state of each node id, in order (``None`` if absent)."""
+        return [self.read_node(node_id) for node_id in node_ids]
+
+    def read_relationships_many(
+        self, rel_ids: Sequence[int]
+    ) -> List[Optional[RelationshipData]]:
+        """The visible state of each relationship id, in order."""
+        return [self.read_relationship(rel_id) for rel_id in rel_ids]
+
+    def relationships_of_many(
+        self,
+        node_ids: Sequence[int],
+        direction: Direction = Direction.BOTH,
+        rel_types: Optional[Sequence[str]] = None,
+    ) -> List[List[RelationshipData]]:
+        """Visible relationships of each node id, in order (batched expand)."""
+        return [
+            self.relationships_of(node_id, direction, rel_types)
+            for node_id in node_ids
+        ]
+
     # -- writes ----------------------------------------------------------------
 
     @abc.abstractmethod

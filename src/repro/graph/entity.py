@@ -48,12 +48,47 @@ class Direction(enum.Enum):
         return Direction.BOTH
 
 
-@dataclass(frozen=True, order=True)
 class EntityKey:
-    """Globally unique identity of a versioned entity: kind plus id."""
+    """Globally unique identity of a versioned entity: kind plus id.
 
-    kind: EntityKind
-    entity_id: int
+    Hand-written rather than a frozen dataclass: these keys index every hot
+    read-path dict (the version-store chain cache, snapshot payload caches,
+    write sets, SIREAD sets), and the generated dataclass ``__hash__``
+    re-hashes an ``(enum, int)`` tuple on every probe.  Here the hash is
+    precomputed at construction as a plain int — node ids map to even
+    hashes, relationship ids to odd — so each probe costs one slot load.
+    Treat instances as immutable values, like the dataclasses around them.
+    """
+
+    __slots__ = ("kind", "entity_id", "_hash")
+
+    def __init__(self, kind: EntityKind, entity_id: int) -> None:
+        self.kind = kind
+        self.entity_id = entity_id
+        self._hash = (entity_id << 1) | (kind is EntityKind.RELATIONSHIP)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EntityKey):
+            return self.entity_id == other.entity_id and self.kind is other.kind
+        return NotImplemented
+
+    def __lt__(self, other: "EntityKey") -> bool:
+        return (self.kind, self.entity_id) < (other.kind, other.entity_id)
+
+    def __le__(self, other: "EntityKey") -> bool:
+        return (self.kind, self.entity_id) <= (other.kind, other.entity_id)
+
+    def __gt__(self, other: "EntityKey") -> bool:
+        return (self.kind, self.entity_id) > (other.kind, other.entity_id)
+
+    def __ge__(self, other: "EntityKey") -> bool:
+        return (self.kind, self.entity_id) >= (other.kind, other.entity_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EntityKey(kind={self.kind!r}, entity_id={self.entity_id!r})"
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"{self.kind.value}:{self.entity_id}"

@@ -153,6 +153,15 @@ class Observability:
             "Queries executed, by outcome",
             labelnames=("kind",),
         )
+        self.query_batches = reg.counter(
+            "repro_query_batches_total",
+            "Row batches produced by the vectorized executor",
+        )
+        self.query_batch_rows = reg.histogram(
+            "repro_query_batch_rows",
+            "Rows per batch produced by the vectorized executor",
+            buckets=(1, 4, 16, 64, 256, 1024, 4096),
+        )
         self.plan_cache_hits = reg.counter(
             "repro_plan_cache_hits_total", "Plan cache hits"
         )

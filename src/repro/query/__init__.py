@@ -8,9 +8,13 @@ Four stages, one module each:
   the cheapest start point per ``MATCH`` pattern (property-index seek, label
   scan or all-nodes scan) using the engines' O(1) count fast paths, and
   orders expansions by estimated fan-out,
-* :mod:`repro.query.executor` — a pull-based iterator executor whose reads
-  all flow through one transaction (one snapshot under snapshot isolation),
-  with expand operators built on :mod:`repro.api.traversal`,
+* :mod:`repro.query.executor` + :mod:`repro.query.vectorized` — two
+  operator runtimes over the same plans: the reference pull-based row
+  executor and the default vectorized batch executor (columnar
+  :class:`~repro.query.vectorized.RowBatch` pipelines with batched reads
+  and optional morsel-parallel scans).  All reads flow through one
+  transaction (one snapshot under snapshot isolation), with expand
+  operators built on :mod:`repro.api.traversal`,
 * :mod:`repro.query.result` — lazily-pulled records, mutation statistics and
   the ``EXPLAIN`` plan with estimated vs. actual rows.
 
@@ -120,7 +124,13 @@ def execute(tx, engine, text: str,
         plan = plan_query(query, PlannerStatistics(engine), params)
         if plan_key is not None:
             caches.plan.put(plan_key, plan)
-    context = ExecutionContext(tx, params, QueryStatistics(), timed=query.profile)
+    context = ExecutionContext(
+        tx, params, QueryStatistics(), timed=query.profile,
+        executor=getattr(engine, "query_executor", "batch"),
+        batch_size=getattr(engine, "query_batch_size", 1024),
+        morsel_workers=getattr(engine, "morsel_workers", 0),
+        obs=obs,
+    )
     if query.explain:
         return QueryResult(plan.columns, iter(()), context.stats, plan=plan)
     rows = run_plan(plan, context)

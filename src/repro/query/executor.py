@@ -62,18 +62,42 @@ class ExecutionContext:
     every pull through an operator adds its inclusive duration to the plan
     node's ``actual_time_seconds``.  Off by default — plain execution pays
     no clock calls per row.
+
+    ``executor`` selects the operator runtime: ``"batch"`` (the default)
+    runs the vectorized batch-at-a-time operators in
+    :mod:`repro.query.vectorized`; ``"row"`` runs the original pull-based
+    row-at-a-time generators in this module.  Both produce identical
+    results — the row executor is kept as the semantic reference (the
+    equivalence suite and the CI microbench guard run both).
+    ``batch_size`` caps the rows per batch, and ``morsel_workers`` enables
+    morsel-parallel leaf scans for eligible snapshot reads (0 disables).
     """
 
     def __init__(self, tx: Transaction, parameters: Mapping[str, object],
-                 stats: QueryStatistics, *, timed: bool = False) -> None:
+                 stats: QueryStatistics, *, timed: bool = False,
+                 executor: str = "batch", batch_size: int = 1024,
+                 morsel_workers: int = 0, obs=None) -> None:
         self.tx = tx
         self.parameters = parameters
         self.stats = stats
         self.timed = timed
+        self.executor = executor
+        self.batch_size = max(1, batch_size)
+        self.morsel_workers = morsel_workers
+        self.obs = obs
 
 
 def run_plan(plan: Plan, ctx: ExecutionContext) -> Iterator[List[object]]:
     """Run a plan, yielding result rows as value lists (lazy)."""
+    if ctx.executor == "batch":
+        from repro.query.vectorized import run_plan_batches
+
+        return run_plan_batches(plan, ctx)
+    return run_plan_rows(plan, ctx)
+
+
+def run_plan_rows(plan: Plan, ctx: ExecutionContext) -> Iterator[List[object]]:
+    """Run a plan on the row-at-a-time executor, yielding result value lists."""
     root = plan.root
     columns = root.columns
     for row in _run(root, ctx):
@@ -90,6 +114,7 @@ def _run(op, ctx: ExecutionContext) -> Iterator[Row]:
     """Instantiate one operator's generator, counting rows into the plan node."""
     runner = _RUNNERS[type(op)]
     op.actual_rows = 0
+    op.actual_batches = None
     if ctx.timed:
         op.actual_time_seconds = 0.0
         return _timed_runner(op, runner, ctx)
@@ -166,48 +191,54 @@ def _run_property_seek(op: PropertyIndexSeek, ctx: ExecutionContext) -> Iterator
 
 
 def _run_expand(op: Expand, ctx: ExecutionContext) -> Iterator[Row]:
+    for row in _run(op.child, ctx):
+        yield from _expand_row(op, row, ctx)
+
+
+def _expand_row(op: Expand, row: Row, ctx: ExecutionContext) -> Iterator[Row]:
+    """Expand one input row through the hop's traversal (shared with the
+    batch executor, which falls back to this for var-length patterns)."""
     rel = op.rel
     to_matcher = _pattern_matcher(op, op.to_pattern, attr="_to_matcher")
     rel_prop_fns = _rel_property_fns(op)
-    for row in _run(op.child, ctx):
-        source = row.get(op.from_var)
-        if source is None:
-            continue
-        if not isinstance(source, Node):
-            raise QueryExecutionError(
-                f"cannot expand from {op.from_var!r}: not a node"
-            )
-        excluded = _excluded_rel_ids(op.exclude_rel_vars, row)
-        target: Optional[Node] = None
-        if op.into:
-            bound_target = row.get(op.to_var)
-            if not isinstance(bound_target, Node):
-                continue
-            target = bound_target
-        description = TraversalDescription(
-            order=Order.DEPTH_FIRST,
-            direction=op.direction,
-            rel_types=rel.types or None,
-            max_depth=rel.max_hops,
-            min_depth=rel.min_hops,
-            uniqueness=Uniqueness.NONE,
-            evaluator=_make_evaluator(rel, rel_prop_fns, row, ctx, excluded),
+    source = row.get(op.from_var)
+    if source is None:
+        return
+    if not isinstance(source, Node):
+        raise QueryExecutionError(
+            f"cannot expand from {op.from_var!r}: not a node"
         )
-        for path in description.traverse(ctx.tx, source):
-            end = path.end_node
-            if target is not None and end.id != target.id:
-                continue
-            if to_matcher is not None and not to_matcher(end, row, ctx):
-                continue
-            rel_value: object
-            if rel.var_length:
-                rel_value = list(path.relationships)
-            else:
-                rel_value = path.relationships[-1]
-            new_row = _bind(row, op.rel_var, rel_value)
-            if not op.into:
-                new_row[op.to_var] = end
-            yield new_row
+    excluded = _excluded_rel_ids(op.exclude_rel_vars, row)
+    target: Optional[Node] = None
+    if op.into:
+        bound_target = row.get(op.to_var)
+        if not isinstance(bound_target, Node):
+            return
+        target = bound_target
+    description = TraversalDescription(
+        order=Order.DEPTH_FIRST,
+        direction=op.direction,
+        rel_types=rel.types or None,
+        max_depth=rel.max_hops,
+        min_depth=rel.min_hops,
+        uniqueness=Uniqueness.NONE,
+        evaluator=_make_evaluator(rel, rel_prop_fns, row, ctx, excluded),
+    )
+    for path in description.traverse(ctx.tx, source):
+        end = path.end_node
+        if target is not None and end.id != target.id:
+            continue
+        if to_matcher is not None and not to_matcher(end, row, ctx):
+            continue
+        rel_value: object
+        if rel.var_length:
+            rel_value = list(path.relationships)
+        else:
+            rel_value = path.relationships[-1]
+        new_row = _bind(row, op.rel_var, rel_value)
+        if not op.into:
+            new_row[op.to_var] = end
+        yield new_row
 
 
 def _rel_property_fns(op: Expand) -> Tuple[Tuple[str, CompiledExpression], ...]:
@@ -353,11 +384,22 @@ class _Accumulator:
         self.distinct_seen = set()
 
     def update(self, row: Row, ctx: ExecutionContext) -> None:
+        if self.call.star:
+            self.count += 1
+            return
+        self.update_value(self.arg_fn(row, ctx))
+
+    def update_value(self, value: object) -> None:
+        """Fold one already-evaluated argument value into the aggregate.
+
+        The batch executor evaluates the argument expression over a whole
+        batch at once and feeds the values here; ``count(*)`` ignores the
+        value entirely.
+        """
         call = self.call
         if call.star:
             self.count += 1
             return
-        value = self.arg_fn(row, ctx)
         if value is None:
             return
         if call.distinct:
@@ -380,6 +422,27 @@ class _Accumulator:
                 self.maximum = value
         elif call.name == "collect":
             self.collected.append(value)
+
+    def update_slice(self, column: Optional[List[object]],
+                     indexes: List[int]) -> None:
+        """Fold ``column[i]`` for every ``i`` in ``indexes`` (batch executor).
+
+        ``column`` is ``None`` for ``count(*)`` — the whole slice counts.
+        Plain ``count(x)`` short-circuits to a non-``None`` tally; everything
+        else falls back to the per-value fold.
+        """
+        call = self.call
+        if column is None or call.star:
+            self.count += len(indexes)
+            return
+        if call.name == "count" and not call.distinct:
+            self.count += sum(
+                1 for index in indexes if column[index] is not None
+            )
+            return
+        update_value = self.update_value
+        for index in indexes:
+            update_value(column[index])
 
     def result(self) -> object:
         name = self.call.name
@@ -438,25 +501,29 @@ def _run_aggregate(op: Aggregate, ctx: ExecutionContext) -> Iterator[Row]:
 
 def _run_create(op: CreateOp, ctx: ExecutionContext) -> Iterator[Row]:
     for row in _run(op.child, ctx):
-        row = dict(row)
-        for pattern in op.clause.patterns:
-            handles: List[Node] = []
-            for node_pattern in pattern.nodes:
-                handles.append(_create_or_reuse_node(node_pattern, row, ctx))
-            for index, rel_pattern in enumerate(pattern.rels):
-                if rel_pattern.direction == "OUT":
-                    start, end = handles[index], handles[index + 1]
-                else:
-                    start, end = handles[index + 1], handles[index]
-                properties = _evaluate_property_map(rel_pattern.properties, row, ctx)
-                relationship = ctx.tx.create_relationship(
-                    start, end, rel_pattern.types[0], properties
-                )
-                ctx.stats.relationships_created += 1
-                ctx.stats.properties_set += len(properties)
-                if rel_pattern.variable is not None:
-                    row[rel_pattern.variable] = relationship
-        yield row
+        yield _apply_create(op, dict(row), ctx)
+
+
+def _apply_create(op: CreateOp, row: Row, ctx: ExecutionContext) -> Row:
+    """Create the clause's patterns for one (already-copied) row."""
+    for pattern in op.clause.patterns:
+        handles: List[Node] = []
+        for node_pattern in pattern.nodes:
+            handles.append(_create_or_reuse_node(node_pattern, row, ctx))
+        for index, rel_pattern in enumerate(pattern.rels):
+            if rel_pattern.direction == "OUT":
+                start, end = handles[index], handles[index + 1]
+            else:
+                start, end = handles[index + 1], handles[index]
+            properties = _evaluate_property_map(rel_pattern.properties, row, ctx)
+            relationship = ctx.tx.create_relationship(
+                start, end, rel_pattern.types[0], properties
+            )
+            ctx.stats.relationships_created += 1
+            ctx.stats.properties_set += len(properties)
+            if rel_pattern.variable is not None:
+                row[rel_pattern.variable] = relationship
+    return row
 
 
 def _create_or_reuse_node(node_pattern: ast.NodePattern, row: Row,
@@ -489,33 +556,37 @@ def _evaluate_property_map(entries, row: Row, ctx: ExecutionContext) -> Dict[str
 
 def _run_set(op: SetOp, ctx: ExecutionContext) -> Iterator[Row]:
     for row in _run(op.child, ctx):
-        row = dict(row)
-        for item in op.clause.items:
-            target = row.get(item.variable)
-            if target is None:
-                continue
-            if isinstance(item, ast.SetProperty):
-                if not isinstance(target, (Node, Relationship)):
-                    raise QueryExecutionError(
-                        f"SET target {item.variable!r} is not a node or relationship"
-                    )
-                value = evaluate(item.value, row, ctx)
-                if value is None:
-                    refreshed = target.remove_property(item.key)
-                else:
-                    refreshed = target.set_property(item.key, value)
-                ctx.stats.properties_set += 1
+        yield _apply_set(op, dict(row), ctx)
+
+
+def _apply_set(op: SetOp, row: Row, ctx: ExecutionContext) -> Row:
+    """Apply the SET items to one (already-copied) row."""
+    for item in op.clause.items:
+        target = row.get(item.variable)
+        if target is None:
+            continue
+        if isinstance(item, ast.SetProperty):
+            if not isinstance(target, (Node, Relationship)):
+                raise QueryExecutionError(
+                    f"SET target {item.variable!r} is not a node or relationship"
+                )
+            value = evaluate(item.value, row, ctx)
+            if value is None:
+                refreshed = target.remove_property(item.key)
             else:
-                if not isinstance(target, Node):
-                    raise QueryExecutionError(
-                        f"SET label target {item.variable!r} is not a node"
-                    )
-                refreshed = target
-                for label in item.labels:
-                    refreshed = refreshed.add_label(label)
-                    ctx.stats.labels_added += 1
-            _rebind_entity(row, refreshed)
-        yield row
+                refreshed = target.set_property(item.key, value)
+            ctx.stats.properties_set += 1
+        else:
+            if not isinstance(target, Node):
+                raise QueryExecutionError(
+                    f"SET label target {item.variable!r} is not a node"
+                )
+            refreshed = target
+            for label in item.labels:
+                refreshed = refreshed.add_label(label)
+                ctx.stats.labels_added += 1
+        _rebind_entity(row, refreshed)
+    return row
 
 
 def _rebind_entity(row: Row, refreshed) -> None:
@@ -539,30 +610,35 @@ def _rebind_entity(row: Row, refreshed) -> None:
 
 
 def _run_delete(op: DeleteOp, ctx: ExecutionContext) -> Iterator[Row]:
-    detach = op.clause.detach
     for row in _run(op.child, ctx):
-        for variable in op.clause.variables:
-            value = row.get(variable)
-            for entity in _flatten_entities(value):
-                if isinstance(entity, Node):
-                    try:
-                        attached = len(ctx.tx.relationships_of(entity)) if detach else 0
-                        ctx.tx.delete_node(entity, detach=detach)
-                    except NodeNotFoundError:
-                        continue
-                    ctx.stats.nodes_deleted += 1
-                    ctx.stats.relationships_deleted += attached
-                elif isinstance(entity, Relationship):
-                    try:
-                        ctx.tx.delete_relationship(entity)
-                    except RelationshipNotFoundError:
-                        continue
-                    ctx.stats.relationships_deleted += 1
-                else:
-                    raise QueryExecutionError(
-                        f"DELETE target {variable!r} is not a node or relationship"
-                    )
-        yield row
+        yield _apply_delete(op, row, ctx)
+
+
+def _apply_delete(op: DeleteOp, row: Row, ctx: ExecutionContext) -> Row:
+    """Delete the clause's entities for one row (the row is not modified)."""
+    detach = op.clause.detach
+    for variable in op.clause.variables:
+        value = row.get(variable)
+        for entity in _flatten_entities(value):
+            if isinstance(entity, Node):
+                try:
+                    attached = len(ctx.tx.relationships_of(entity)) if detach else 0
+                    ctx.tx.delete_node(entity, detach=detach)
+                except NodeNotFoundError:
+                    continue
+                ctx.stats.nodes_deleted += 1
+                ctx.stats.relationships_deleted += attached
+            elif isinstance(entity, Relationship):
+                try:
+                    ctx.tx.delete_relationship(entity)
+                except RelationshipNotFoundError:
+                    continue
+                ctx.stats.relationships_deleted += 1
+            else:
+                raise QueryExecutionError(
+                    f"DELETE target {variable!r} is not a node or relationship"
+                )
+    return row
 
 
 def _flatten_entities(value: object):

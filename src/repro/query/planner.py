@@ -72,6 +72,14 @@ class PlannerStatistics:
         """Relationships of ``rel_type`` (O(1))."""
         return self._engine.count_relationships_of_type(rel_type)
 
+    def morsel_workers(self) -> int:
+        """Worker count for morsel-parallel scans (0 disables)."""
+        return getattr(self._engine, "morsel_workers", 0)
+
+    def morsel_threshold(self) -> int:
+        """Estimated-rows floor below which a scan stays single-threaded."""
+        return getattr(self._engine, "morsel_threshold", 2048)
+
 
 # ---------------------------------------------------------------------------
 # Plan operators
@@ -92,6 +100,9 @@ class PlanOperator:
         #: included, since they are pulled from inside it); filled in only
         #: under ``PROFILE``, ``None`` otherwise.
         self.actual_time_seconds: Optional[float] = None
+        #: Number of row batches this operator produced; filled in by the
+        #: vectorized executor, ``None`` under the row executor.
+        self.actual_batches: Optional[int] = None
 
     def detail(self) -> str:
         """Human-readable operator arguments for EXPLAIN output."""
@@ -117,9 +128,13 @@ class PlanOperator:
             if self.actual_time_seconds is not None
             else ""
         )
+        batches = ""
+        if self.actual_batches:
+            per_batch = (self.actual_rows or 0) / self.actual_batches
+            batches = f" batches={self.actual_batches} rows/batch={per_batch:.1f}"
         line = (
             f"{' ' * indent}+{self.name}{suffix} "
-            f"[est={estimate} actual={actual}{timing}]"
+            f"[est={estimate} actual={actual}{batches}{timing}]"
         )
         lines = [line]
         for child in self.children:
@@ -152,9 +167,12 @@ class AllNodesScan(PlanOperator):
         super().__init__(child, estimated_rows)
         self.variable = variable
         self.pattern = pattern
+        #: Set by the planner when the scan should be split into morsels
+        #: across the worker pool (batch executor only).
+        self.parallel = False
 
     def detail(self) -> str:
-        return self.variable
+        return self.variable + (" morsel" if self.parallel else "")
 
 
 class LabelScan(PlanOperator):
@@ -168,9 +186,12 @@ class LabelScan(PlanOperator):
         self.variable = variable
         self.label = label
         self.pattern = pattern
+        #: Set by the planner when the scan should be split into morsels
+        #: across the worker pool (batch executor only).
+        self.parallel = False
 
     def detail(self) -> str:
-        return f"{self.variable}:{self.label}"
+        return f"{self.variable}:{self.label}" + (" morsel" if self.parallel else "")
 
 
 class PropertyIndexSeek(PlanOperator):
@@ -216,6 +237,11 @@ class Expand(PlanOperator):
         self.to_pattern = to_pattern
         self.into = into
         self.exclude_rel_vars = exclude_rel_vars
+        #: Whether the far-end node must be materialised.  The planner clears
+        #: this for terminal anonymous targets with no label/property checks
+        #: (``-[r:KNOWS]-()``): the batch executor then skips the neighbour
+        #: node reads entirely — the result cannot depend on them.
+        self.bind_target = True
         if rel.var_length:
             self.name = "VarLengthExpandInto" if into else "VarLengthExpand"
         else:
@@ -235,9 +261,10 @@ class Expand(PlanOperator):
             hops = f"*{self.rel.min_hops}..{upper}"
         arrow_left = "<-" if self.rel.direction == "IN" else "-"
         arrow_right = "->" if self.rel.direction == "OUT" else "-"
+        unbound = "" if self.bind_target or self.into else " unbound-target"
         return (
             f"({self.from_var}){arrow_left}[{type_part}{hops}]{arrow_right}"
-            f"({self.to_var})"
+            f"({self.to_var}){unbound}"
         )
 
 
@@ -469,7 +496,36 @@ class _Planner:
                 if clause.is_return:
                     columns = tuple(item.alias for item in clause.items)
         root = ProduceResults(op, columns, op.estimated_rows)
+        self._prune_unbound_targets(root)
         return Plan(query, root)
+
+    @staticmethod
+    def _prune_unbound_targets(root: PlanOperator) -> None:
+        """Clear ``bind_target`` on hops whose far end nobody can observe.
+
+        An anonymous target (``-[r:KNOWS]-()``) is only reachable by later
+        hops of the same MATCH — user expressions cannot name ``#anon``
+        variables.  A terminal anonymous node with no label or property
+        checks therefore contributes nothing to the result, and the batch
+        executor can skip materialising the neighbour nodes.
+        """
+        expands = [op for op in root.walk() if isinstance(op, Expand)]
+        referenced: Set[str] = set()
+        for op in expands:
+            referenced.add(op.from_var)
+            if op.into:
+                referenced.add(op.to_var)
+        for op in expands:
+            pattern = op.to_pattern
+            if (
+                not op.into
+                and not op.rel.var_length
+                and op.to_var.startswith(ANON_PREFIX)
+                and op.to_var not in referenced
+                and not pattern.labels
+                and not pattern.properties
+            ):
+                op.bind_target = False
 
     # -- MATCH ------------------------------------------------------------------
 
@@ -613,8 +669,17 @@ class _Planner:
             label = node.labels[0] if node.labels else None
             return PropertyIndexSeek(op, variable, key, value_expr, label, node, estimated)
         if kind == "label":
-            return LabelScan(op, variable, argument, node, estimated)
-        return AllNodesScan(op, variable, node, estimated)
+            scan: PlanOperator = LabelScan(op, variable, argument, node, estimated)
+        else:
+            scan = AllNodesScan(op, variable, node, estimated)
+        # Morsel-parallel leaf scans: worth splitting only when the engine
+        # has a worker pool and the cardinality stats promise enough rows to
+        # amortise the dispatch.  Surfaced in EXPLAIN via the scan detail.
+        scan.parallel = (
+            self.stats.morsel_workers() > 1
+            and estimated >= self.stats.morsel_threshold()
+        )
+        return scan
 
     def _fanout(self, rel: ast.RelPattern) -> float:
         """Estimated neighbours per node for one hop of this pattern."""

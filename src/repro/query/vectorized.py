@@ -1,0 +1,1022 @@
+"""Vectorized batch-at-a-time query executor.
+
+The row executor in :mod:`repro.query.executor` pays the full Python
+per-row toll — a generator frame, a dict copy and a closure call per
+operator per row.  This module runs the same plan operators over
+:class:`RowBatch` objects instead: columnar batches of up to
+``ctx.batch_size`` rows (one list per bound variable), with expressions
+applied per batch via list comprehensions and the read path batched end to
+end — ``read_nodes_many`` / ``relationships_of_many`` resolve a whole
+batch's version chains in one engine visit, and under SERIALIZABLE one
+tracker-mutex visit registers the whole batch's SIREADs.
+
+Semantics are identical to the row executor by construction: expression
+evaluation reuses the *same* compiled closures (falling back to per-row
+calls wherever vectorization could change Cypher's short-circuit error
+behaviour), single-hop expansion reproduces the depth-first traversal's
+LIFO output order, and var-length patterns and write clauses delegate to
+the row operator bodies outright.  ``tests/test_batch_equivalence.py``
+pins the two executors against each other.
+
+Morsel-style parallelism: leaf scans the planner marked ``parallel``
+(estimated rows above the engine's ``morsel_threshold`` with
+``morsel_workers`` > 1) split their id range into per-worker morsels
+dispatched across a shared thread pool.  Workers call the engine's
+lock-free ``read_committed_versions`` directly — snapshot reads never take
+locks, so sharing the transaction's snapshot across threads is safe — and
+the scan is only eligible when the transaction is a plain snapshot reader
+(no SSI read tracking, no pending safe-snapshot census, no buffered
+writes), so all bookkeeping stays on the query thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryExecutionError
+from repro.api.transaction import Node, Relationship
+from repro.api.traversal import batch_expand
+from repro.core.si_transaction import SnapshotTransaction
+from repro.graph.entity import EntityKey, EntityKind, NodeData
+from repro.query import ast
+from repro.query.executor import (
+    ExecutionContext,
+    Row,
+    _Accumulator,
+    _apply_create,
+    _apply_delete,
+    _apply_set,
+    _arithmetic,
+    _compare,
+    _excluded_rel_ids,
+    _expand_row,
+    _freeze,
+    _pattern_matcher,
+    _rel_property_fns,
+    _require_non_negative_int,
+    _SCALAR_FUNCTIONS,
+    _sort_key,
+    compiled,
+    evaluate,
+)
+from repro.query.planner import (
+    Aggregate,
+    AllNodesScan,
+    Argument,
+    CreateOp,
+    DeleteOp,
+    Distinct,
+    Expand,
+    Filter,
+    LabelScan,
+    Limit,
+    OrderBy,
+    Plan,
+    ProduceResults,
+    Projection,
+    PropertyIndexSeek,
+    SetOp,
+    Skip,
+    SOURCE_ROW_KEY,
+)
+
+
+class RowBatch:
+    """A columnar batch of rows: one value list per bound variable.
+
+    ``columns`` is the ordered tuple of variable names, ``data`` maps each
+    name to a list of ``size`` values.  Batches are immutable by
+    convention — operators build new ones rather than mutating inputs
+    (several operators pass their input batch through unchanged).
+    """
+
+    __slots__ = ("columns", "data", "size")
+
+    def __init__(self, columns: Tuple[str, ...], data: Dict[str, List[object]],
+                 size: int) -> None:
+        self.columns = columns
+        self.data = data
+        self.size = size
+
+
+class _RowView:
+    """A zero-copy mapping view of one batch row (reusable via ``index``).
+
+    Implements enough of the Mapping protocol for the row executor's
+    compiled closures and pattern matchers: ``view[name]`` raises
+    ``KeyError`` for an unknown variable exactly like a row dict, which the
+    closures convert to the usual "unbound variable" error.
+    """
+
+    __slots__ = ("_data", "index")
+
+    def __init__(self, data: Dict[str, List[object]]) -> None:
+        self._data = data
+        self.index = 0
+
+    def __getitem__(self, name: str) -> object:
+        return self._data[name][self.index]
+
+    def get(self, name: str, default: object = None) -> object:
+        column = self._data.get(name)
+        return default if column is None else column[self.index]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._data
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self):
+        return self._data.keys()
+
+    def items(self):
+        index = self.index
+        return [(name, column[index]) for name, column in self._data.items()]
+
+
+_EMPTY_ROW: Row = {}
+_EMPTY_FROZENSET: frozenset = frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Batch construction helpers
+# ---------------------------------------------------------------------------
+
+
+def _take(batch: RowBatch, indexes: Sequence[int]) -> RowBatch:
+    """The selected rows of a batch, in the given order."""
+    data = {
+        name: [column[i] for i in indexes] for name, column in batch.data.items()
+    }
+    return RowBatch(batch.columns, data, len(indexes))
+
+
+def _slice(batch: RowBatch, start: int, stop: int) -> RowBatch:
+    """A contiguous row range of a batch."""
+    data = {name: column[start:stop] for name, column in batch.data.items()}
+    return RowBatch(batch.columns, data, stop - start)
+
+
+def _materialise_rows(batch: RowBatch) -> List[Row]:
+    """The batch as plain row dicts (for per-row fallback operators)."""
+    data = batch.data
+    columns = batch.columns
+    return [
+        {name: data[name][index] for name in columns}
+        for index in range(batch.size)
+    ]
+
+
+def _batch_from_rows(rows: List[Row]) -> RowBatch:
+    """Rebuild a batch from row dicts (columns are the union, missing → None)."""
+    columns: List[str] = []
+    for row in rows:
+        for name in row:
+            if name not in columns:
+                columns.append(name)
+    data = {name: [row.get(name) for row in rows] for name in columns}
+    return RowBatch(tuple(columns), data, len(rows))
+
+
+def _scoped_rows(batch: RowBatch) -> Iterator[Row]:
+    """Per-row evaluation scopes, overlaying the ORDER BY source bindings.
+
+    Mirrors the row executor's ``_order_scope``: when a projection kept its
+    pre-projection rows under ``SOURCE_ROW_KEY``, aliases overlay the
+    source bindings (alias wins).  Without a source column this yields a
+    single reusable :class:`_RowView` — no dict copies at all.
+    """
+    data = batch.data
+    source_column = data.get(SOURCE_ROW_KEY)
+    if source_column is not None:
+        names = [name for name in batch.columns if name != SOURCE_ROW_KEY]
+        for index in range(batch.size):
+            merged = dict(source_column[index])
+            for name in names:
+                merged[name] = data[name][index]
+            yield merged
+    else:
+        view = _RowView(data)
+        for index in range(batch.size):
+            view.index = index
+            yield view
+
+
+# ---------------------------------------------------------------------------
+# Batch expression application
+# ---------------------------------------------------------------------------
+
+
+def _apply(expression: ast.Expression, batch: RowBatch,
+           ctx: ExecutionContext) -> List[object]:
+    """Evaluate an expression over every row of a batch.
+
+    The hot shapes — literals, parameters, column references, direct
+    property reads, comparisons, arithmetic, null checks and the scalar
+    functions — are vectorized as whole-column list comprehensions.  Only
+    expression forms whose per-row evaluation both executors perform
+    unconditionally are vectorized; anything that short-circuits
+    *evaluation* per row (AND/OR, coalesce) runs the row-compiled closure
+    per row so error behaviour stays identical to the row executor.
+    """
+    size = batch.size
+    data = batch.data
+    kind = type(expression)
+    if kind is ast.Literal:
+        return [expression.value] * size
+    if kind is ast.Parameter:
+        try:
+            value = ctx.parameters[expression.name]
+        except KeyError:
+            raise QueryExecutionError(
+                f"missing parameter ${expression.name}"
+            ) from None
+        return [value] * size
+    if kind is ast.Variable:
+        column = data.get(expression.name)
+        if column is not None:
+            return list(column)
+        # Not a batch column: resolve through the source scope (or raise
+        # the usual unbound-variable error) via the generic path below.
+    elif kind is ast.PropertyAccess and type(expression.entity) is ast.Variable:
+        column = data.get(expression.entity.name)
+        if column is not None:
+            key = expression.key
+            values: List[object] = []
+            append = values.append
+            for entity in column:
+                if isinstance(entity, (Node, Relationship)):
+                    append(entity.data.properties.get(key))
+                elif entity is None:
+                    append(None)
+                else:
+                    raise QueryExecutionError(
+                        f"cannot read property {key!r} of {type(entity).__name__}"
+                    )
+            return values
+    elif kind is ast.Comparison:
+        op = expression.op
+        left = _apply(expression.left, batch, ctx)
+        right = _apply(expression.right, batch, ctx)
+        return [_compare(op, lhs, rhs) for lhs, rhs in zip(left, right)]
+    elif kind is ast.Arithmetic:
+        op = expression.op
+        left = _apply(expression.left, batch, ctx)
+        right = _apply(expression.right, batch, ctx)
+        return [_arithmetic(op, lhs, rhs) for lhs, rhs in zip(left, right)]
+    elif kind is ast.IsNull:
+        operand = _apply(expression.operand, batch, ctx)
+        if expression.negated:
+            return [value is not None for value in operand]
+        return [value is None for value in operand]
+    elif kind is ast.FunctionCall:
+        scalar = _SCALAR_FUNCTIONS.get(expression.name)
+        if scalar is not None and len(expression.args) == 1:
+            operand = _apply(expression.args[0], batch, ctx)
+            return [None if value is None else scalar(value) for value in operand]
+    fn = compiled(expression)
+    return [fn(scope, ctx) for scope in _scoped_rows(batch)]
+
+
+# ---------------------------------------------------------------------------
+# Morsel-parallel leaf scans
+# ---------------------------------------------------------------------------
+
+#: Shared worker pool for morsel-parallel scans, created on first use.  One
+#: pool per process — morsels from concurrent queries interleave on it.
+_MORSEL_POOL: Optional[ThreadPoolExecutor] = None
+_MORSEL_POOL_LOCK = threading.Lock()
+
+
+def _morsel_pool(workers: int) -> ThreadPoolExecutor:
+    global _MORSEL_POOL
+    pool = _MORSEL_POOL
+    if pool is None:
+        with _MORSEL_POOL_LOCK:
+            pool = _MORSEL_POOL
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=max(2, workers),
+                    thread_name_prefix="repro-morsel",
+                )
+                _MORSEL_POOL = pool
+    return pool
+
+
+def _morsel_transaction(ctx: ExecutionContext) -> Optional[SnapshotTransaction]:
+    """The engine transaction, iff this scan may run across the morsel pool.
+
+    Eligible means: a multi-version snapshot transaction that is a *plain
+    snapshot reader* right now — no SSI read tracking (``cc_record``), no
+    pending safe-snapshot census, and no buffered writes.  Those three all
+    require per-read bookkeeping or a write overlay, which would have to be
+    synchronised across workers; the plain reader's visibility resolution
+    is completely lock-free and therefore trivially shareable.
+    """
+    if ctx.morsel_workers <= 1:
+        return None
+    etxn = getattr(ctx.tx, "_txn", None)
+    if not isinstance(etxn, SnapshotTransaction):
+        return None
+    if etxn.cc_record is not None or etxn._pending_reader is not None:
+        return None
+    if etxn._writes:
+        return None
+    return etxn
+
+
+def _morsel_nodes(ctx: ExecutionContext, etxn: SnapshotTransaction,
+                  node_ids: Sequence[int]) -> List[Node]:
+    """Resolve many node payloads across the morsel pool, preserving order."""
+    keys = [EntityKey.node(node_id) for node_id in node_ids]
+    engine = etxn._engine
+    start_ts = etxn.snapshot.start_ts
+    workers = ctx.morsel_workers
+    etxn.reads_performed += len(keys)
+    if len(keys) < workers * 2:
+        payloads = engine.read_committed_versions(keys, start_ts)
+    else:
+        pool = _morsel_pool(workers)
+        chunk = (len(keys) + workers - 1) // workers
+        futures = [
+            pool.submit(
+                engine.read_committed_versions, keys[offset:offset + chunk],
+                start_ts,
+            )
+            for offset in range(0, len(keys), chunk)
+        ]
+        payloads = []
+        for future in futures:
+            payloads.extend(future.result())
+    tx = ctx.tx
+    return [Node(tx, data) for data in payloads if isinstance(data, NodeData)]
+
+
+def _all_committed_node_ids(etxn: SnapshotTransaction) -> List[int]:
+    """Candidate node ids in the order ``iter_nodes`` would visit them.
+
+    The eligible morsel transaction has no own writes, so candidates are
+    the cached version chains followed by the persistent store.
+    """
+    engine = etxn._engine
+    seen = set()
+    ids: List[int] = []
+    for key in engine.versions.keys():
+        if key.kind is EntityKind.NODE and key.entity_id not in seen:
+            seen.add(key.entity_id)
+            ids.append(key.entity_id)
+    for entity_id in engine.store.iter_node_ids():
+        if entity_id not in seen:
+            seen.add(entity_id)
+            ids.append(entity_id)
+    return ids
+
+
+# ---------------------------------------------------------------------------
+# Operator runners
+# ---------------------------------------------------------------------------
+
+
+def run_plan_batches(plan: Plan, ctx: ExecutionContext) -> Iterator[List[object]]:
+    """Run a plan batch-at-a-time, yielding result rows as value lists."""
+    root = plan.root
+    columns = root.columns
+    obs = ctx.obs
+    for batch in _run_batches(root, ctx):
+        if obs is not None:
+            obs.query_batches.inc()
+            obs.query_batch_rows.observe(batch.size)
+        if not columns:
+            continue
+        size = batch.size
+        column_lists = [
+            batch.data[name] if name in batch.data else [None] * size
+            for name in columns
+        ]
+        for values in zip(*column_lists):
+            yield list(values)
+
+
+def _run_batches(op, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    """Instantiate one operator's batch generator, counting rows and batches."""
+    runner = _BATCH_RUNNERS[type(op)]
+    op.actual_rows = 0
+    op.actual_batches = 0
+    if ctx.timed:
+        op.actual_time_seconds = 0.0
+        return _timed_batches(op, runner, ctx)
+
+    def counted() -> Iterator[RowBatch]:
+        for batch in runner(op, ctx):
+            if batch.size == 0:
+                continue
+            op.actual_rows += batch.size
+            op.actual_batches += 1
+            yield batch
+
+    return counted()
+
+
+def _timed_batches(op, runner, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    """PROFILE variant of :func:`_run_batches` (inclusive per-pull timing)."""
+    generator = runner(op, ctx)
+    while True:
+        started = perf_counter()
+        try:
+            batch = next(generator)
+        except StopIteration:
+            op.actual_time_seconds += perf_counter() - started
+            return
+        op.actual_time_seconds += perf_counter() - started
+        if batch.size == 0:
+            continue
+        op.actual_rows += batch.size
+        op.actual_batches += 1
+        yield batch
+
+
+def _argument_batches(op: Argument, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    yield RowBatch((), {}, 1)
+
+
+def _produce_batches(op: ProduceResults, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    yield from _run_batches(op.child, ctx)
+
+
+def _rowwise(op, ctx: ExecutionContext, per_row) -> Iterator[RowBatch]:
+    """Run a per-row operator body over materialised rows (fallback path)."""
+    batch_size = ctx.batch_size
+    pending: List[Row] = []
+    for in_batch in _run_batches(op.child, ctx):
+        for row in _materialise_rows(in_batch):
+            for out_row in per_row(op, row, ctx):
+                pending.append(out_row)
+                if len(pending) >= batch_size:
+                    yield _batch_from_rows(pending)
+                    pending = []
+    if pending:
+        yield _batch_from_rows(pending)
+
+
+# -- scans -------------------------------------------------------------------
+
+
+def _input_rows(op, ctx: ExecutionContext):
+    """Yield ``(in_batch, index, row_scope)`` triples from the child operator."""
+    for in_batch in _run_batches(op.child, ctx):
+        if in_batch.columns:
+            view = _RowView(in_batch.data)
+            for index in range(in_batch.size):
+                view.index = index
+                yield in_batch, index, view
+        else:
+            for index in range(in_batch.size):
+                yield in_batch, index, _EMPTY_ROW
+
+
+def _bind_column(in_batch: RowBatch, index: int, variable: str,
+                 values: List[object]) -> RowBatch:
+    """One input row replicated against a column of freshly-bound values."""
+    size = len(values)
+    data = {
+        name: [column[index]] * size for name, column in in_batch.data.items()
+    }
+    columns = in_batch.columns
+    if variable not in data:
+        columns = columns + (variable,)
+    data[variable] = values
+    return RowBatch(columns, data, size)
+
+
+def _emit_scan_rows(op, ctx: ExecutionContext, in_batch: RowBatch, index: int,
+                    nodes, matcher, row) -> Iterator[RowBatch]:
+    """Bind matching scanned nodes to ``op.variable`` in batch-size chunks."""
+    batch_size = ctx.batch_size
+    matched: List[Node] = []
+    for node in nodes:
+        if matcher is None or matcher(node, row, ctx):
+            matched.append(node)
+            if len(matched) >= batch_size:
+                yield _bind_column(in_batch, index, op.variable, matched)
+                matched = []
+    if matched:
+        yield _bind_column(in_batch, index, op.variable, matched)
+
+
+def _all_nodes_scan_batches(op: AllNodesScan, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    matcher = _pattern_matcher(op, op.pattern)
+    for in_batch, index, row in _input_rows(op, ctx):
+        if getattr(op, "parallel", False):
+            etxn = _morsel_transaction(ctx)
+            if etxn is not None:
+                nodes = _morsel_nodes(ctx, etxn, _all_committed_node_ids(etxn))
+                yield from _emit_scan_rows(op, ctx, in_batch, index, nodes, matcher, row)
+                continue
+        yield from _emit_scan_rows(
+            op, ctx, in_batch, index, ctx.tx.nodes(), matcher, row
+        )
+
+
+def _label_scan_batches(op: LabelScan, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    matcher = _pattern_matcher(op, op.pattern)
+    for in_batch, index, row in _input_rows(op, ctx):
+        if getattr(op, "parallel", False):
+            etxn = _morsel_transaction(ctx)
+            if etxn is not None:
+                ids = sorted(etxn.find_nodes_by_label(op.label))
+                nodes = _morsel_nodes(ctx, etxn, ids)
+                yield from _emit_scan_rows(op, ctx, in_batch, index, nodes, matcher, row)
+                continue
+        yield from _emit_scan_rows(
+            op, ctx, in_batch, index, ctx.tx.find_nodes(label=op.label),
+            matcher, row,
+        )
+
+
+def _property_seek_batches(op: PropertyIndexSeek, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    value_fn = compiled(op.value)
+    matcher = _pattern_matcher(op, op.pattern)
+    for in_batch, index, row in _input_rows(op, ctx):
+        value = value_fn(row, ctx)
+        if value is None:
+            continue
+        nodes = ctx.tx.find_nodes(label=op.label, key=op.key, value=value)
+        yield from _emit_scan_rows(op, ctx, in_batch, index, nodes, matcher, row)
+
+
+# -- expand ------------------------------------------------------------------
+
+
+def _expand_batches(op: Expand, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    rel = op.rel
+    if rel.var_length or rel.min_hops != 1 or rel.max_hops != 1:
+        # Variable-length patterns need the real traversal machinery; run
+        # the row operator body per materialised row.
+        yield from _rowwise(op, ctx, _expand_row)
+        return
+    to_matcher = _pattern_matcher(op, op.to_pattern, attr="_to_matcher")
+    rel_prop_fns = _rel_property_fns(op)
+    from_var = op.from_var
+    rel_types = rel.types or None
+    direction = op.direction
+    batch_size = ctx.batch_size
+    bind_target = getattr(op, "bind_target", True)
+    for in_batch in _run_batches(op.child, ctx):
+        data = in_batch.data
+        source_column = data.get(from_var)
+        if source_column is None:
+            raise QueryExecutionError(f"unbound variable {from_var!r}")
+        sources: List[Node] = []
+        source_indexes: List[int] = []
+        for index, source in enumerate(source_column):
+            if source is None:
+                continue
+            if not isinstance(source, Node):
+                raise QueryExecutionError(
+                    f"cannot expand from {from_var!r}: not a node"
+                )
+            sources.append(source)
+            source_indexes.append(index)
+        if not sources:
+            continue
+        if bind_target:
+            expanded = batch_expand(ctx.tx, sources, direction, rel_types)
+        else:
+            # Nothing downstream can observe the far-end node (anonymous
+            # terminal target, no label/property checks), so skip the
+            # neighbour point-reads entirely and pair each relationship
+            # with a placeholder.
+            expanded = [
+                [(relationship, None) for relationship in relationships]
+                for relationships in ctx.tx.relationships_of_many(
+                    sources, direction, rel_types
+                )
+            ]
+        out_indexes: List[int] = []
+        out_rels: List[object] = []
+        out_nodes: List[Node] = []
+        row = _RowView(data)
+        for index, pairs in zip(source_indexes, expanded):
+            row.index = index
+            excluded = (
+                _excluded_rel_ids(op.exclude_rel_vars, row)
+                if op.exclude_rel_vars
+                else _EMPTY_FROZENSET
+            )
+            target_id: Optional[int] = None
+            if op.into:
+                bound_target = row.get(op.to_var)
+                if not isinstance(bound_target, Node):
+                    continue
+                target_id = bound_target.id
+            # The row executor's depth-first traversal pops its frontier
+            # LIFO, so single-hop expansion yields relationships in reverse
+            # adjacency order; match it so both executors produce identical
+            # row orders.
+            for relationship, neighbour in reversed(pairs):
+                if relationship.id in excluded:
+                    continue
+                if rel_prop_fns:
+                    wanted_ok = True
+                    for key, value_fn in rel_prop_fns:
+                        wanted = value_fn(row, ctx)
+                        if wanted is None or \
+                                relationship.data.properties.get(key) != wanted:
+                            wanted_ok = False
+                            break
+                    if not wanted_ok:
+                        continue
+                if target_id is not None and neighbour.id != target_id:
+                    continue
+                if to_matcher is not None and not to_matcher(neighbour, row, ctx):
+                    continue
+                out_indexes.append(index)
+                out_rels.append(relationship)
+                out_nodes.append(neighbour)
+                if len(out_indexes) >= batch_size:
+                    yield _expand_output(in_batch, op, out_indexes, out_rels, out_nodes)
+                    out_indexes, out_rels, out_nodes = [], [], []
+        if out_indexes:
+            yield _expand_output(in_batch, op, out_indexes, out_rels, out_nodes)
+
+
+def _expand_output(in_batch: RowBatch, op: Expand, indexes: List[int],
+                   rels: List[object], nodes: List[Node]) -> RowBatch:
+    """Input rows replicated per expansion, with the hop's bindings appended."""
+    data = {
+        name: [column[i] for i in indexes]
+        for name, column in in_batch.data.items()
+    }
+    columns = in_batch.columns
+    if op.rel_var not in data:
+        columns = columns + (op.rel_var,)
+    data[op.rel_var] = rels
+    if not op.into and getattr(op, "bind_target", True):
+        if op.to_var not in data:
+            columns = columns + (op.to_var,)
+        data[op.to_var] = nodes
+    return RowBatch(columns, data, len(indexes))
+
+
+# -- filters and projections -------------------------------------------------
+
+
+def _filter_batches(op: Filter, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    predicate = op.predicate
+    for batch in _run_batches(op.child, ctx):
+        values = _apply(predicate, batch, ctx)
+        keep = [
+            index for index, value in enumerate(values)
+            if value is not None and value
+        ]
+        if len(keep) == batch.size:
+            yield batch
+        elif keep:
+            yield _take(batch, keep)
+
+
+def _projection_batches(op: Projection, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    aliases = tuple(item.alias for item in op.items)
+    keep_source = op.keep_source
+    for batch in _run_batches(op.child, ctx):
+        data = {
+            item.alias: _apply(item.expression, batch, ctx) for item in op.items
+        }
+        columns = aliases
+        if keep_source:
+            data[SOURCE_ROW_KEY] = _materialise_rows(batch)
+            columns = aliases + (SOURCE_ROW_KEY,)
+        yield RowBatch(columns, data, batch.size)
+
+
+def _distinct_batches(op: Distinct, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    seen = set()
+    for batch in _run_batches(op.child, ctx):
+        cols = [batch.data.get(name) for name in op.columns]
+        keep: List[int] = []
+        for index in range(batch.size):
+            key = tuple(
+                _freeze(col[index]) if col is not None else None for col in cols
+            )
+            if key not in seen:
+                seen.add(key)
+                keep.append(index)
+        if len(keep) == batch.size:
+            yield batch
+        elif keep:
+            yield _take(batch, keep)
+
+
+def _order_by_batches(op: OrderBy, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    batches = list(_run_batches(op.child, ctx))
+    if not batches:
+        return
+    # Evaluate every order key once per row (through the source scope, like
+    # the row executor's merged ORDER BY scope), then sort global row
+    # indexes stably, right-to-left — identical key-by-key semantics.
+    key_columns: List[List[object]] = [[] for _ in op.order_items]
+    for batch in batches:
+        for slot, item in enumerate(op.order_items):
+            key_columns[slot].extend(
+                _sort_key(value) for value in _apply(item.expression, batch, ctx)
+            )
+    out_columns = tuple(
+        name for name in batches[0].columns if name != SOURCE_ROW_KEY
+    )
+    flat: Dict[str, List[object]] = {name: [] for name in out_columns}
+    for batch in batches:
+        for name in out_columns:
+            column = batch.data.get(name)
+            if column is None:
+                flat[name].extend([None] * batch.size)
+            else:
+                flat[name].extend(column)
+    total = sum(batch.size for batch in batches)
+    order = list(range(total))
+    for slot in range(len(op.order_items) - 1, -1, -1):
+        keys = key_columns[slot]
+        order.sort(
+            key=keys.__getitem__, reverse=not op.order_items[slot].ascending
+        )
+    batch_size = ctx.batch_size
+    for start in range(0, total, batch_size):
+        chunk = order[start:start + batch_size]
+        data = {
+            name: [column[i] for i in chunk] for name, column in flat.items()
+        }
+        yield RowBatch(out_columns, data, len(chunk))
+
+
+def _skip_batches(op: Skip, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    count = _require_non_negative_int(evaluate(op.count, {}, ctx), "SKIP")
+    skipped = 0
+    for batch in _run_batches(op.child, ctx):
+        if skipped >= count:
+            yield batch
+            continue
+        if skipped + batch.size <= count:
+            skipped += batch.size
+            continue
+        start = count - skipped
+        skipped = count
+        yield _slice(batch, start, batch.size)
+
+
+def _limit_batches(op: Limit, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    count = _require_non_negative_int(evaluate(op.count, {}, ctx), "LIMIT")
+    if count == 0:
+        return
+    produced = 0
+    for batch in _run_batches(op.child, ctx):
+        remaining = count - produced
+        if batch.size <= remaining:
+            produced += batch.size
+            yield batch
+            if produced >= count:
+                return
+        else:
+            yield _slice(batch, 0, remaining)
+            return
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def _fused_expand_count(
+    op: Aggregate, ctx: ExecutionContext
+) -> Optional[Iterator[RowBatch]]:
+    """``Expand -> Aggregate(count(r))`` folded into adjacency-length sums.
+
+    When an aggregate sits directly on an unbound-target single-hop expand
+    and every aggregate is a plain ``count(rel_var)`` over that expand's
+    relationship variable (with every group key a pre-expand variable), the
+    per-relationship rows exist only to be counted.  Summing the adjacency
+    list lengths per source row produces the same groups and the same
+    counts without materialising them.  The reads are identical — the
+    counts come from the same ``relationships_of_many`` call the expand
+    would make, so SI visibility and SSI predicate registration are
+    untouched; sources with an empty adjacency produce no row, exactly as
+    the real expand produces no row to aggregate.
+    """
+    child = op.child
+    if not isinstance(child, Expand):
+        return None
+    rel = child.rel
+    if (child.into or rel.var_length or rel.min_hops != 1 or rel.max_hops != 1
+            or rel.properties or child.exclude_rel_vars
+            or getattr(child, "bind_target", True)):
+        return None
+    rel_var = child.rel_var
+    for item in op.group_items:
+        expression = item.expression
+        if not isinstance(expression, ast.Variable) or \
+                expression.name in (rel_var, child.to_var):
+            return None
+    for item in op.agg_items:
+        call = item.expression
+        if call.name != "count" or call.star or call.distinct:
+            return None
+        argument = call.args[0]
+        if not isinstance(argument, ast.Variable) or argument.name != rel_var:
+            return None
+    return _fused_expand_count_batches(op, child, ctx)
+
+
+def _fused_expand_count_batches(
+    op: Aggregate, child: Expand, ctx: ExecutionContext
+) -> Iterator[RowBatch]:
+    group_items = op.group_items
+    agg_items = op.agg_items
+    single_group = len(group_items) == 1
+    rel_types = child.rel.types or None
+    direction = child.direction
+    from_var = child.from_var
+    groups: Dict[object, Tuple[Row, List[int]]] = {}
+    for in_batch in _run_batches(child.child, ctx):
+        source_column = in_batch.data.get(from_var)
+        if source_column is None:
+            raise QueryExecutionError(f"unbound variable {from_var!r}")
+        sources: List[Node] = []
+        source_indexes: List[int] = []
+        for index, source in enumerate(source_column):
+            if source is None:
+                continue
+            if not isinstance(source, Node):
+                raise QueryExecutionError(
+                    f"cannot expand from {from_var!r}: not a node"
+                )
+            sources.append(source)
+            source_indexes.append(index)
+        if not sources:
+            continue
+        counts = ctx.tx.count_relationships_of_many(sources, direction, rel_types)
+        group_columns = [
+            _apply(item.expression, in_batch, ctx) for item in group_items
+        ]
+        for index, count in zip(source_indexes, counts):
+            if not count:
+                continue
+            if single_group:
+                key = _freeze(group_columns[0][index])
+            elif group_items:
+                key = tuple(_freeze(column[index]) for column in group_columns)
+            else:
+                key = ()
+            entry = groups.get(key)
+            if entry is None:
+                group_row = {
+                    item.alias: column[index]
+                    for item, column in zip(group_items, group_columns)
+                }
+                entry = (group_row, [0] * len(agg_items))
+                groups[key] = entry
+            totals = entry[1]
+            for position in range(len(totals)):
+                totals[position] += count
+    if not groups and not group_items:
+        # Aggregation over zero rows still produces one row (count = 0).
+        groups[()] = ({}, [0] * len(agg_items))
+    columns = tuple(item.alias for item in group_items) + tuple(
+        item.alias for item in agg_items
+    )
+    out_rows: List[Row] = []
+    for group_row, totals in groups.values():
+        out = dict(group_row)
+        for item, total in zip(agg_items, totals):
+            out[item.alias] = total
+        out_rows.append(out)
+    batch_size = ctx.batch_size
+    for start in range(0, len(out_rows), batch_size):
+        chunk = out_rows[start:start + batch_size]
+        data = {name: [row.get(name) for row in chunk] for name in columns}
+        yield RowBatch(columns, data, len(chunk))
+
+
+def _aggregate_batches(op: Aggregate, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    fused = _fused_expand_count(op, ctx)
+    if fused is not None:
+        yield from fused
+        return
+    group_items = op.group_items
+    agg_items = op.agg_items
+    groups: Dict[object, Tuple[Row, List[_Accumulator]]] = {}
+    single_group = len(group_items) == 1
+    for batch in _run_batches(op.child, ctx):
+        group_columns = [
+            _apply(item.expression, batch, ctx) for item in group_items
+        ]
+        agg_columns = [
+            None if item.expression.star
+            else _apply(item.expression.args[0], batch, ctx)
+            for item in agg_items
+        ]
+        # Bucket row indexes by group key first, then feed each accumulator
+        # one slice per (batch, group) instead of one call per row.
+        buckets: Dict[object, List[int]] = {}
+        if single_group:
+            column = group_columns[0]
+            for index in range(batch.size):
+                key = _freeze(column[index])
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [index]
+                else:
+                    bucket.append(index)
+        elif group_items:
+            for index in range(batch.size):
+                key = tuple(_freeze(column[index]) for column in group_columns)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [index]
+                else:
+                    bucket.append(index)
+        else:
+            buckets[()] = list(range(batch.size))
+        for key, indexes in buckets.items():
+            entry = groups.get(key)
+            if entry is None:
+                first = indexes[0]
+                group_row = {
+                    item.alias: column[first]
+                    for item, column in zip(group_items, group_columns)
+                }
+                accumulators = [
+                    _Accumulator(item.expression, None) for item in agg_items
+                ]
+                entry = (group_row, accumulators)
+                groups[key] = entry
+            for accumulator, column in zip(entry[1], agg_columns):
+                accumulator.update_slice(column, indexes)
+    if not groups and not group_items:
+        # Aggregation over zero rows still produces one row (count = 0 etc).
+        groups[()] = (
+            {}, [_Accumulator(item.expression, None) for item in agg_items]
+        )
+    columns = tuple(item.alias for item in group_items) + tuple(
+        item.alias for item in agg_items
+    )
+    out_rows: List[Row] = []
+    for group_row, accumulators in groups.values():
+        out = dict(group_row)
+        for item, accumulator in zip(agg_items, accumulators):
+            out[item.alias] = accumulator.result()
+        out_rows.append(out)
+    batch_size = ctx.batch_size
+    for start in range(0, len(out_rows), batch_size):
+        chunk = out_rows[start:start + batch_size]
+        data = {name: [row.get(name) for row in chunk] for name in columns}
+        yield RowBatch(columns, data, len(chunk))
+
+
+# -- writes --------------------------------------------------------------------
+
+
+def _create_batches(op: CreateOp, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    for in_batch in _run_batches(op.child, ctx):
+        rows = [
+            _apply_create(op, row, ctx) for row in _materialise_rows(in_batch)
+        ]
+        yield _batch_from_rows(rows)
+
+
+def _set_batches(op: SetOp, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    for in_batch in _run_batches(op.child, ctx):
+        rows = [
+            _apply_set(op, row, ctx) for row in _materialise_rows(in_batch)
+        ]
+        yield _batch_from_rows(rows)
+
+
+def _delete_batches(op: DeleteOp, ctx: ExecutionContext) -> Iterator[RowBatch]:
+    for in_batch in _run_batches(op.child, ctx):
+        rows = [
+            _apply_delete(op, row, ctx) for row in _materialise_rows(in_batch)
+        ]
+        yield _batch_from_rows(rows)
+
+
+_BATCH_RUNNERS = {
+    Argument: _argument_batches,
+    ProduceResults: _produce_batches,
+    AllNodesScan: _all_nodes_scan_batches,
+    LabelScan: _label_scan_batches,
+    PropertyIndexSeek: _property_seek_batches,
+    Expand: _expand_batches,
+    Filter: _filter_batches,
+    Projection: _projection_batches,
+    Distinct: _distinct_batches,
+    OrderBy: _order_by_batches,
+    Skip: _skip_batches,
+    Limit: _limit_batches,
+    Aggregate: _aggregate_batches,
+    CreateOp: _create_batches,
+    SetOp: _set_batches,
+    DeleteOp: _delete_batches,
+}

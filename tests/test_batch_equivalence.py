@@ -1,0 +1,276 @@
+"""Batch/row executor equivalence.
+
+The vectorized batch executor is the default runtime; the row-at-a-time
+executor is the semantic reference.  These tests pin them together: every
+read template of the E10 workload mix must return byte-identical rows (same
+values, same order) under batch sizes 1, 2 and 1024, with and without
+morsel-parallel leaf scans — and the batch executor must preserve the
+snapshot-consistency and SSI-abort behaviour the row executor exhibits,
+including for the plans the batch runtime rewrites (unbound-target expands
+and fused ``Expand -> count(r)`` aggregates).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, IsolationLevel, TransactionAbortedError
+from repro.workload import READ_TEMPLATES, build_social_graph, person_names_of
+
+#: Batch-executor configurations under test: every required batch size, each
+#: with morsel-parallel leaf scans off and forced on (two workers, every scan
+#: eligible).
+BATCH_CONFIGS = [
+    pytest.param({"query_batch_size": 1}, id="batch1"),
+    pytest.param({"query_batch_size": 2}, id="batch2"),
+    pytest.param({"query_batch_size": 1024}, id="batch1024"),
+    pytest.param(
+        {"query_batch_size": 1, "morsel_workers": 2, "morsel_threshold": 1},
+        id="batch1-morsel",
+    ),
+    pytest.param(
+        {"query_batch_size": 2, "morsel_workers": 2, "morsel_threshold": 1},
+        id="batch2-morsel",
+    ),
+    pytest.param(
+        {"query_batch_size": 1024, "morsel_workers": 2, "morsel_threshold": 1},
+        id="batch1024-morsel",
+    ),
+]
+
+PEOPLE = 60
+AVG_FRIENDS = 4
+GRAPH_SEED = 13
+
+
+def _social_db(isolation: IsolationLevel, **options) -> GraphDatabase:
+    db = GraphDatabase.in_memory(isolation=isolation, **options)
+    build_social_graph(db, people=PEOPLE, avg_friends=AVG_FRIENDS, seed=GRAPH_SEED)
+    return db
+
+
+def _rows(db: GraphDatabase, text: str, params) -> list:
+    with db.transaction(read_only=True) as tx:
+        return [record.as_dict() for record in tx.execute(text, params).records()]
+
+
+@pytest.fixture(params=BATCH_CONFIGS)
+def batch_config(request):
+    return request.param
+
+
+class TestTemplateEquivalence:
+    """Every E10 read template, row executor vs every batch configuration."""
+
+    @pytest.fixture(scope="class")
+    def row_db(self):
+        db = _social_db(IsolationLevel.SNAPSHOT, query_executor="row")
+        yield db
+        db.close()
+
+    @pytest.mark.parametrize(
+        "template", READ_TEMPLATES, ids=[t.name for t in READ_TEMPLATES]
+    )
+    def test_template_rows_identical(self, template, batch_config, row_db):
+        batch_db = _social_db(
+            IsolationLevel.SNAPSHOT, query_executor="batch", **batch_config
+        )
+        names = person_names_of(row_db)
+        try:
+            # Several parameter draws per template, deterministic per run.
+            rng = random.Random(97)
+            for _ in range(4):
+                params = template.params(rng, names)
+                expected = _rows(row_db, template.text, params)
+                actual = _rows(batch_db, template.text, params)
+                assert actual == expected, (
+                    f"{template.name} diverged under {batch_config}"
+                )
+        finally:
+            batch_db.close()
+
+
+ITEMS = 40
+
+
+def _build_items(db, count=ITEMS):
+    with db.transaction() as tx:
+        for index in range(count):
+            tx.create_node(["Item"], {"value": 0, "index": index})
+
+
+def _commit_interference(db):
+    with db.transaction() as tx:
+        for index in range(10):
+            tx.create_node(["Item"], {"value": 1, "index": 1000 + index})
+        for node in tx.find_nodes(label="Item", key="value", value=0):
+            tx.set_node_property(node, "value", 1)
+
+
+class TestBatchSnapshotConsistency:
+    """The snapshot guarantees of ``test_query_snapshot`` hold per batch size."""
+
+    def test_long_query_sees_one_snapshot(self, batch_config):
+        db = GraphDatabase.in_memory(
+            isolation=IsolationLevel.SNAPSHOT, **batch_config
+        )
+        try:
+            _build_items(db)
+            with db.begin(read_only=True) as tx:
+                iterator = iter(tx.execute("MATCH (n:Item) RETURN n.value AS v"))
+                head = [next(iterator) for _ in range(5)]
+                _commit_interference(db)
+                tail = list(iterator)
+            values = [record["v"] for record in head + tail]
+            assert values == [0] * ITEMS
+        finally:
+            db.close()
+
+    def test_aggregate_spanning_commit(self, batch_config):
+        db = GraphDatabase.in_memory(
+            isolation=IsolationLevel.SNAPSHOT, **batch_config
+        )
+        try:
+            _build_items(db)
+            with db.begin(read_only=True) as tx:
+                iterator = iter(
+                    tx.execute("MATCH (n:Item) RETURN n.index AS i ORDER BY i")
+                )
+                first = next(iterator)
+                _commit_interference(db)
+                rest = [record["i"] for record in iterator]
+                assert tx.execute("MATCH (n:Item) RETURN count(*)").value() == ITEMS
+                assert (
+                    tx.execute(
+                        "MATCH (n:Item) WHERE n.value = 1 RETURN count(*)"
+                    ).value()
+                    == 0
+                )
+            assert [first["i"]] + rest == list(range(ITEMS))
+        finally:
+            db.close()
+
+    def test_var_length_traversal_spanning_commit(self, batch_config):
+        db = GraphDatabase.in_memory(
+            isolation=IsolationLevel.SNAPSHOT, **batch_config
+        )
+        try:
+            with db.transaction() as tx:
+                previous = None
+                for index in range(8):
+                    node = tx.create_node(["Step"], {"pos": index})
+                    if previous is not None:
+                        tx.create_relationship(previous, node, "NEXT")
+                    previous = node.id
+            with db.begin(read_only=True) as tx:
+                iterator = iter(
+                    tx.execute(
+                        "MATCH (s:Step {pos: 0})-[:NEXT*1..20]->(x) "
+                        "RETURN x.pos AS pos"
+                    )
+                )
+                first = next(iterator)
+                with db.transaction() as wtx:
+                    start = wtx.find_nodes(label="Step", key="pos", value=0)[0]
+                    branch = wtx.create_node(["Step"], {"pos": 100})
+                    wtx.create_relationship(start, branch, "NEXT")
+                rest = [record["pos"] for record in iterator]
+            assert sorted([first["pos"]] + rest) == list(range(1, 8))
+        finally:
+            db.close()
+
+
+def _write_skew_outcome(db: GraphDatabase) -> tuple:
+    """Run a query-driven write skew; returns each side's commit outcome."""
+    with db.transaction() as tx:
+        tx.execute("CREATE (:Acct {k: 'a', v: 100})", {})
+        tx.execute("CREATE (:Acct {k: 'b', v: 100})", {})
+    t1 = db.begin()
+    t2 = db.begin()
+    assert t1.execute("MATCH (n:Acct) RETURN sum(n.v)").value() == 200
+    assert t2.execute("MATCH (n:Acct) RETURN sum(n.v)").value() == 200
+    t1.execute("MATCH (n:Acct {k: 'a'}) SET n.v = n.v - 150", {})
+    t2.execute("MATCH (n:Acct {k: 'b'}) SET n.v = n.v - 150", {})
+    outcomes = []
+    for txn in (t1, t2):
+        try:
+            txn.commit()
+            outcomes.append("committed")
+        except TransactionAbortedError:
+            outcomes.append("aborted")
+    return tuple(outcomes)
+
+
+def _adjacency_skew_outcome(db: GraphDatabase) -> tuple:
+    """Cross rw-antidependency through adjacency predicate reads.
+
+    Each side counts the other's future write target with the exact shape
+    the batch runtime optimises (anonymous terminal target, fused
+    ``count(r)``) — if either rewrite dropped the predicate or SIREAD
+    registration, the dangerous structure would go undetected and both
+    sides would commit.
+    """
+    with db.transaction() as tx:
+        tx.execute("CREATE (:P {k: 'x'})", {})
+        tx.execute("CREATE (:P {k: 'y'})", {})
+        tx.execute("CREATE (:P {k: 'z'})", {})
+    t1 = db.begin()
+    t2 = db.begin()
+    assert (
+        t1.execute("MATCH (n:P {k: 'x'})-[r:KNOWS]-() RETURN count(r)").value() == 0
+    )
+    assert (
+        t2.execute("MATCH (n:P {k: 'y'})-[r:KNOWS]-() RETURN count(r)").value() == 0
+    )
+    t1.execute(
+        "MATCH (a:P {k: 'y'}), (b:P {k: 'z'}) CREATE (a)-[:KNOWS]->(b)", {}
+    )
+    t2.execute(
+        "MATCH (a:P {k: 'x'}), (b:P {k: 'z'}) CREATE (a)-[:KNOWS]->(b)", {}
+    )
+    outcomes = []
+    for txn in (t1, t2):
+        try:
+            txn.commit()
+            outcomes.append("committed")
+        except TransactionAbortedError:
+            outcomes.append("aborted")
+    return tuple(outcomes)
+
+
+class TestSSIAbortEquivalence:
+    """Identical serialization aborts from both executors, per batch config."""
+
+    def test_write_skew_outcome_matches_row_executor(self, batch_config):
+        row_db = GraphDatabase.in_memory(
+            isolation=IsolationLevel.SERIALIZABLE, query_executor="row"
+        )
+        batch_db = GraphDatabase.in_memory(
+            isolation=IsolationLevel.SERIALIZABLE, **batch_config
+        )
+        try:
+            expected = _write_skew_outcome(row_db)
+            actual = _write_skew_outcome(batch_db)
+            assert expected == ("committed", "aborted")
+            assert actual == expected
+        finally:
+            row_db.close()
+            batch_db.close()
+
+    def test_adjacency_skew_outcome_matches_row_executor(self, batch_config):
+        row_db = GraphDatabase.in_memory(
+            isolation=IsolationLevel.SERIALIZABLE, query_executor="row"
+        )
+        batch_db = GraphDatabase.in_memory(
+            isolation=IsolationLevel.SERIALIZABLE, **batch_config
+        )
+        try:
+            expected = _adjacency_skew_outcome(row_db)
+            actual = _adjacency_skew_outcome(batch_db)
+            assert expected == ("committed", "aborted")
+            assert actual == expected
+        finally:
+            row_db.close()
+            batch_db.close()
