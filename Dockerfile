@@ -1,0 +1,20 @@
+# Runs the graph database as a network service (see docker-compose.yml).
+# The engine is pure standard-library Python, so the slim base needs no
+# extra packages installed.
+FROM python:3.12-slim
+
+WORKDIR /app
+COPY src/ src/
+ENV PYTHONPATH=/app/src \
+    PYTHONUNBUFFERED=1
+
+# Store directory is a volume so the graph survives container restarts.
+VOLUME /data
+
+EXPOSE 7688 9464
+
+# SIGTERM (docker stop) triggers the graceful drain: in-flight requests
+# finish and are acked, then the process exits 0.
+ENTRYPOINT ["python", "-m", "repro.server"]
+CMD ["--path", "/data/graph", "--host", "0.0.0.0", "--port", "7688", \
+     "--metrics-port", "9464", "--isolation", "snapshot"]

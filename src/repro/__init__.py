@@ -22,6 +22,7 @@ Quickstart::
 """
 
 from repro.api.database import GraphDatabase
+from repro.api.session import Session
 from repro.api.transaction import Node, Relationship, Transaction
 from repro.api.traversal import Path, TraversalDescription, shortest_path
 from repro.core.conflict import ConflictPolicy
@@ -69,6 +70,7 @@ __all__ = [
     "RelationshipNotFoundError",
     "ReproError",
     "SerializationError",
+    "Session",
     "UnsafeSnapshotError",
     "Transaction",
     "TransactionAbortedError",

@@ -5,21 +5,36 @@
 * :class:`repro.api.transaction.Transaction` — the user-facing transaction:
   create/read/update/delete nodes and relationships, predicate lookups, and
   traversal entry points.
+* :class:`repro.api.session.Session` — a session-scoped transaction holder
+  (one open transaction at a time, session defaults, read-your-writes
+  token); the unit the network server maps connections onto.
 * :mod:`repro.api.traversal` — a small traversal framework (breadth/depth
   first, uniqueness, shortest path) that runs whole multi-step algorithms
   inside one transaction, which is the query-side capability the paper's
   introduction motivates.
+
+Internally the database splits into an engine layer
+(:class:`repro.api.runtime.EngineRuntime`: store, engine, observability)
+and a session layer (:class:`GraphDatabase` itself: transaction gate,
+sessions, retries, exporters, drain ordering) — the seam the network
+service layer builds on.
 """
 
 from repro.api.database import GraphDatabase
+from repro.api.lifecycle import TransactionGate
+from repro.api.runtime import EngineRuntime
+from repro.api.session import Session
 from repro.api.transaction import Node, Relationship, Transaction
 from repro.api.traversal import Path, TraversalDescription
 
 __all__ = [
+    "EngineRuntime",
     "GraphDatabase",
     "Node",
     "Path",
     "Relationship",
+    "Session",
     "Transaction",
+    "TransactionGate",
     "TraversalDescription",
 ]

@@ -1,8 +1,13 @@
-"""The database facade.
+"""The database facade: the session/transaction layer.
 
-:class:`GraphDatabase` wires the storage substrate to one of the two
-concurrency-control engines and hands out user-facing transactions.  The
-isolation level is chosen at open time:
+:class:`GraphDatabase` used to build the whole stack inline; the engine
+layer (store + engine + observability wiring) now lives in
+:class:`~repro.api.runtime.EngineRuntime`, and this class is the session
+layer on top of it: it admits transactions through a
+:class:`~repro.api.lifecycle.TransactionGate`, retries conflict aborts,
+hands out :class:`~repro.api.session.Session` objects (the unit the network
+server maps connections onto), tracks metrics exporters, and owns the
+graceful close/drain ordering.  The isolation level is chosen at open time:
 
 >>> from repro import GraphDatabase, IsolationLevel
 >>> db = GraphDatabase.in_memory(isolation=IsolationLevel.SNAPSHOT)
@@ -20,230 +25,65 @@ import contextlib
 import random
 import threading
 import time
-from typing import Callable, ContextManager, Dict, Mapping, Optional, TypeVar, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    ContextManager,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    TypeVar,
+)
 
+from repro.api.lifecycle import TransactionGate
+from repro.api.runtime import EngineRuntime
 from repro.api.transaction import Transaction
-from repro.core.conflict import ConflictPolicy
 from repro.core.gc import GcStats
-from repro.core.si_manager import DEFAULT_COMMIT_STRIPES, SnapshotIsolationEngine
-from repro.query.cache import DEFAULT_QUERY_CACHE_SIZE
+from repro.core.si_manager import SnapshotIsolationEngine
 from repro.core.vacuum import VacuumCollector
-from repro.engine import GraphEngine, IsolationLevel
+from repro.engine import IsolationLevel
 from repro.errors import ReproError, TransactionAbortedError
-from repro.fault import FailpointRegistry
-from repro.graph.store_manager import StoreManager
-from repro.locking.lock_manager import LockManager
-from repro.locking.rc_manager import ReadCommittedEngine
-from repro.obs import MetricsRegistry, Observability, flatten_statistics
 
 # Re-exported from its new home so existing imports keep working; the WAL's
 # bounded IO-retry loop shares the same backoff (see repro.retry).
 from repro.retry import jittered_backoff  # noqa: F401
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.session import Session
+    from repro.obs import MetricsExporter
+
 T = TypeVar("T")
 
-
-def _coerce_isolation(isolation: Union[IsolationLevel, str]) -> IsolationLevel:
-    if isinstance(isolation, IsolationLevel):
-        return isolation
-    try:
-        return IsolationLevel(isolation)
-    except ValueError as exc:
-        valid = ", ".join(level.value for level in IsolationLevel)
-        raise ValueError(
-            f"unknown isolation level {isolation!r}; expected one of: {valid}"
-        ) from exc
-
-
-def _coerce_policy(policy: Union[ConflictPolicy, str]) -> ConflictPolicy:
-    if isinstance(policy, ConflictPolicy):
-        return policy
-    try:
-        return ConflictPolicy(policy)
-    except ValueError as exc:
-        valid = ", ".join(choice.value for choice in ConflictPolicy)
-        raise ValueError(
-            f"unknown conflict policy {policy!r}; expected one of: {valid}"
-        ) from exc
+#: How long ``close()`` waits for in-flight transactions before fencing them.
+DEFAULT_DRAIN_TIMEOUT = 5.0
 
 
 class GraphDatabase:
-    """A graph database instance: storage substrate plus one transaction engine."""
+    """A graph database instance: one engine runtime plus the session layer."""
 
-    def __init__(
-        self,
-        path: Optional[str] = None,
-        *,
-        isolation: Union[IsolationLevel, str] = IsolationLevel.SNAPSHOT,
-        conflict_policy: Union[ConflictPolicy, str] = ConflictPolicy.FIRST_UPDATER_WINS,
-        page_cache_pages: int = 4096,
-        wal_enabled: bool = True,
-        wal_sync: bool = False,
-        lock_timeout: float = 10.0,
-        version_cache_capacity: int = 200_000,
-        gc_every_n_commits: int = 0,
-        commit_stripes: int = DEFAULT_COMMIT_STRIPES,
-        group_commit: bool = False,
-        snapshot_read_cache: bool = True,
-        query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
-        query_executor: str = "batch",
-        query_batch_size: int = 1024,
-        morsel_workers: int = 0,
-        morsel_threshold: int = 2048,
-        rc_eager_read_unlock: bool = True,
-        safe_snapshots: bool = True,
-        defer_readonly: bool = False,
-        tracing: bool = False,
-        trace_sample_rate: float = 1.0,
-        trace_ring_size: int = 256,
-        slow_query_seconds: Optional[float] = None,
-        slow_query_capacity: int = 128,
-        redact_parameters: bool = False,
-        metrics_registry: Optional[MetricsRegistry] = None,
-        failpoints: Union[FailpointRegistry, Mapping[str, str], str, None] = None,
-    ) -> None:
+    def __init__(self, path: Optional[str] = None, **options) -> None:
         """Open (or create) a database.
 
         ``path`` is a directory for the store files; ``None`` keeps the whole
-        database in memory.  See :class:`~repro.core.si_manager.SnapshotIsolationEngine`
-        and :class:`~repro.locking.rc_manager.ReadCommittedEngine` for the
-        meaning of the engine-specific options.
-
-        ``commit_stripes`` shards the snapshot-isolation commit path so that
-        commits touching disjoint entities proceed concurrently (1 restores
-        the fully-serialised behaviour).  ``group_commit`` coalesces the store
-        persistence of concurrent committers into one WAL append (one fsync
-        under ``wal_sync``) per group.
-
-        Read-path knobs: ``snapshot_read_cache`` enables the SI engine's
-        per-transaction caches of resolved payloads and adjacency lists;
-        ``query_cache_size`` sizes the per-database query parse and plan
-        caches (0 disables them — see ``statistics()["query_cache"]``);
-        ``rc_eager_read_unlock`` routes read-committed point reads through
-        the lock manager's short shared guard instead of a full
-        acquire/release pair (``False`` restores the seed behaviour).
-
-        Executor knobs: ``query_executor`` selects the operator runtime —
-        ``"batch"`` (default) runs the vectorized batch-at-a-time executor,
-        ``"row"`` the original row-at-a-time generators; ``query_batch_size``
-        caps the rows per batch.  ``morsel_workers`` > 1 lets leaf scans of
-        read-only snapshot transactions split their id range into that many
-        morsels across a shared thread pool when the planner estimates at
-        least ``morsel_threshold`` rows (0 — the default — keeps every scan
-        on the query thread; under the CPython GIL parallel morsels mostly
-        pay off on free-threaded builds, so this stays opt-in).
-
-        Serializable-only knobs: ``safe_snapshots`` gates read-only
-        transactions so the Fekete read-only-transaction anomaly cannot
-        occur (disable only to reproduce the anomaly, as the test harness
-        does); ``defer_readonly`` makes read-only serializable transactions
-        *deferrable* by default — ``begin(read_only=True)`` blocks until a
-        safe snapshot is available and then runs completely untracked
-        (override per transaction with ``begin(deferrable=...)``).  See
-        ``statistics()["safe_snapshots"]``.
-
-        Observability knobs: ``tracing`` samples transactions into timed
-        lifecycle traces (``trace_sample_rate`` traces every
-        ``round(1/rate)``-th transaction; ``trace_ring_size`` bounds the
-        recent-trace window); ``slow_query_seconds`` enables the slow-query
-        log for statements above the threshold (``redact_parameters``
-        replaces captured parameter values); ``metrics_registry`` shares a
-        registry across databases (each database gets a private
-        :class:`~repro.obs.registry.MetricsRegistry` by default).  See
-        :meth:`metrics_snapshot`, :meth:`prometheus_metrics` and
-        :meth:`serve_metrics`.
-
-        ``failpoints`` enables deterministic fault injection on the
-        durability path: pass a prepared
-        :class:`~repro.fault.FailpointRegistry`, a ``{site: spec}`` mapping,
-        or a ``"site=spec;..."`` string (see :data:`repro.fault.FAILPOINT_SITES`
-        for the site catalog and :mod:`repro.fault.policies` for the spec
-        syntax).  When omitted, the ``REPRO_FAILPOINTS`` environment variable
-        is consulted (the CI hook); when that is unset too, every component
-        carries ``failpoints=None`` and the injection sites are dead
-        branches.  See also :meth:`health` for the degraded read-only mode
-        that unrecoverable IO errors (injected or real) trigger.
+        database in memory.  Every keyword option is forwarded to
+        :class:`~repro.api.runtime.EngineRuntime`, which documents the full
+        knob catalog (isolation and conflict policy, commit pipeline, read
+        path, executor, serializable-only, observability and fault-injection
+        options); the signatures are one-to-one with previous releases.
         """
-        self._isolation = _coerce_isolation(isolation)
+        self._runtime = EngineRuntime(path, **options)
+        self._gate = TransactionGate()
+        self._exporters: List["MetricsExporter"] = []
+        self._exporters_lock = threading.Lock()
         self._closed = False
         self._close_lock = threading.Lock()
-        self.failpoints = FailpointRegistry.from_config(failpoints)
-        self.observability = Observability(
-            registry=metrics_registry,
-            tracing=tracing,
-            trace_sample_rate=trace_sample_rate,
-            trace_ring_size=trace_ring_size,
-            slow_query_seconds=slow_query_seconds,
-            slow_query_capacity=slow_query_capacity,
-            redact_parameters=redact_parameters,
-        )
-        self.store = StoreManager(
-            path,
-            page_cache_pages=page_cache_pages,
-            wal_enabled=wal_enabled,
-            wal_sync=wal_sync,
-            # Never recycle entity ids under MVCC: old versions of a deleted
-            # entity may still be readable by open snapshots.
-            reuse_entity_ids=(self._isolation is IsolationLevel.READ_COMMITTED),
-            group_commit=group_commit,
-            failpoints=self.failpoints,
-        )
-        self.store.obs = self.observability
-        self.store.wal.obs = self.observability
-        if self.failpoints is not None and self.failpoints.on_fire is None:
-            faults_injected = self.observability.faults_injected
-            self.failpoints.on_fire = lambda fault: faults_injected.labels(
-                site=fault.site
-            ).inc()
-        # The degraded gauge is computed at scrape time from the health
-        # switch (the store also pushes 1 eagerly when it degrades, which
-        # set_function supersedes — both views agree by construction).
-        health = self.store.health
-        self.observability.engine_degraded.set_function(
-            lambda: 1 if health.is_degraded else 0
-        )
-        self.observability.health_source = health.as_dict
-        locks = LockManager(default_timeout=lock_timeout)
-        if self._isolation is not IsolationLevel.READ_COMMITTED:
-            # SNAPSHOT and SERIALIZABLE share the MVCC engine; the isolation
-            # level selects the concurrency-control policy (plain write rule
-            # vs. SSI rw-antidependency tracking).
-            self.engine: GraphEngine = SnapshotIsolationEngine(
-                self.store,
-                lock_manager=locks,
-                conflict_policy=_coerce_policy(conflict_policy),
-                isolation=self._isolation,
-                version_cache_capacity=version_cache_capacity,
-                gc_every_n_commits=gc_every_n_commits,
-                commit_stripes=commit_stripes,
-                snapshot_read_cache=snapshot_read_cache,
-                query_cache_size=query_cache_size,
-                query_executor=query_executor,
-                query_batch_size=query_batch_size,
-                morsel_workers=morsel_workers,
-                morsel_threshold=morsel_threshold,
-                safe_snapshots=safe_snapshots,
-                defer_readonly=defer_readonly,
-                obs=self.observability,
-            )
-        else:
-            self.engine = ReadCommittedEngine(
-                self.store,
-                lock_manager=locks,
-                eager_read_unlock=rc_eager_read_unlock,
-                query_cache_size=query_cache_size,
-                obs=self.observability,
-            )
-            # The RC engine takes no executor knobs of its own; attach the
-            # shared query-executor configuration (morsels never apply — the
-            # eligibility check requires a multi-version snapshot reader).
-            self.engine.query_executor = query_executor
-            self.engine.query_batch_size = max(1, int(query_batch_size))
-            self.engine.morsel_workers = 0
         # Exposition-side bridge: every numeric leaf of ``statistics()``
         # becomes a ``repro_stat_*`` entry in snapshots and the Prometheus
         # text, so the registry reproduces the whole legacy counter surface
         # by construction (asserted equal in tests).
+        from repro.obs import flatten_statistics
+
         self.observability.registry.register_collector(
             lambda: flatten_statistics(self.statistics())
         )
@@ -263,18 +103,48 @@ class GraphDatabase:
         return cls(path=path, **options)
 
     # ------------------------------------------------------------------
-    # properties
+    # layer accessors (engine layer lives on the runtime)
     # ------------------------------------------------------------------
+
+    @property
+    def runtime(self) -> EngineRuntime:
+        """The engine layer: store, engine, observability, failpoints."""
+        return self._runtime
+
+    @property
+    def store(self):
+        """The storage substrate (engine layer)."""
+        return self._runtime.store
+
+    @property
+    def engine(self):
+        """The concurrency-control engine (engine layer)."""
+        return self._runtime.engine
+
+    @property
+    def observability(self):
+        """The observability bundle (engine layer)."""
+        return self._runtime.observability
+
+    @property
+    def failpoints(self):
+        """The failpoint registry, or ``None`` when fault injection is off."""
+        return self._runtime.failpoints
 
     @property
     def isolation_level(self) -> IsolationLevel:
         """The isolation level this database was opened with."""
-        return self._isolation
+        return self._runtime.isolation
 
     @property
     def is_snapshot_isolation(self) -> bool:
         """Whether this database runs the paper's MVCC engine (SI or SSI)."""
-        return self._isolation is not IsolationLevel.READ_COMMITTED
+        return self._runtime.is_snapshot_isolation
+
+    @property
+    def transaction_gate(self) -> TransactionGate:
+        """The admission gate (the network server drains through it too)."""
+        return self._gate
 
     # ------------------------------------------------------------------
     # transactions
@@ -289,17 +159,41 @@ class GraphDatabase:
         the database's ``defer_readonly`` default: ``True`` blocks until a
         safe snapshot is available and then runs fully untracked, ``False``
         starts immediately under retroactive safe-snapshot validation.
+
+        The transaction is registered with the database's drain gate: once
+        ``close()`` has begun, new ``begin()`` calls raise
+        :class:`~repro.errors.DatabaseClosedError` while in-flight
+        transactions get a grace period to finish.
         """
-        self._ensure_open()
-        return Transaction(
-            self.engine, self.engine.begin(read_only=read_only, deferrable=deferrable)
+        self._gate.ensure_open()
+        transaction = Transaction(
+            self.engine,
+            self.engine.begin(read_only=read_only, deferrable=deferrable),
+            on_close=self._gate.deregister,
         )
+        try:
+            self._gate.register(transaction)
+        except BaseException:
+            transaction.rollback()
+            raise
+        return transaction
 
     def transaction(
         self, *, read_only: bool = False, deferrable: Optional[bool] = None
     ) -> Transaction:
         """Alias of :meth:`begin`, reads naturally in ``with`` statements."""
         return self.begin(read_only=read_only, deferrable=deferrable)
+
+    def session(self, **defaults) -> "Session":
+        """A session: the unit of conversation the network server speaks.
+
+        A session owns at most one open transaction at a time and carries
+        per-session defaults (``read_only``, ``deferrable``); see
+        :class:`~repro.api.session.Session`.
+        """
+        from repro.api.session import Session
+
+        return Session(self, **defaults)
 
     def run_transaction(
         self,
@@ -320,10 +214,14 @@ class GraphDatabase:
         rw-antidependency (dangerous structure) aborts under serializable,
         deadlock victims under read committed — and the application contract
         for all of them is "retry".  This helper owns that contract: it
-        re-runs ``fn`` in a fresh transaction on every
+        re-runs ``fn`` in a fresh transaction on every *retryable*
         :class:`~repro.errors.TransactionAbortedError`, sleeping a jittered
         exponential backoff between attempts, up to ``retries`` retries
         (``retries + 1`` attempts in total) before re-raising the last abort.
+        Aborts that cannot succeed on retry in this process —
+        :class:`~repro.errors.DegradedModeError` and its subclasses, whose
+        ``retryable`` flag is ``False`` because degraded mode is one-way —
+        are re-raised immediately instead of burning the backoff budget.
 
         ``fn`` receives the open transaction and may return any value, which
         becomes the return value of this call; the transaction commits after
@@ -344,7 +242,7 @@ class GraphDatabase:
                 return result
             except TransactionAbortedError as exc:
                 tx.rollback()
-                if attempt >= retries:
+                if not getattr(exc, "retryable", True) or attempt >= retries:
                     raise
                 if on_retry is not None:
                     on_retry(attempt, exc)
@@ -384,7 +282,6 @@ class GraphDatabase:
         """
         from repro.query import is_read_only_query
 
-        self._ensure_open()
         tx = self.begin(read_only=is_read_only_query(self.engine, query))
         try:
             result = tx.execute(query, parameters, **params)
@@ -440,52 +337,26 @@ class GraphDatabase:
     def checkpoint(self) -> None:
         """Flush dirty pages and truncate the write-ahead log."""
         self._ensure_open()
-        self.store.checkpoint()
+        self._runtime.checkpoint()
 
     def health(self) -> Dict[str, object]:
-        """The engine health view: ``{"status": "ok"|"degraded", ...}``.
+        """The engine health view: ``{"status": "ok"|"draining"|"degraded", ...}``.
 
         A degraded engine rejects write transactions with
-        :class:`~repro.errors.DatabaseReadOnlyError` (a retryable abort —
-        but retrying against the same process keeps failing; the recovery
-        story is reopening the database, which replays the WAL) while
-        snapshot reads keep working.  The same view backs the exporter's
+        :class:`~repro.errors.DatabaseReadOnlyError` (a non-retryable abort
+        in this process; the recovery story is reopening the database, which
+        replays the WAL) while snapshot reads keep working.  A draining
+        engine is healthy but shutting down — ``/healthz`` answers 503 so
+        load balancers route new sessions elsewhere while in-flight
+        transactions finish.  The same view backs the exporter's
         ``/healthz`` endpoint and the ``repro_engine_degraded`` gauge.
         """
         return self.store.health.as_dict()
 
     def statistics(self) -> Dict[str, object]:
         """Aggregated statistics from the engine, stores and caches."""
-        stats: Dict[str, object] = {
-            "isolation": self._isolation.value,
-            "health": self.store.health.as_dict(),
-            "store": self.store.stats.as_dict(),
-            "page_cache": self.store.page_cache.stats.as_dict(),
-            "wal": self.store.wal_stats(),
-            "query_cache": dict(
-                self.engine.query_caches.stats(),
-                stats_epoch=self.engine.stats_epoch.as_dict(),
-            ),
-            "observability": self.observability.stats(),
-        }
-        if self.failpoints is not None:
-            stats["failpoints"] = self.failpoints.stats()
-        if isinstance(self.engine, SnapshotIsolationEngine):
-            stats["engine"] = self.engine.statistics()
-            stats["object_cache"] = self.engine.versions.cache.stats.as_dict()
-            # Safe-snapshot counters are load-bearing for benchmarks (retry
-            # attribution), so they get a top-level alias too.
-            stats["safe_snapshots"] = stats["engine"]["safe_snapshots"]
-        else:
-            stats["engine"] = {
-                "transactions": dict(
-                    self.engine.stats.as_dict(),
-                    abort_reasons=self.engine.abort_reasons(),
-                ),
-                "concurrency_control": self.engine.cc.statistics(),
-                "cardinalities": self.engine.cardinalities(),
-            }
-            stats["locks"] = self.engine.locks.stats.as_dict()
+        stats = self._runtime.statistics()
+        stats["lifecycle"] = dict(self._gate.stats(), closed=int(self._closed))
         return stats
 
     # ------------------------------------------------------------------
@@ -511,9 +382,15 @@ class GraphDatabase:
         Returns the running :class:`~repro.obs.exporter.MetricsExporter`
         (``exporter.url`` is the scrape URL; ``port=0`` picks a free port).
         The server runs on a daemon thread; call ``exporter.stop()`` or use
-        it as a context manager.
+        it as a context manager.  Every exporter started here is tracked and
+        stopped by :meth:`close`, so no scrape endpoint outlives the engine
+        it reports on.
         """
-        return self.observability.serve(host, port)
+        self._ensure_open()
+        exporter = self.observability.serve(host, port)
+        with self._exporters_lock:
+            self._exporters.append(exporter)
+        return exporter
 
     def slow_queries(self, limit: Optional[int] = None):
         """Entries of the slow-query log, oldest first."""
@@ -523,13 +400,44 @@ class GraphDatabase:
         """Recent finished transaction traces, oldest first."""
         return self.observability.recent_traces(limit)
 
-    def close(self) -> None:
-        """Close the engine and the store files (idempotent)."""
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether :meth:`close` has completed."""
+        return self._closed
+
+    def close(self, *, drain_timeout: float = DEFAULT_DRAIN_TIMEOUT) -> None:
+        """Drain transactions, stop exporters, close engine and store files.
+
+        Shutdown order (idempotent):
+
+        1. the health view flips to ``draining`` (``/healthz`` → 503),
+        2. new transactions are fenced with
+           :class:`~repro.errors.DatabaseClosedError` while in-flight ones
+           get up to ``drain_timeout`` seconds to finish — a commit that
+           completes in the window is fully durable; stragglers are rolled
+           back so their owners see a clean ``TransactionClosedError``,
+        3. every metrics exporter started by :meth:`serve_metrics` is
+           stopped (a scrape endpoint must not keep answering for a closed
+           engine), and
+        4. the engine and the store files are closed.
+
+        The network server reuses steps 1–2 through the same gate for its
+        graceful drain, then calls ``close()`` which finds nothing left.
+        """
         with self._close_lock:
             if self._closed:
                 return
-            self.engine.close()
-            self.store.close()
+            self.store.health.mark_draining("database close")
+            self._gate.close_and_drain(drain_timeout)
+            with self._exporters_lock:
+                exporters, self._exporters = self._exporters, []
+            for exporter in exporters:
+                exporter.stop()
+            self._runtime.close()
             self._closed = True
 
     def __enter__(self) -> "GraphDatabase":
@@ -543,5 +451,4 @@ class GraphDatabase:
     # ------------------------------------------------------------------
 
     def _ensure_open(self) -> None:
-        if self._closed:
-            raise ReproError("the database has been closed")
+        self._gate.ensure_open()

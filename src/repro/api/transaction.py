@@ -256,9 +256,14 @@ def _rel_id(relationship: RelationshipLike) -> int:
 class Transaction:
     """The user-facing transaction (context manager: commit on success)."""
 
-    def __init__(self, engine, engine_txn: EngineTransaction) -> None:
+    def __init__(self, engine, engine_txn: EngineTransaction, *, on_close=None) -> None:
         self._engine = engine
         self._txn = engine_txn
+        #: Invoked exactly once when the transaction leaves the ACTIVE state
+        #: (commit, failed commit, or rollback).  The database's transaction
+        #: gate registers itself here so ``close()`` can drain in-flight
+        #: transactions before releasing the store files.
+        self._on_close = on_close
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -297,11 +302,26 @@ class Transaction:
 
     def commit(self) -> None:
         """Commit the transaction."""
-        self._txn.commit()
+        try:
+            self._txn.commit()
+        finally:
+            # A failed commit aborts the engine transaction, so either way
+            # the transaction is no longer active once commit() returns.
+            self._notify_closed()
 
     def rollback(self) -> None:
         """Roll the transaction back (safe to call on a closed transaction)."""
-        self._txn.rollback()
+        try:
+            self._txn.rollback()
+        finally:
+            self._notify_closed()
+
+    def _notify_closed(self) -> None:
+        if self._txn.is_open:
+            return
+        callback, self._on_close = self._on_close, None
+        if callback is not None:
+            callback(self)
 
     def __enter__(self) -> "Transaction":
         return self

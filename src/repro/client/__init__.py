@@ -1,0 +1,21 @@
+"""The synchronous client for the network service layer.
+
+:class:`GraphClient` speaks the :mod:`repro.server.protocol` wire format:
+connect + HELLO negotiation, auto-commit ``execute()``, explicit
+``begin()``/``commit()``/``rollback()``, and errors mapped back onto
+:mod:`repro.errors` so embedded code ports unchanged.  Graph entities in
+results come back as the ``RemoteNode`` / ``RemoteRelationship`` /
+``RemotePath`` dataclasses re-exported here.
+"""
+
+from repro.client.client import ClientResult, GraphClient, remote_error
+from repro.server.protocol import RemoteNode, RemotePath, RemoteRelationship
+
+__all__ = [
+    "ClientResult",
+    "GraphClient",
+    "RemoteNode",
+    "RemotePath",
+    "RemoteRelationship",
+    "remote_error",
+]

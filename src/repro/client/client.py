@@ -1,0 +1,295 @@
+"""The synchronous client for :mod:`repro.server`.
+
+One :class:`GraphClient` is one connection and therefore one server-side
+session: at most one open explicit transaction, session defaults negotiated
+in HELLO, and a read-your-writes token (:attr:`GraphClient.last_commit_ts`)
+updated on every acked write.
+
+Server errors come back as the matching :mod:`repro.errors` class whenever
+the wire ``code`` names one, so embedded retry loops port unchanged::
+
+    from repro.client import GraphClient
+    from repro.errors import TransactionAbortedError
+
+    with GraphClient(port=7688) as client:
+        while True:
+            try:
+                client.execute(
+                    "MATCH (n:Counter) SET n.value = n.value + 1"
+                )
+                break
+            except TransactionAbortedError as exc:
+                if not exc.retryable:
+                    raise
+
+Remote errors carry ``remote=True``, the wire code in ``remote_code``, the
+server's ``retryable`` verdict, and for aborts the ``classify_abort``
+taxonomy bucket in ``remote_reason``.
+
+The client is deliberately not thread-safe beyond a serialising lock: the
+protocol is strictly request/response per connection, so threads sharing a
+client would serialise anyway — open one client per thread instead.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import repro.errors
+from repro.errors import ProtocolError, ReproError, ServerError
+from repro.server import protocol
+
+__all__ = ["ClientResult", "GraphClient", "remote_error"]
+
+
+def remote_error(error: dict) -> ReproError:
+    """Materialise a wire error object as the matching local exception.
+
+    The wire ``code`` is a :mod:`repro.errors` class name; unknown codes
+    (or codes that name something other than a ReproError) become a plain
+    :class:`ServerError` so a server can add error types without breaking
+    old clients.  Construction bypasses ``__init__`` — several error
+    classes build their message from structured arguments the wire does not
+    carry, and the server's message must survive verbatim.
+    """
+    code = str(error.get("code", "ServerError"))
+    message = str(error.get("message", code))
+    cls = getattr(repro.errors, code, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ServerError
+        message = f"{code}: {message}" if code != "ServerError" else message
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, message)
+    exc.remote = True
+    exc.remote_code = code
+    exc.retryable = bool(error.get("retryable", False))
+    exc.remote_reason = error.get("reason")
+    return exc
+
+
+@dataclass
+class ClientResult:
+    """A fully-materialised query result from the server."""
+
+    columns: Tuple[str, ...]
+    rows: List[List[object]]
+    stats: Dict[str, object]
+    #: Commit timestamp when the statement auto-committed a write;
+    #: ``None`` inside explicit transactions and for pure reads.
+    commit_ts: Optional[int] = None
+    #: Rendered plan for EXPLAIN/PROFILE statements.
+    plan: Optional[str] = None
+
+    def records(self) -> List[Dict[str, object]]:
+        """Rows as column-keyed dictionaries."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def values(self, column: int = 0) -> List[object]:
+        """One column of the result."""
+        return [row[column] for row in self.rows]
+
+    def single(self) -> List[object]:
+        """The only row; errors unless exactly one came back."""
+        if len(self.rows) != 1:
+            raise ReproError(f"expected exactly one row, got {len(self.rows)}")
+        return self.rows[0]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class GraphClient:
+    """A connection to a :class:`~repro.server.GraphServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        *,
+        isolation: Union[str, None] = None,
+        require_isolation: bool = False,
+        read_only: bool = False,
+        deferrable: Optional[bool] = None,
+        auth_token: Optional[str] = None,
+        client_name: str = "repro-client",
+        timeout: Optional[float] = None,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        """Connect and negotiate the session; raises the mapped server error
+        if HELLO is rejected (auth, connection limit, isolation, drain)."""
+        self._max_frame_bytes = max_frame_bytes
+        self._lock = threading.Lock()
+        self._closed = False
+        self._in_transaction = False
+        #: Commit timestamp of this session's newest acked write (the
+        #: read-your-writes token; carry it to a replica as a watermark).
+        self.last_commit_ts: Optional[int] = None
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            hello: Dict[str, object] = {
+                "op": "hello",
+                "protocol": protocol.PROTOCOL_VERSION,
+                "client": client_name,
+                "read_only": bool(read_only),
+            }
+            if isolation is not None:
+                value = getattr(isolation, "value", isolation)
+                hello["isolation"] = value
+                hello["require_isolation"] = bool(require_isolation)
+            if deferrable is not None:
+                hello["deferrable"] = bool(deferrable)
+            if auth_token is not None:
+                hello["auth_token"] = auth_token
+            response = self._roundtrip(hello)
+        except BaseException:
+            self._sock.close()
+            self._closed = True
+            raise
+        #: Session id and the isolation level the server granted.
+        self.session_id: int = int(response["session_id"])
+        self.isolation: str = str(response["isolation"])
+        self.read_only: bool = bool(response["read_only"])
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: str,
+        parameters: Optional[Dict[str, object]] = None,
+        **params: object,
+    ) -> ClientResult:
+        """Run a statement (auto-commit outside an explicit transaction)."""
+        merged = dict(parameters or {})
+        merged.update(params)
+        request: Dict[str, object] = {"op": "execute", "query": query}
+        if merged:
+            request["params"] = {
+                key: protocol.encode_value(value) for key, value in merged.items()
+            }
+        response = self._roundtrip(request)
+        commit_ts = response.get("commit_ts")
+        if commit_ts is not None:
+            self.last_commit_ts = commit_ts
+        return ClientResult(
+            columns=tuple(response.get("columns", ())),
+            rows=[
+                [protocol.decode_value(value) for value in row]
+                for row in response.get("rows", ())
+            ],
+            stats=response.get("stats", {}),
+            commit_ts=commit_ts,
+            plan=response.get("plan"),
+        )
+
+    # ------------------------------------------------------------------
+    # explicit transactions
+    # ------------------------------------------------------------------
+
+    def begin(
+        self,
+        *,
+        read_only: Optional[bool] = None,
+        deferrable: Optional[bool] = None,
+    ) -> int:
+        """Open the session's explicit transaction; returns its id."""
+        request: Dict[str, object] = {"op": "begin"}
+        if read_only is not None:
+            request["read_only"] = bool(read_only)
+        if deferrable is not None:
+            request["deferrable"] = bool(deferrable)
+        response = self._roundtrip(request)
+        self._in_transaction = True
+        return int(response["txn_id"])
+
+    def commit(self) -> Optional[int]:
+        """Commit the explicit transaction; returns the commit timestamp."""
+        response = self._roundtrip({"op": "commit"})
+        self._in_transaction = False
+        commit_ts = response.get("commit_ts")
+        if commit_ts is not None:
+            self.last_commit_ts = commit_ts
+        return commit_ts
+
+    def rollback(self) -> None:
+        """Roll the explicit transaction back."""
+        self._roundtrip({"op": "rollback"})
+        self._in_transaction = False
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether this client believes an explicit transaction is open."""
+        return self._in_transaction
+
+    # ------------------------------------------------------------------
+    # service
+    # ------------------------------------------------------------------
+
+    def ping(self) -> Dict[str, object]:
+        """The server's health view (``status`` ok/draining/degraded)."""
+        return self._roundtrip({"op": "ping"})["health"]
+
+    def server_stats(self) -> Dict[str, object]:
+        """The server's session/drain statistics."""
+        return self._roundtrip({"op": "stats"})["server"]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether :meth:`close` has run (or the connection died)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Say goodbye (best effort) and close the socket (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                protocol.write_frame(self._sock, {"op": "goodbye"})
+                protocol.read_frame(self._sock, self._max_frame_bytes)
+            except OSError:
+                pass
+            finally:
+                self._sock.close()
+
+    def __enter__(self) -> "GraphClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # wire
+    # ------------------------------------------------------------------
+
+    def _roundtrip(self, request: dict) -> dict:
+        with self._lock:
+            if self._closed:
+                raise ServerError("the client is closed")
+            try:
+                protocol.write_frame(self._sock, request)
+                response = protocol.read_frame(self._sock, self._max_frame_bytes)
+            except (OSError, ProtocolError):
+                # The connection is unusable mid-exchange; fail every later
+                # call fast instead of writing into a broken pipe.
+                self._closed = True
+                self._sock.close()
+                raise
+        if response is None:
+            self._closed = True
+            self._sock.close()
+            raise ServerError("the server closed the connection")
+        if not response.get("ok"):
+            raise remote_error(response.get("error", {}))
+        return response

@@ -85,7 +85,17 @@ class TransactionClosedError(TransactionError):
 
 
 class TransactionAbortedError(TransactionError):
-    """The transaction was aborted by the engine and must be retried."""
+    """The transaction was aborted by the engine and must be retried.
+
+    ``retryable`` tells retry loops (``GraphDatabase.run_transaction``, the
+    client library) whether re-running the transaction in the same process
+    can ever succeed.  Conflict-class aborts are retryable; subclasses whose
+    cause is permanent for the life of the process (degraded read-only mode)
+    override it to ``False`` and are re-raised immediately instead of
+    burning the backoff budget.
+    """
+
+    retryable = True
 
 
 class WriteWriteConflictError(TransactionAbortedError):
@@ -134,18 +144,31 @@ class ReadOnlyTransactionError(TransactionError):
     """A write was attempted inside a transaction opened as read-only."""
 
 
+class SessionStateError(TransactionError):
+    """A session operation that does not fit the session's transaction state.
+
+    Raised by :class:`~repro.api.session.Session` — ``begin()`` while the
+    session already holds an open transaction, ``commit()``/``rollback()``
+    with none, or any use of a closed session.  The network server maps this
+    onto protocol errors for misbehaving clients.
+    """
+
+
 class DegradedModeError(TransactionAbortedError):
     """The engine entered degraded read-only mode while this write was in flight.
 
     Raised when an unrecoverable IO error (a failed fsync after retries, a
     torn append that could not be repaired, a broken checkpoint) flipped the
     engine into degraded mode during the transaction's commit.  Snapshot
-    readers keep working; the write was **not** made durable.  The error is
-    retryable in the formal sense (it subclasses
-    :class:`TransactionAbortedError`, so ``run_transaction`` backs off and
-    retries), which gives a transient-at-the-OS-level outage a chance to
-    clear; a persistently degraded engine keeps rejecting the retries.
+    readers keep working; the write was **not** made durable.  Degradation
+    is one-way for the life of the process (the recovery story is reopening
+    the database, which replays the WAL), so retrying against the same
+    process can never succeed — the error is marked ``retryable = False``
+    and ``run_transaction`` re-raises it immediately instead of sleeping
+    through its backoff budget.
     """
+
+    retryable = False
 
 
 class DatabaseReadOnlyError(DegradedModeError):
@@ -155,6 +178,62 @@ class DatabaseReadOnlyError(DegradedModeError):
     established (as opposed to :class:`DegradedModeError`, which reports the
     commit that *hit* the IO failure).  Read-only transactions are unaffected.
     """
+
+
+class DatabaseClosedError(ReproError):
+    """An operation was attempted on a database that is closed (or draining).
+
+    Raised by ``GraphDatabase`` once ``close()`` has begun: new transactions
+    are fenced here while the drain step waits for in-flight transactions to
+    finish, and every later API call gets the same clean error instead of an
+    OS-level failure against released file descriptors.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Network service layer (see repro.server / repro.client)
+# ---------------------------------------------------------------------------
+
+class ServerError(ReproError):
+    """Base class for errors raised by the network service layer."""
+
+
+class ProtocolError(ServerError):
+    """A wire frame or message could not be decoded (or broke the protocol)."""
+
+
+class AuthenticationError(ServerError):
+    """The server rejected the session's credentials at HELLO time."""
+
+
+class ConnectionLimitError(ServerError):
+    """The server is at its connection limit; retry against another node."""
+
+
+class ServerDrainingError(ServerError):
+    """The server is draining for shutdown and accepts no new work.
+
+    In-flight requests complete and their commits are durable; anything
+    arriving after the drain began — new connections and new requests alike —
+    gets this error and should be retried against another node.
+    """
+
+    retryable = True
+
+
+class IsolationNegotiationError(ServerError):
+    """The session demanded an isolation level the server cannot provide.
+
+    Raised only when the client sets ``require_isolation``: the server's
+    database runs one concurrency-control policy, and a request for a
+    *stronger* level than it provides cannot be granted (weaker requests are
+    served at the database's level, which is strictly more isolated, and the
+    granted level is reported back in the HELLO response).
+    """
+
+
+class SessionExpiredError(ServerError):
+    """The server-side session is gone (evicted, timed out, or server restart)."""
 
 
 def classify_abort(exc: BaseException) -> str:

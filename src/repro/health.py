@@ -40,6 +40,13 @@ class EngineHealth:
         self._reason: Optional[str] = None
         self._cause: Optional[str] = None
         self._since_monotonic: Optional[float] = None
+        #: Lifecycle drain flag (also monotonic): flipped when the database
+        #: (or the server in front of it) starts a graceful shutdown, so
+        #: ``/healthz`` answers 503 and load balancers stop routing here
+        #: while in-flight transactions finish.  Distinct from ``degraded``:
+        #: a draining engine is healthy, it is just going away.
+        self.draining = False
+        self._drain_reason: Optional[str] = None
 
     @property
     def is_degraded(self) -> bool:
@@ -47,9 +54,22 @@ class EngineHealth:
         return self.degraded
 
     @property
+    def is_draining(self) -> bool:
+        """Whether a graceful shutdown drain has started."""
+        return self.draining
+
+    @property
     def status(self) -> str:
-        """``"ok"`` or ``"degraded"`` (the ``/healthz`` vocabulary)."""
-        return "degraded" if self.degraded else "ok"
+        """``"ok"``, ``"draining"`` or ``"degraded"`` (the ``/healthz`` vocabulary).
+
+        ``degraded`` wins over ``draining``: a broken engine stays reported
+        broken even while it is being shut down.
+        """
+        if self.degraded:
+            return "degraded"
+        if self.draining:
+            return "draining"
+        return "ok"
 
     def mark_degraded(self, reason: str, cause: Optional[BaseException] = None) -> bool:
         """Flip into degraded mode; returns True iff this call flipped it.
@@ -64,6 +84,20 @@ class EngineHealth:
             self._cause = repr(cause) if cause is not None else None
             self._since_monotonic = time.monotonic()
             self.degraded = True
+            return True
+
+    def mark_draining(self, reason: str = "shutdown") -> bool:
+        """Report a graceful shutdown in progress; returns True iff this call flipped it.
+
+        Only affects the reported status (``/healthz`` turns 503 so traffic
+        is routed away); admission control for new transactions lives in the
+        database's transaction gate, not here.
+        """
+        with self._lock:
+            if self.draining:
+                return False
+            self.draining = True
+            self._drain_reason = reason
             return True
 
     def ensure_writable(self) -> None:
@@ -82,6 +116,9 @@ class EngineHealth:
                 "status": self.status,
                 "degraded": self.degraded,
             }
+            if self.draining:
+                payload["draining"] = True
+                payload["drain_reason"] = self._drain_reason
             if self.degraded:
                 payload["reason"] = self._reason
                 payload["cause"] = self._cause

@@ -79,6 +79,7 @@ class MetricsExporter:
         self._server = ThreadingHTTPServer((host, port), Handler)
         self._server.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+        self._stopped = False
 
     @property
     def host(self) -> str:
@@ -106,8 +107,21 @@ class MetricsExporter:
             self._thread.start()
         return self
 
+    @property
+    def is_running(self) -> bool:
+        """Whether the exporter is serving (started and not stopped)."""
+        return self._thread is not None and not self._stopped
+
     def stop(self) -> None:
-        """Shut the server down and join its thread."""
+        """Shut the server down and join its thread (idempotent).
+
+        Called both by user code and by ``GraphDatabase.close()`` — the
+        database tracks every exporter it started so none outlives the
+        engine answering scrapes against closed files.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:

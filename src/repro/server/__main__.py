@@ -1,0 +1,91 @@
+"""``python -m repro.server`` — run a database as a network service.
+
+Prints one ``listening <host>:<port>`` line to stdout once the socket is
+bound (scripts wait for it), serves until SIGTERM/SIGINT, drains
+gracefully, and exits 0 — which is what the smoke script and the container
+entry point assert.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api.database import GraphDatabase
+from repro.server.protocol import DEFAULT_PORT
+from repro.server.server import GraphServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a repro graph database over the wire protocol.",
+    )
+    parser.add_argument(
+        "--path",
+        default=None,
+        help="database directory (omit for a fresh in-memory database)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--isolation",
+        default="snapshot",
+        choices=["read_committed", "snapshot", "serializable"],
+        help="isolation level the database (and so every session) runs at",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        help="shared secret clients must present in HELLO (default: no auth)",
+    )
+    parser.add_argument(
+        "--max-connections", type=int, default=64, help="session admission limit"
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds in-flight work gets to finish on shutdown",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also serve /metrics + /healthz on this port (0 = ephemeral)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    db = GraphDatabase(args.path, isolation=args.isolation)
+    exporter = None
+    if args.metrics_port is not None:
+        exporter = db.serve_metrics(host=args.host, port=args.metrics_port)
+    server = GraphServer(
+        db,
+        args.host,
+        args.port,
+        auth=args.auth_token,
+        max_connections=args.max_connections,
+        drain_timeout=args.drain_timeout,
+    )
+    try:
+        server.start()
+    except OSError as exc:
+        print(f"bind failed: {exc}", file=sys.stderr)
+        db.close()
+        return 1
+    host, port = server.address
+    print(f"listening {host}:{port}", flush=True)
+    if exporter is not None:
+        print(f"metrics {exporter.url}", flush=True)
+    server.serve_forever()  # returns after a signal, fully drained
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

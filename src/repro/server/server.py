@@ -1,0 +1,348 @@
+"""The network front end: an asyncio socket server over one database.
+
+Architecture
+------------
+
+The engine is synchronous and thread-based, so the server splits the work:
+
+* an **asyncio event loop** (on a dedicated background thread) owns every
+  socket — accepting connections, framing, and the drain machinery — which
+  is the cheap way to hold hundreds of mostly-idle connections;
+* a **worker thread pool** runs the actual database work.  Each connection
+  has at most one in-flight request (the protocol is strictly
+  request/response), so a session's transactions are only ever touched from
+  one worker at a time and need no extra locking.
+
+Graceful drain (``shutdown()``, or SIGTERM under ``serve_forever()``):
+
+1. the listener stops accepting and the session manager rejects new HELLOs
+   with :class:`~repro.errors.ServerDrainingError` (retryable — clients can
+   reconnect elsewhere);
+2. the health view flips to ``draining`` so ``/healthz`` answers 503;
+3. every in-flight request runs to completion and its response is written —
+   an acked commit is always durable — after which each connection gets one
+   final ``ServerDrainingError`` frame and is closed (open explicit
+   transactions roll back: they were never acked);
+4. connections that ignore the deadline are cancelled, leftover sessions are
+   force-closed, and (by default) the database itself is drained and closed
+   through the same transaction gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import os
+import signal
+import threading
+from typing import TYPE_CHECKING, Optional, Tuple, Union
+
+from repro.errors import ProtocolError, ReproError, ServerDrainingError
+from repro.server import protocol
+from repro.server.session import AuthHook, ServerSession, SessionManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.database import GraphDatabase
+
+__all__ = ["GraphServer"]
+
+
+class GraphServer:
+    """A multi-client socket server over one :class:`GraphDatabase`."""
+
+    def __init__(
+        self,
+        db: "GraphDatabase",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        auth: Union[AuthHook, str, None] = None,
+        max_connections: int = 64,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        drain_timeout: float = 5.0,
+        request_threads: Optional[int] = None,
+    ) -> None:
+        """``port=0`` binds an ephemeral port (read it from :attr:`address`
+        after :meth:`start`).  ``auth`` is a shared-secret string or a
+        ``(token, hello) -> bool`` callable; see :class:`SessionManager`."""
+        self._db = db
+        self._host = host
+        self._port = port
+        self._max_frame_bytes = max_frame_bytes
+        self._drain_timeout = drain_timeout
+        self.sessions = SessionManager(db, auth=auth, max_sessions=max_connections)
+        workers = request_threads or min(32, (os.cpu_count() or 4) + 4)
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-server"
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._drain_event: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._shutdown_lock = threading.Lock()
+        self._shut_down = False
+        self._stop_serving = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "GraphServer":
+        """Bind and start serving on a background thread; returns ``self``.
+
+        Raises the bind error (port in use, bad host) in the calling thread.
+        """
+        if self._thread is not None:
+            raise ReproError("the server has already been started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-server-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def shutdown(
+        self,
+        *,
+        close_database: bool = True,
+        drain_timeout: Optional[float] = None,
+    ) -> None:
+        """Drain and stop (idempotent); see the module docstring for the order.
+
+        With ``close_database=False`` the database stays open for embedded
+        use after the network layer is gone (and its health view is left
+        alone — only a database on its way out should report ``draining``).
+        """
+        timeout = self._drain_timeout if drain_timeout is None else drain_timeout
+        with self._shutdown_lock:
+            first = not self._shut_down
+            self._shut_down = True
+        if first:
+            self.sessions.start_draining()
+            if close_database:
+                self._db.store.health.mark_draining("server drain")
+            if self._loop is not None and self._drain_event is not None:
+                with contextlib.suppress(RuntimeError):
+                    self._loop.call_soon_threadsafe(self._drain_event.set)
+            if self._thread is not None:
+                # The loop waits up to the drain window itself; the extra
+                # second covers teardown bookkeeping.
+                self._thread.join(timeout=timeout + 1.0)
+            self._executor.shutdown(wait=True)
+            self._stop_serving.set()
+        if close_database and not self._db.is_closed:
+            self._db.close()
+
+    def serve_forever(self) -> None:
+        """Block until SIGTERM/SIGINT (or :meth:`shutdown`), then drain.
+
+        Installs signal handlers, so it must run on the main thread; this is
+        what ``python -m repro.server`` sits in.
+        """
+        if self._thread is None:
+            self.start()
+
+        def _request_stop(signum, frame):  # noqa: ARG001 - signal signature
+            self._stop_serving.set()
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _request_stop)
+        try:
+            self._stop_serving.wait()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        self.shutdown()
+
+    def __enter__(self) -> "GraphServer":
+        return self.start() if self._thread is None else self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    @property
+    def database(self) -> "GraphDatabase":
+        """The database this server fronts."""
+        return self._db
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._address is None:
+            raise ReproError("the server is not listening")
+        return self._address
+
+    @property
+    def port(self) -> int:
+        """The bound port."""
+        return self.address[1]
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the serving thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def is_draining(self) -> bool:
+        """Whether :meth:`shutdown` has begun."""
+        return self.sessions.is_draining
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - defensive
+            if not self._started.is_set():
+                self._startup_error = exc
+                self._started.set()
+        finally:
+            self._stop_serving.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._drain_event = asyncio.Event()
+        connections: set = set()
+        try:
+            server = await asyncio.start_server(
+                lambda r, w: self._track(connections, r, w),
+                self._host,
+                self._port,
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        async with server:
+            await self._drain_event.wait()
+            server.close()
+            await server.wait_closed()
+            # In-flight requests get the drain window to finish and be
+            # acked; each handler then sends its final draining frame.
+            if connections:
+                _, pending = await asyncio.wait(
+                    connections, timeout=self._drain_timeout
+                )
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.wait(pending, timeout=1.0)
+        # Anything cancelled above skipped its own cleanup.
+        self.sessions.close_all()
+
+    async def _track(self, connections: set, reader, writer) -> None:
+        task = asyncio.current_task()
+        connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            connections.discard(task)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session: Optional[ServerSession] = None
+        try:
+            session = await self._open_session(reader, writer)
+            if session is None:
+                return
+            await self._request_loop(session, reader, writer)
+        except ProtocolError as exc:
+            await self._try_send(writer, protocol.error_response(exc))
+        except (ConnectionError, asyncio.CancelledError):
+            # Peer vanished, or the drain deadline cancelled us; the
+            # finally-block below still retires the session (open
+            # transactions roll back — they were never acked).
+            pass
+        finally:
+            if session is not None:
+                await self._in_worker(session.close)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _open_session(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[ServerSession]:
+        hello = await protocol.read_frame_async(reader, self._max_frame_bytes)
+        if hello is None:
+            return None
+        try:
+            session = await self._in_worker(self.sessions.open_session, hello)
+        except ReproError as exc:
+            await self._try_send(writer, protocol.error_response(exc))
+            return None
+        await self._send(writer, session.hello_response())
+        return session
+
+    async def _request_loop(
+        self,
+        session: ServerSession,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        assert self._drain_event is not None
+        while True:
+            request = await self._next_request(reader)
+            if request is None:
+                if not self._drain_event.is_set():
+                    return  # clean EOF from the peer
+                await self._try_send(
+                    writer, protocol.error_response(self._draining_error())
+                )
+                return
+            response = await self._in_worker(session.handle, request)
+            await self._send(writer, response)
+            if request.get("op") == "goodbye":
+                return
+
+    async def _next_request(self, reader: asyncio.StreamReader) -> Optional[dict]:
+        """One frame, or ``None`` on EOF *or* drain — whichever comes first."""
+        assert self._drain_event is not None
+        if self._drain_event.is_set():
+            return None
+        read = asyncio.ensure_future(
+            protocol.read_frame_async(reader, self._max_frame_bytes)
+        )
+        drain = asyncio.ensure_future(self._drain_event.wait())
+        done, _ = await asyncio.wait({read, drain}, return_when=asyncio.FIRST_COMPLETED)
+        if read in done:
+            drain.cancel()
+            return read.result()
+        read.cancel()
+        with contextlib.suppress(asyncio.CancelledError, ProtocolError):
+            await read
+        return None
+
+    def _draining_error(self) -> ServerDrainingError:
+        return ServerDrainingError(
+            "the server is draining for shutdown; no further requests will "
+            "be served on this connection"
+        )
+
+    async def _in_worker(self, fn, *args):
+        assert self._loop is not None
+        return await self._loop.run_in_executor(self._executor, fn, *args)
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(protocol.encode_frame(payload))
+        await writer.drain()
+
+    async def _try_send(self, writer: asyncio.StreamWriter, payload: dict) -> None:
+        with contextlib.suppress(Exception):
+            await self._send(writer, payload)

@@ -1,0 +1,222 @@
+"""Regression tests for the database lifecycle fixes.
+
+Three bugs shipped alongside the network service layer, each with the
+contract it violated:
+
+* ``run_transaction`` used to retry :class:`DatabaseReadOnlyError` even
+  though degraded mode is one-way in-process — every retry was a wasted
+  backoff sleep ending in the same error.  Non-retryable aborts
+  (``retryable = False``) must now surface immediately, without invoking
+  ``on_retry``.
+* ``close()`` used to leak running metrics exporters: the daemon scrape
+  thread kept answering ``/metrics`` for an engine whose files were gone.
+  Every exporter started via ``serve_metrics`` must stop in ``close()``.
+* ``close()`` used to race in-flight transactions — engine and store were
+  torn down under a committing transaction, surfacing OS-level errors on
+  closed files.  ``close()`` now drains: commits that finish inside the
+  window are fully durable, stragglers are fenced with a clean
+  :class:`TransactionClosedError`, and new ``begin()`` calls get
+  :class:`DatabaseClosedError`.
+"""
+
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import (
+    DatabaseReadOnlyError,
+    DegradedModeError,
+    FailpointRegistry,
+    GraphDatabase,
+    TransactionAbortedError,
+)
+from repro.errors import (
+    DatabaseClosedError,
+    ServerDrainingError,
+    TransactionClosedError,
+    WalError,
+)
+
+
+def _degrade(db):
+    """Drive the database into degraded mode via an unrecoverable append."""
+    db.failpoints.arm("wal.append", "always:error")
+    victim = db.begin()
+    victim.create_node(labels=["Victim"])
+    with pytest.raises(WalError):
+        victim.commit()
+    db.failpoints.disarm("wal.append")
+    assert db.health()["status"] == "degraded"
+
+
+# ---------------------------------------------------------------------------
+# fix 1: non-retryable aborts are not retried
+# ---------------------------------------------------------------------------
+
+
+class TestDegradedModeIsNotRetried:
+    def test_retry_contract_flags(self):
+        # The retry loop keys off the class-level flag, so pin it here.
+        assert TransactionAbortedError.retryable is True
+        assert DegradedModeError.retryable is False
+        assert DatabaseReadOnlyError.retryable is False
+        assert ServerDrainingError.retryable is True
+
+    def test_run_transaction_reraises_degraded_immediately(self, tmp_path):
+        db = GraphDatabase.open(str(tmp_path / "db"), failpoints=FailpointRegistry())
+        retries = []
+        calls = []
+
+        def fn(tx):
+            calls.append(1)
+            tx.create_node(labels=["Item"])
+            # Degrade the engine under the open transaction: its own commit
+            # is then fenced with DatabaseReadOnlyError.
+            _degrade(db)
+
+        with pytest.raises(DatabaseReadOnlyError) as excinfo:
+            db.run_transaction(
+                fn,
+                retries=5,
+                base_backoff_seconds=0.2,
+                on_retry=lambda attempt, exc: retries.append(attempt),
+            )
+        assert excinfo.value.retryable is False
+        assert retries == []  # no backoff sleep was ever scheduled
+        assert calls == [1]  # the function ran exactly once
+        db.close()
+
+    def test_retryable_aborts_still_retry(self, si_db):
+        with si_db.begin() as tx:
+            node = tx.create_node(labels=["Counter"], properties={"value": 0})
+        retries = []
+        blocker = si_db.begin()
+        blocker.get_node(node.id).set_property("value", 100)
+
+        def bump(tx):
+            handle = tx.get_node(node.id)
+            # First-updater-wins: conflicts until the blocker is resolved.
+            if not retries:
+                blocker.commit()
+            handle.set_property("value", handle["value"] + 1)
+
+        si_db.run_transaction(
+            bump,
+            retries=5,
+            base_backoff_seconds=0.001,
+            on_retry=lambda attempt, exc: retries.append(attempt),
+        )
+        assert retries  # the conflict path still goes through the loop
+        with si_db.begin(read_only=True) as tx:
+            assert tx.get_node(node.id)["value"] == 101
+
+
+# ---------------------------------------------------------------------------
+# fix 2: close() stops the exporters it started
+# ---------------------------------------------------------------------------
+
+
+class TestExporterLifecycle:
+    def test_close_stops_every_exporter(self):
+        db = GraphDatabase.in_memory()
+        first = db.serve_metrics()
+        second = db.serve_metrics()
+        with urllib.request.urlopen(first.url, timeout=5) as response:
+            assert response.status == 200
+        db.close()
+        assert not first.is_running
+        assert not second.is_running
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            urllib.request.urlopen(first.url, timeout=2)
+
+    def test_close_tolerates_manually_stopped_exporter(self):
+        db = GraphDatabase.in_memory()
+        exporter = db.serve_metrics()
+        exporter.stop()
+        exporter.stop()  # stop() itself is idempotent
+        db.close()  # and close() must not trip over the dead exporter
+        assert not exporter.is_running
+
+
+# ---------------------------------------------------------------------------
+# fix 3: close() drains instead of racing in-flight transactions
+# ---------------------------------------------------------------------------
+
+
+class TestCloseDrain:
+    def test_close_waits_for_inflight_commit_and_keeps_it_durable(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = GraphDatabase.open(path)
+        started = threading.Event()
+        outcome = []
+
+        def worker():
+            tx = db.begin()
+            tx.create_node(labels=["Item"], properties={"name": "acked"})
+            started.set()
+            time.sleep(0.3)  # close() is already draining by now
+            tx.commit()
+            outcome.append("committed")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        started.wait(timeout=5)
+        db.close(drain_timeout=5.0)
+        thread.join(timeout=5)
+        assert outcome == ["committed"]
+        reopened = GraphDatabase.open(path)
+        try:
+            with reopened.begin(read_only=True) as tx:
+                names = [node["name"] for node in tx.find_nodes(label="Item")]
+            assert names == ["acked"]
+        finally:
+            reopened.close()
+
+    def test_stragglers_are_fenced_with_a_clean_error(self):
+        db = GraphDatabase.in_memory()
+        tx = db.begin()
+        tx.create_node(labels=["Item"])
+        db.close(drain_timeout=0.2)
+        assert not tx.is_open
+        with pytest.raises(TransactionClosedError):
+            tx.commit()
+
+    def test_begin_is_fenced_once_draining_starts(self):
+        db = GraphDatabase.in_memory()
+        straggler = db.begin()  # keeps the drain loop waiting
+        closer = threading.Thread(target=lambda: db.close(drain_timeout=2.0))
+        closer.start()
+        deadline = time.monotonic() + 5.0
+        fenced = False
+        while time.monotonic() < deadline:
+            try:
+                tx = db.begin()
+            except DatabaseClosedError:
+                fenced = True
+                break
+            # The fence is not up yet; this transaction joined the drain set.
+            tx.rollback()
+            time.sleep(0.01)
+        assert fenced
+        straggler.rollback()  # releases the drain loop
+        closer.join(timeout=5)
+        assert db.is_closed
+
+    def test_begin_after_close_raises_database_closed(self):
+        db = GraphDatabase.in_memory()
+        db.close()
+        with pytest.raises(DatabaseClosedError):
+            db.begin()
+        db.close()  # idempotent
+
+    def test_lifecycle_stats_surface_drain_counts(self):
+        db = GraphDatabase.in_memory()
+        with db.begin() as tx:
+            tx.create_node(labels=["Item"])
+        stats = db.statistics()["lifecycle"]
+        assert stats["active"] == 0
+        assert stats["closed"] == 0
+        db.close()

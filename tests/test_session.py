@@ -1,0 +1,134 @@
+"""The session layer: one conversation's worth of transactions.
+
+A :class:`~repro.api.session.Session` is what the network server maps each
+connection onto, so these tests pin the state machine the wire protocol
+relies on: at most one open transaction, session defaults applied to every
+transaction, auto-commit for statements outside an explicit transaction,
+and the read-your-writes token.
+"""
+
+import pytest
+
+from repro import GraphDatabase, Session
+from repro.errors import ReadOnlyTransactionError, SessionStateError
+
+
+class TestTransactionStateMachine:
+    def test_begin_twice_is_a_session_error(self, si_db):
+        with si_db.session() as session:
+            session.begin()
+            with pytest.raises(SessionStateError):
+                session.begin()
+
+    def test_commit_without_transaction_is_a_session_error(self, si_db):
+        with si_db.session() as session:
+            with pytest.raises(SessionStateError):
+                session.commit()
+            with pytest.raises(SessionStateError):
+                session.rollback()
+
+    def test_commit_clears_the_transaction(self, si_db):
+        session = si_db.session()
+        session.begin()
+        assert session.in_transaction
+        session.commit()
+        assert not session.in_transaction
+        session.begin()  # a fresh one is allowed now
+        session.rollback()
+        session.close()
+
+    def test_aborted_transaction_frees_the_slot(self, si_db):
+        # A transaction that dies underneath the session (e.g. a write
+        # conflict rolled back via the context manager) must not wedge it.
+        with si_db.session() as session:
+            tx = session.begin()
+            tx.rollback()
+            assert not session.in_transaction
+            session.begin()
+
+    def test_closed_session_refuses_work(self, si_db):
+        session = si_db.session()
+        session.close()
+        session.close()  # idempotent
+        for call in (session.begin, session.commit, lambda: session.execute("RETURN 1")):
+            with pytest.raises(SessionStateError):
+                call()
+
+    def test_close_rolls_back_the_open_transaction(self, si_db):
+        session = si_db.session()
+        tx = session.begin()
+        tx.create_node(labels=["Doomed"])
+        session.close()
+        assert not tx.is_open
+        with si_db.begin(read_only=True) as check:
+            assert list(check.find_nodes(label="Doomed")) == []
+
+
+class TestExecute:
+    def test_autocommit_outside_a_transaction(self, si_db):
+        with si_db.session() as session:
+            session.execute("CREATE (:Person {name: 'Alice'})")
+            result = session.execute("MATCH (n:Person) RETURN n.name AS name")
+            assert [record["name"] for record in result.records()] == ["Alice"]
+
+    def test_execute_joins_the_open_transaction(self, si_db):
+        with si_db.session() as session:
+            session.begin()
+            session.execute("CREATE (:Person {name: 'Bob'})")
+            # Not visible to other transactions until the session commits.
+            with si_db.begin(read_only=True) as other:
+                assert list(other.find_nodes(label="Person")) == []
+            session.commit()
+        with si_db.begin(read_only=True) as other:
+            assert len(list(other.find_nodes(label="Person"))) == 1
+
+    def test_read_your_writes_token(self, si_db):
+        with si_db.session() as session:
+            assert session.last_commit_ts is None
+            session.execute("CREATE (:Person {name: 'Carol'})")
+            first = session.last_commit_ts
+            assert first is not None
+            session.execute("MATCH (n:Person) RETURN n")  # reads keep the token
+            assert session.last_commit_ts == first
+            session.begin()
+            session.execute("CREATE (:Person {name: 'Dave'})")
+            ts = session.commit()
+            assert ts == session.last_commit_ts
+            assert ts > first
+
+
+class TestSessionDefaults:
+    def test_read_only_session_begins_read_only_transactions(self, si_db):
+        with si_db.session(read_only=True) as session:
+            tx = session.begin()
+            assert tx.read_only
+            session.rollback()
+            # Explicit override per transaction still wins.
+            tx = session.begin(read_only=False)
+            assert not tx.read_only
+            session.rollback()
+
+    def test_read_only_session_rejects_writes(self, si_db):
+        with si_db.session(read_only=True) as session:
+            with pytest.raises(ReadOnlyTransactionError):
+                session.execute("CREATE (:Person {name: 'Eve'})")
+
+    def test_run_applies_session_defaults(self, si_db):
+        with si_db.session(read_only=True) as session:
+            assert session.run(lambda tx: tx.read_only) is True
+
+    def test_run_refuses_while_a_transaction_is_open(self, si_db):
+        with si_db.session() as session:
+            session.begin()
+            with pytest.raises(SessionStateError):
+                session.run(lambda tx: None)
+
+
+class TestIdentity:
+    def test_sessions_get_distinct_ids(self, si_db):
+        with si_db.session() as a, si_db.session() as b:
+            assert a.session_id != b.session_id
+            assert a.database is si_db
+
+    def test_session_class_is_exported(self, si_db):
+        assert isinstance(si_db.session(), Session)
